@@ -1,0 +1,143 @@
+// Command dashdb-local runs the single-container experience of §II.A: it
+// simulates `docker run` (hardware detection, auto-configuration, engine
+// start with the deployment timeline printed), then serves SQL over a
+// line-oriented TCP protocol and, with -i, an interactive console on
+// stdin.
+//
+// Protocol: one statement per line; responses are tab-separated rows
+// terminated by a line "OK <n rows>" or "ERR <message>".
+//
+//	dashdb-local -listen :8050        # serve TCP
+//	dashdb-local -i                   # interactive console
+//	echo "SELECT 1+1" | dashdb-local  # one-shot
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"strings"
+
+	"dashdb"
+	"dashdb/internal/deploy"
+)
+
+func main() {
+	listen := flag.String("listen", "", "TCP address to serve (e.g. :8050); empty = stdin/stdout")
+	interactive := flag.Bool("i", false, "interactive console with prompt")
+	dialect := flag.String("dialect", "ANSI", "initial SQL dialect (ANSI|ORACLE|NETEZZA|DB2)")
+	flag.Parse()
+
+	hw := deploy.DetectHardware()
+	fmt.Fprintf(os.Stderr, "dashDB Local: detected %d cores, %d GB RAM\n", hw.Cores, hw.RAMBytes>>30)
+
+	// Simulated docker run with the deployment timeline.
+	reg := deploy.NewRegistry()
+	reg.Push(deploy.Image{Name: "dashdb-local", Version: "1.0", SizeBytes: 4 << 30})
+	host := deploy.NewHost("localhost", deploy.Hardware{
+		Cores: hw.Cores, RAMBytes: maxI64(hw.RAMBytes, 8<<30), StorageBytes: 20 << 30,
+	})
+	if _, tl, err := host.Run(reg, "dashdb-local", "1.0"); err == nil {
+		fmt.Fprintf(os.Stderr, "container deployed (simulated %.0fs):\n%s\n", tl.Total().Seconds(), indent(tl.String()))
+	}
+
+	db := dashdb.Open(dashdb.Options{})
+	cfg := db.Config()
+	fmt.Fprintf(os.Stderr, "engine ready: parallelism=%d wlm=%d bufferpool=%dMB\n",
+		cfg.Parallelism, cfg.MaxConcurrency, cfg.BufferPoolBytes>>20)
+
+	if *listen != "" {
+		serveTCP(db, *listen, *dialect)
+		return
+	}
+	sess := db.NewSession()
+	setDialect(sess, *dialect)
+	serveStream(sess, os.Stdin, os.Stdout, *interactive)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ")
+}
+
+func setDialect(sess *dashdb.Session, name string) {
+	if _, err := sess.Exec("SET SQL_DIALECT = '" + name + "'"); err != nil {
+		log.Printf("dialect %s: %v", name, err)
+	}
+}
+
+func serveTCP(db *dashdb.DB, addr, dialect string) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "listening on %s\n", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func(conn net.Conn) {
+			defer conn.Close()
+			sess := db.NewSession()
+			setDialect(sess, dialect)
+			serveStream(sess, conn, conn, false)
+		}(conn)
+	}
+}
+
+// serveStream runs the line protocol over any reader/writer pair.
+func serveStream(sess *dashdb.Session, in io.Reader, out io.Writer, prompt bool) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	for {
+		if prompt {
+			fmt.Fprint(w, "dashdb> ")
+			w.Flush()
+		}
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			return
+		}
+		r, err := sess.Exec(strings.TrimSuffix(line, ";"))
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			w.Flush()
+			continue
+		}
+		if r.Columns != nil {
+			fmt.Fprintln(w, strings.Join(r.Columns, "\t"))
+			for _, row := range r.Rows {
+				parts := make([]string, len(row))
+				for i, v := range row {
+					parts[i] = v.String()
+				}
+				fmt.Fprintln(w, strings.Join(parts, "\t"))
+			}
+			fmt.Fprintf(w, "OK %d rows\n", len(r.Rows))
+		} else if r.RowsAffected > 0 {
+			fmt.Fprintf(w, "OK %d rows affected\n", r.RowsAffected)
+		} else {
+			fmt.Fprintf(w, "OK %s\n", r.Message)
+		}
+		w.Flush()
+	}
+}

@@ -1,0 +1,182 @@
+// Package dashdb is a from-scratch Go reproduction of "Making Big Data
+// Simple with dashDB Local" (Lightstone et al., ICDE 2017): an embeddable
+// BLU-style analytic database — compressed columnar storage operated on
+// in compressed form, per-stride data skipping, a scan-resistant
+// probabilistic buffer pool and software-SIMD predicate evaluation —
+// wrapped in a polyglot SQL front end (ANSI plus Oracle, Netezza/
+// PostgreSQL and DB2 dialects), a shared-nothing MPP layer with
+// Figure-9-style HA and elasticity, an integrated Spark-like analytics
+// runtime, and a container-deployment simulator with the paper's
+// automatic hardware-adaptive configuration.
+//
+// Two entry points cover the paper's deployment models:
+//
+//   - Open opens a single-node embedded engine (the laptop / dev-test
+//     configuration of §II.A), auto-configured from detected hardware.
+//   - Deploy simulates `docker run` across a host list and returns a
+//     fully formed MPP cluster (the production configuration), in
+//     well under the paper's 30-minute bound of simulated time.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's Table 1 and figures.
+package dashdb
+
+import (
+	"dashdb/internal/core"
+	"dashdb/internal/deploy"
+	"dashdb/internal/sql"
+	"dashdb/internal/types"
+)
+
+// Re-exported value and metadata types (the public data surface).
+type (
+	// Value is one SQL datum.
+	Value = types.Value
+	// Row is a tuple of values.
+	Row = types.Row
+	// Column describes one column of a relation.
+	Column = types.Column
+	// Schema is an ordered column list.
+	Schema = types.Schema
+	// Kind enumerates SQL types.
+	Kind = types.Kind
+	// Result is the outcome of one statement.
+	Result = core.Result
+	// Session is one connection with its own SQL dialect.
+	Session = core.Session
+	// Dialect selects the SQL language variant.
+	Dialect = sql.Dialect
+	// Hardware describes a deployment target.
+	Hardware = deploy.Hardware
+	// EngineConfig is an auto-configured engine setup.
+	EngineConfig = deploy.EngineConfig
+)
+
+// Value constructors, re-exported.
+var (
+	// Null is the SQL NULL value.
+	Null = types.Null
+	// NewBool makes a BOOLEAN value.
+	NewBool = types.NewBool
+	// NewInt makes a BIGINT value.
+	NewInt = types.NewInt
+	// NewFloat makes a DOUBLE value.
+	NewFloat = types.NewFloat
+	// NewString makes a VARCHAR value.
+	NewString = types.NewString
+	// NewDate makes a DATE from days since 1970-01-01.
+	NewDate = types.NewDate
+	// ParseDate parses a DATE literal.
+	ParseDate = types.ParseDate
+)
+
+// Kind constants, re-exported.
+const (
+	KindBool      = types.KindBool
+	KindInt       = types.KindInt
+	KindFloat     = types.KindFloat
+	KindString    = types.KindString
+	KindDate      = types.KindDate
+	KindTimestamp = types.KindTimestamp
+)
+
+// Dialect constants, re-exported.
+const (
+	DialectANSI    = sql.DialectANSI
+	DialectOracle  = sql.DialectOracle
+	DialectNetezza = sql.DialectNetezza
+	DialectDB2     = sql.DialectDB2
+)
+
+// AutoConfigure derives a full engine configuration from hardware — the
+// paper's automatic adaptation component, exported for inspection.
+func AutoConfigure(hw Hardware) EngineConfig { return deploy.AutoConfigure(hw) }
+
+// DetectHardware probes the current machine.
+func DetectHardware() Hardware { return deploy.DetectHardware() }
+
+// Options tune Open.
+type Options struct {
+	// Hardware overrides detection (tests, simulations).
+	Hardware *Hardware
+	// BufferPoolBytes overrides the auto-configured cache size.
+	BufferPoolBytes int
+	// CachePolicy selects the buffer pool policy: "PROB" (default),
+	// "LRU", "CLOCK" — the experiment F-E ablation hook.
+	CachePolicy string
+}
+
+// DB is a single-node embedded dashDB Local engine.
+type DB struct {
+	inner   *core.DB
+	session *core.Session
+	cfg     EngineConfig
+}
+
+// Open creates an engine auto-configured for this machine (or for the
+// hardware given in opts). The zero Options is ready to use.
+func Open(opts Options) *DB {
+	hw := deploy.DetectHardware()
+	if opts.Hardware != nil {
+		hw = *opts.Hardware
+	}
+	cfg := deploy.AutoConfigure(hw)
+	pool := int(cfg.BufferPoolBytes)
+	if opts.BufferPoolBytes > 0 {
+		pool = opts.BufferPoolBytes
+	}
+	// Cap the default embedded pool so casual Open calls stay light.
+	if opts.BufferPoolBytes == 0 && pool > 256<<20 {
+		pool = 256 << 20
+	}
+	db := core.Open(core.Config{
+		BufferPoolBytes:      pool,
+		Parallelism:          cfg.Parallelism,
+		MaxConcurrentQueries: cfg.MaxConcurrency,
+		CachePolicy:          opts.CachePolicy,
+	})
+	return &DB{inner: db, session: db.NewSession(), cfg: cfg}
+}
+
+// Config returns the engine's auto-derived configuration.
+func (db *DB) Config() EngineConfig { return db.cfg }
+
+// Exec parses and executes one SQL statement on the default session.
+func (db *DB) Exec(sqlText string) (*Result, error) { return db.session.Exec(sqlText) }
+
+// Query is Exec restricted to row-returning statements.
+func (db *DB) Query(sqlText string) (*Result, error) { return db.session.Query(sqlText) }
+
+// ExecScript runs a ';'-separated script on the default session.
+func (db *DB) ExecScript(sqlText string) (*Result, error) { return db.session.ExecScript(sqlText) }
+
+// SetDialect switches the default session's SQL dialect.
+func (db *DB) SetDialect(d Dialect) { db.session.SetDialect(d) }
+
+// NewSession opens an independent session (own dialect, own user).
+func (db *DB) NewSession() *Session { return db.inner.NewSession() }
+
+// Engine exposes the underlying core engine for advanced integrations
+// (Spark procedure registration, Fluid Query nicknames).
+func (db *DB) Engine() *core.DB { return db.inner }
+
+// CompressionReport describes a table's storage efficiency.
+type CompressionReport struct {
+	RawBytes        int
+	CompressedBytes int
+	Ratio           float64
+}
+
+// Compression reports the named table's compression (experiment F-B).
+func (db *DB) Compression(table string) (CompressionReport, bool) {
+	t, ok := db.inner.Table(table)
+	if !ok {
+		return CompressionReport{}, false
+	}
+	r := t.Compression()
+	return CompressionReport{
+		RawBytes:        r.RawBytes,
+		CompressedBytes: r.CompressedBytes,
+		Ratio:           r.Ratio,
+	}, true
+}

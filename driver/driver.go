@@ -1,0 +1,239 @@
+// Package driver is a database/sql driver for the embedded dashDB Local
+// engine — the repository's analog of the application interfaces the
+// paper lists in §II.C.3 (ODBC, JDBC, ...). Import it blank and open a
+// connection:
+//
+//	import (
+//	    "database/sql"
+//	    _ "dashdb/driver"
+//	)
+//
+//	db, _ := sql.Open("dashdb", "mem://analytics?dialect=oracle")
+//	db.Exec("CREATE TABLE t (a BIGINT NOT NULL)")
+//	db.Exec("INSERT INTO t VALUES (?)", 42)
+//
+// DSN format: mem://<instance>[?dialect=<name>]. Connections with the
+// same instance name share one engine within the process; an empty name
+// selects the default instance. Attach an externally created engine with
+// Attach.
+package driver
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"dashdb/internal/core"
+	sqlfe "dashdb/internal/sql"
+	"dashdb/internal/types"
+)
+
+func init() {
+	sql.Register("dashdb", &Driver{})
+}
+
+// instances shares engines by name across connections.
+var (
+	instMu    sync.Mutex
+	instances = make(map[string]*core.DB)
+)
+
+// Attach registers an existing engine under an instance name so
+// sql.Open("dashdb", "mem://<name>") connects to it.
+func Attach(name string, db *core.DB) {
+	instMu.Lock()
+	defer instMu.Unlock()
+	instances[name] = db
+}
+
+func instance(name string) *core.DB {
+	instMu.Lock()
+	defer instMu.Unlock()
+	db, ok := instances[name]
+	if !ok {
+		db = core.Open(core.Config{BufferPoolBytes: 64 << 20})
+		instances[name] = db
+	}
+	return db
+}
+
+// Driver implements database/sql/driver.Driver.
+type Driver struct{}
+
+// Open implements driver.Driver.
+func (d *Driver) Open(dsn string) (driver.Conn, error) {
+	name := ""
+	dialect := sqlfe.DialectANSI
+	if dsn != "" {
+		u, err := url.Parse(dsn)
+		if err != nil {
+			return nil, fmt.Errorf("dashdb driver: bad DSN %q: %w", dsn, err)
+		}
+		if u.Scheme != "" && u.Scheme != "mem" {
+			return nil, fmt.Errorf("dashdb driver: unsupported scheme %q (only mem://)", u.Scheme)
+		}
+		name = u.Host
+		if dl := u.Query().Get("dialect"); dl != "" {
+			dialect, err = sqlfe.ParseDialect(dl)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	sess := instance(name).NewSession()
+	sess.SetDialect(dialect)
+	return &conn{sess: sess}, nil
+}
+
+// conn implements driver.Conn.
+type conn struct {
+	sess *core.Session
+}
+
+// Prepare implements driver.Conn.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	st, err := c.sess.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{st: st, numInput: strings.Count(query, "?")}, nil
+}
+
+// Close implements driver.Conn.
+func (c *conn) Close() error { return nil }
+
+// Begin implements driver.Conn. The engine is autocommit-only (analytic
+// workloads), so transactions are a no-op shim.
+func (c *conn) Begin() (driver.Tx, error) { return noopTx{}, nil }
+
+type noopTx struct{}
+
+func (noopTx) Commit() error   { return nil }
+func (noopTx) Rollback() error { return nil }
+
+// stmt implements driver.Stmt.
+type stmt struct {
+	st       *core.Stmt
+	numInput int
+}
+
+// Close implements driver.Stmt.
+func (s *stmt) Close() error { return nil }
+
+// NumInput implements driver.Stmt.
+func (s *stmt) NumInput() int { return s.numInput }
+
+// toValue converts a driver.Value to an engine value.
+func toValue(v driver.Value) types.Value {
+	switch x := v.(type) {
+	case nil:
+		return types.Null
+	case int64:
+		return types.NewInt(x)
+	case float64:
+		return types.NewFloat(x)
+	case bool:
+		return types.NewBool(x)
+	case string:
+		return types.NewString(x)
+	case []byte:
+		return types.NewString(string(x))
+	case time.Time:
+		return types.TimestampFromTime(x)
+	default:
+		return types.NewString(fmt.Sprint(x))
+	}
+}
+
+// fromValue converts an engine value to a driver.Value.
+func fromValue(v types.Value) driver.Value {
+	if v.IsNull() {
+		return nil
+	}
+	switch v.Kind() {
+	case types.KindBool:
+		return v.Bool()
+	case types.KindInt:
+		return v.Int()
+	case types.KindFloat:
+		return v.Float()
+	case types.KindDate, types.KindTimestamp:
+		return v.Time()
+	default:
+		return v.Str()
+	}
+}
+
+func bind(args []driver.Value) []types.Value {
+	out := make([]types.Value, len(args))
+	for i, a := range args {
+		out[i] = toValue(a)
+	}
+	return out
+}
+
+// Exec implements driver.Stmt.
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	r, err := s.st.Exec(bind(args)...)
+	if err != nil {
+		return nil, err
+	}
+	return result{rowsAffected: r.RowsAffected}, nil
+}
+
+// Query implements driver.Stmt.
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	r, err := s.st.Exec(bind(args)...)
+	if err != nil {
+		return nil, err
+	}
+	if r.Columns == nil {
+		return &rows{res: &core.Result{Columns: []string{}}}, nil
+	}
+	return &rows{res: r}, nil
+}
+
+// result implements driver.Result.
+type result struct{ rowsAffected int64 }
+
+// LastInsertId implements driver.Result; the engine has no rowid surface.
+func (result) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("dashdb driver: LastInsertId is not supported")
+}
+
+// RowsAffected implements driver.Result.
+func (r result) RowsAffected() (int64, error) { return r.rowsAffected, nil }
+
+// rows implements driver.Rows.
+type rows struct {
+	res *core.Result
+	pos int
+}
+
+// Columns implements driver.Rows.
+func (r *rows) Columns() []string { return r.res.Columns }
+
+// Close implements driver.Rows.
+func (r *rows) Close() error { return nil }
+
+// Next implements driver.Rows.
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.res.Rows) {
+		return io.EOF
+	}
+	row := r.res.Rows[r.pos]
+	r.pos++
+	for i := range dest {
+		if i < len(row) {
+			dest[i] = fromValue(row[i])
+		} else {
+			dest[i] = nil
+		}
+	}
+	return nil
+}

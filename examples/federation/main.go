@@ -1,0 +1,128 @@
+// Command federation demonstrates §II.C's "Big Data comes from
+// everywhere" story end to end on one embedded engine: Fluid Query
+// nicknames to a simulated remote Netezza, schema-on-read CSV and JSON
+// external tables, SQL/MM geospatial predicates, in-database analytics
+// procedures, a user-defined function, and the standard database/sql
+// driver — all joined in ordinary SQL.
+package main
+
+import (
+	gosql "database/sql"
+	"fmt"
+	"log"
+
+	"dashdb"
+	dashdriver "dashdb/driver"
+)
+
+const shipmentsCSV = `shipment_id,store,weight_kg,shipped
+1,downtown,120.5,2016-06-01
+2,airport,80.25,2016-06-02
+3,harbor,220.75,2016-06-03
+4,downtown,45.5,2016-06-04
+`
+
+const clickstreamJSON = `
+{"store": "downtown", "clicks": 120, "meta": {"campaign": "summer"}}
+{"store": "airport",  "clicks": 45}
+{"store": "harbor",   "clicks": 260, "meta": {"campaign": "port-days"}}
+`
+
+func main() {
+	db := dashdb.Open(dashdb.Options{})
+	db.RegisterAnalytics()
+
+	// 1. Local columnar table with geospatial locations.
+	must(db.Exec(`CREATE TABLE stores (name VARCHAR(32) NOT NULL, loc VARCHAR(64))`))
+	must(db.Exec(`INSERT INTO stores VALUES
+		('downtown', ST_POINT(1, 1)),
+		('airport',  ST_POINT(9, 9)),
+		('harbor',   ST_POINT(2, 0))`))
+
+	// 2. A "remote Netezza" reachable through a nickname (Fluid Query).
+	nz := dashdb.NewRemoteServer(dashdb.OriginNetezza, "legacy-nz")
+	fail(nz.CreateTable("store_mgr", dashdb.Schema{
+		{Name: "store", Kind: dashdb.KindString},
+		{Name: "manager", Kind: dashdb.KindString},
+	}))
+	fail(nz.Insert("store_mgr", []dashdb.Row{
+		{dashdb.NewString("downtown"), dashdb.NewString("ada")},
+		{dashdb.NewString("airport"), dashdb.NewString("grace")},
+		{dashdb.NewString("harbor"), dashdb.NewString("edsger")},
+	}))
+	fail(db.CreateNickname("managers", nz, "store_mgr"))
+
+	// 3. Schema-on-read external tables: CSV shipments, JSON clickstream.
+	fail(db.RegisterCSV("shipments", shipmentsCSV))
+	fail(db.RegisterJSON("clicks", clickstreamJSON))
+
+	// 4. A UDX.
+	fail(db.RegisterFunction("KG_TO_LB", 1, 1, func(args []dashdb.Value) (dashdb.Value, error) {
+		kg, _ := args[0].AsFloat()
+		return dashdb.NewFloat(kg * 2.20462), nil
+	}))
+
+	// One query across all of it: local columnar + remote nickname + CSV
+	// + JSON + geo predicate + UDX.
+	fmt.Println("-- federated query: downtown-zone stores, their managers, freight and clicks --")
+	r := mustQ(db.Query(`
+		SELECT s.name,
+		       m.manager,
+		       SUM(KG_TO_LB(h.weight_kg))            AS freight_lb,
+		       MAX(c.clicks)                         AS clicks,
+		       MAX(JSON_VALUE(c.meta, '$.campaign')) AS campaign
+		FROM stores s
+		JOIN managers  m ON s.name = m.store
+		JOIN shipments h ON s.name = h.store
+		JOIN clicks    c ON s.name = c.store
+		WHERE ST_WITHIN(s.loc, 'POLYGON ((0 0, 5 0, 5 5, 0 5, 0 0))') = TRUE
+		GROUP BY s.name, m.manager
+		ORDER BY freight_lb DESC`))
+	printResult(r)
+
+	// 5. In-database analytics over the external CSV (no load step).
+	fmt.Println("\n-- CALL SUMMARY_STATS over the CSV external table --")
+	printResult(mustQ(db.Exec(`CALL SUMMARY_STATS('shipments', 'weight_kg')`)))
+
+	// 6. The same engine through database/sql.
+	fmt.Println("\n-- database/sql driver --")
+	dashdriver.Attach("federation", db.Engine())
+	sqldb, err := gosql.Open("dashdb", "mem://federation")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sqldb.Close()
+	var n int64
+	if err := sqldb.QueryRow(`SELECT COUNT(*) FROM shipments WHERE weight_kg > ?`, 100.0).Scan(&n); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shipments over 100kg (via database/sql): %d\n", n)
+}
+
+func must(r *dashdb.Result, err error) *dashdb.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func mustQ(r *dashdb.Result, err error) *dashdb.Result { return must(r, err) }
+
+func fail(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printResult(r *dashdb.Result) {
+	for _, c := range r.Columns {
+		fmt.Printf("%-14s", c)
+	}
+	fmt.Println()
+	for _, row := range r.Rows {
+		for _, v := range row {
+			fmt.Printf("%-14.14s", v.String())
+		}
+		fmt.Println()
+	}
+}

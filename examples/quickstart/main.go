@@ -1,0 +1,87 @@
+// Command quickstart is the five-minute tour of the embedded engine:
+// open an auto-configured database, create a table, load data, query it
+// with ANSI SQL, then switch the session to the Oracle dialect — the
+// §II.C polyglot story — and run the same logic with Oracle idioms.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dashdb"
+)
+
+func main() {
+	db := dashdb.Open(dashdb.Options{})
+	cfg := db.Config()
+	fmt.Printf("engine auto-configured: parallelism=%d bufferpool=%dMB wlm=%d\n\n",
+		cfg.Parallelism, cfg.BufferPoolBytes>>20, cfg.MaxConcurrency)
+
+	must(db.Exec(`CREATE TABLE orders (
+		id        BIGINT NOT NULL,
+		customer  VARCHAR(32),
+		placed    DATE,
+		amount    DOUBLE
+	)`))
+
+	sql := "INSERT INTO orders VALUES "
+	for i := 0; i < 10000; i++ {
+		if i > 0 {
+			sql += ","
+		}
+		sql += fmt.Sprintf("(%d, 'cust-%03d', DATE '2016-%02d-%02d', %d.%02d)",
+			i, i%500, i%12+1, i%28+1, i%900+10, i%100)
+	}
+	must(db.Exec(sql))
+
+	fmt.Println("-- ANSI SQL --")
+	r := mustQ(db.Query(`
+		SELECT customer, COUNT(*) AS n, SUM(amount) AS total
+		FROM orders
+		WHERE placed >= DATE '2016-10-01'
+		GROUP BY customer
+		ORDER BY total DESC
+		FETCH FIRST 5 ROWS ONLY`))
+	printResult(r)
+
+	if rep, ok := db.Compression("orders"); ok {
+		fmt.Printf("\nstorage: raw=%dKB compressed=%dKB ratio=%.1fx\n\n",
+			rep.RawBytes>>10, rep.CompressedBytes>>10, rep.Ratio)
+	}
+
+	fmt.Println("-- Oracle dialect (same engine, per-session setting) --")
+	db.SetDialect(dashdb.DialectOracle)
+	r = mustQ(db.Query(`
+		SELECT customer, NVL(SUM(amount), 0) total
+		FROM orders
+		WHERE ROWNUM <= 2000
+		GROUP BY customer
+		ORDER BY total DESC
+		FETCH FIRST 3 ROWS ONLY`))
+	printResult(r)
+
+	r = mustQ(db.Query(`SELECT DECODE(1, 1, 'one', 'other'), INITCAP('hello dashdb') FROM DUAL`))
+	printResult(r)
+}
+
+func must(r *dashdb.Result, err error) *dashdb.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func mustQ(r *dashdb.Result, err error) *dashdb.Result { return must(r, err) }
+
+func printResult(r *dashdb.Result) {
+	for _, c := range r.Columns {
+		fmt.Printf("%-14s", c)
+	}
+	fmt.Println()
+	for _, row := range r.Rows {
+		for _, v := range row {
+			fmt.Printf("%-14s", v.String())
+		}
+		fmt.Println()
+	}
+}

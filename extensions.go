@@ -1,0 +1,102 @@
+package dashdb
+
+import (
+	"dashdb/internal/analytics"
+	"dashdb/internal/extern"
+	"dashdb/internal/fluid"
+	"dashdb/internal/hybrid"
+)
+
+// RegisterAnalytics installs the in-database analytics routines of
+// §II.C.4 on an embedded engine:
+//
+//	CALL SUMMARY_STATS('table', 'column')
+//	CALL LINEAR_REGRESSION('table', 'label', 'f1,f2')
+//	CALL LOGISTIC_REGRESSION('table', 'label', 'f1,f2')
+//	CALL KMEANS('table', 'f1,f2', k)
+func (db *DB) RegisterAnalytics() {
+	analytics.RegisterProcedures(db.inner)
+}
+
+// RegisterCSV registers CSV text (header row + records) as a
+// schema-on-read external table: types are inferred, and the table is
+// immediately queryable and joinable (paper §VI future work).
+func (db *DB) RegisterCSV(name, data string) error {
+	return extern.RegisterCSV(db.inner.Catalog(), name, data)
+}
+
+// RegisterJSON registers JSON-lines text as a schema-on-read external
+// table; nested values surface as JSON text columns for JSON_VALUE.
+func (db *DB) RegisterJSON(name, data string) error {
+	return extern.RegisterJSON(db.inner.Catalog(), name, data)
+}
+
+// Fluid Query surface (§II.C.6), re-exported: simulate remote Oracle /
+// SQL Server / DB2 / Netezza / Impala systems and query them through
+// nicknames.
+type (
+	// RemoteServer is a simulated remote data store.
+	RemoteServer = fluid.RemoteServer
+	// RemoteOrigin identifies the remote system family.
+	RemoteOrigin = fluid.Origin
+)
+
+// Remote origins built into the connector set.
+const (
+	OriginOracle    = fluid.OriginOracle
+	OriginSQLServer = fluid.OriginSQLServer
+	OriginDB2       = fluid.OriginDB2
+	OriginNetezza   = fluid.OriginNetezza
+	OriginImpala    = fluid.OriginImpala
+)
+
+// NewRemoteServer creates a simulated remote store.
+var NewRemoteServer = fluid.NewRemoteServer
+
+// CreateNickname registers local SQL access to a remote table (Figure 5's
+// "Add Nickname" flow).
+func (db *DB) CreateNickname(localName string, server *RemoteServer, remoteTable string) error {
+	return fluid.CreateNickname(db.inner.Catalog(), localName, server, remoteTable)
+}
+
+// RegisterFunction installs a user-defined scalar function (UDX,
+// §II.C.4): callable from SQL in every session and dialect. Name
+// collisions with built-ins are rejected.
+func (db *DB) RegisterFunction(name string, minArgs, maxArgs int, fn func(args []Value) (Value, error)) error {
+	return db.inner.RegisterFunction(name, minArgs, maxArgs, fn)
+}
+
+// Hybrid cloud surface (§II.F): the managed dashDB cloud service shares
+// this engine; SyncToCloud / SyncFromCloud implement the paper's
+// hot-backup-DR and prototype-then-harden flows.
+type (
+	// CloudService is a managed cloud dashDB instance.
+	CloudService = hybrid.CloudService
+	// CloudPlan selects the managed instance tier.
+	CloudPlan = hybrid.Plan
+)
+
+// Cloud plans.
+const (
+	PlanEntry      = hybrid.PlanEntry
+	PlanEnterprise = hybrid.PlanEnterprise
+)
+
+// NewCloudService provisions a managed cloud instance.
+var NewCloudService = hybrid.NewCloudService
+
+// SyncToCloud replicates the cluster into a cloud instance (DR clone).
+func (c *Cluster) SyncToCloud(cloud *CloudService) (tables, rows int, err error) {
+	return hybrid.SyncToCloud(c.inner, cloud)
+}
+
+// SyncFromCloud pulls a cloud table into the cluster.
+func (c *Cluster) SyncFromCloud(cloud *CloudService, table string, opts TableOptions) (int, error) {
+	return hybrid.SyncFromCloud(cloud, c.inner, table, opts)
+}
+
+// VerifyPortability checks that a query answers identically on-premises
+// and in the cloud.
+func (c *Cluster) VerifyPortability(cloud *CloudService, query string) (bool, error) {
+	return hybrid.VerifyPortability(c.inner, cloud, query)
+}

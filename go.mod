@@ -1,0 +1,3 @@
+module dashdb
+
+go 1.24

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"testing"
+)
+
+// The experiment smoke tests run at small scale: they verify correctness
+// (both engines agree on every query's result) and direction (dashDB
+// wins), not absolute factors — those are reported by BenchmarkTable1*
+// in the repository root and cmd/benchrunner at larger scales.
+
+func TestTest1ShapeAndAgreement(t *testing.T) {
+	rep, err := Test1(30_000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ResultsAgree() {
+		for _, tm := range rep.Timings {
+			if !tm.RowsAgree {
+				t.Errorf("query %s: dashdb %d rows, appliance %d rows", tm.Name, tm.FastRows, tm.SlowRows)
+			}
+		}
+		t.Fatal("engines disagree")
+	}
+	if rep.AvgSpeedup() <= 1 {
+		t.Errorf("dashDB should win on average: avg=%.2f", rep.AvgSpeedup())
+	}
+	if rep.AvgSpeedup() < rep.MedianSpeedup() {
+		t.Logf("note: avg %.1f < median %.1f (paper shape has avg >> median)",
+			rep.AvgSpeedup(), rep.MedianSpeedup())
+	}
+	t.Logf("Test1 (scaled): avg %.1fx median %.1fx", rep.AvgSpeedup(), rep.MedianSpeedup())
+}
+
+func TestTest2Shape(t *testing.T) {
+	rep, err := Test2(20_000, 120, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Improvement() <= 0.5 {
+		t.Errorf("workload improvement degenerate: %.2fx", rep.Improvement())
+	}
+	t.Logf("Test2 (scaled): %.1fx whole-workload improvement", rep.Improvement())
+}
+
+func TestTest3ShapeAndAgreement(t *testing.T) {
+	rep, err := Test3(30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ResultsAgree() {
+		for _, tm := range rep.Timings {
+			if !tm.RowsAgree {
+				t.Errorf("query %s: dashdb %d rows, appliance %d rows", tm.Name, tm.FastRows, tm.SlowRows)
+			}
+		}
+		t.Fatal("engines disagree")
+	}
+	if rep.AvgSpeedup() <= 1 {
+		t.Errorf("dashDB should win on TPC-DS: avg=%.2f", rep.AvgSpeedup())
+	}
+	t.Logf("Test3 (scaled): avg %.1fx median %.1fx", rep.AvgSpeedup(), rep.MedianSpeedup())
+}
+
+func TestTest4Shape(t *testing.T) {
+	rep, err := Test4(30_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FastRan != rep.SlowRan {
+		t.Fatalf("unequal work: %d vs %d queries", rep.FastRan, rep.SlowRan)
+	}
+	if rep.Advantage() <= 1 {
+		t.Errorf("dashDB should out-throughput the cloud store: %.2fx", rep.Advantage())
+	}
+	t.Logf("Test4 (scaled): %.1fx QpH advantage", rep.Advantage())
+}
+
+func TestFigureCShape(t *testing.T) {
+	rep, err := FigureC(30_000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ResultsAgree() {
+		t.Fatal("engines disagree")
+	}
+	if rep.AvgSpeedup() < 2 {
+		t.Errorf("columnar vs row+index advantage too small: %.1fx", rep.AvgSpeedup())
+	}
+	t.Logf("FigureC (scaled): avg %.1fx (paper band 10-50x at full scale)", rep.AvgSpeedup())
+}

@@ -1,0 +1,217 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§III, Table 1, plus the
+// quantitative claims catalogued as figures F-A…F-H in DESIGN.md). It
+// abstracts the systems under test behind one Engine interface so the
+// dashDB engines and the baseline simulators run identical workloads.
+package bench
+
+import (
+	"fmt"
+
+	"dashdb/internal/appliance"
+	"dashdb/internal/cloudstore"
+	"dashdb/internal/core"
+	"dashdb/internal/mpp"
+	"dashdb/internal/types"
+	"dashdb/internal/workload"
+)
+
+// Engine is a system under test.
+type Engine interface {
+	// Name identifies the engine in reports.
+	Name() string
+	// Setup creates the workload's tables.
+	Setup(defs []workload.TableDef) error
+	// Load bulk-inserts rows into a table.
+	Load(table string, rows []types.Row) error
+	// Query runs a read query, returning its result row count.
+	Query(q *workload.QuerySpec) (int, error)
+	// Execute runs one mixed-workload statement.
+	Execute(st *workload.Statement) (int, error)
+}
+
+// --- dashDB MPP cluster adapter ---------------------------------------------
+
+// ClusterEngine drives an MPP dashDB cluster through its SQL coordinator.
+type ClusterEngine struct {
+	Cluster *mpp.Cluster
+	Label   string
+}
+
+// Name implements Engine.
+func (e *ClusterEngine) Name() string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return "dashdb-mpp"
+}
+
+// Setup implements Engine.
+func (e *ClusterEngine) Setup(defs []workload.TableDef) error {
+	for _, d := range defs {
+		err := e.Cluster.CreateTable(d.Name, d.Schema, mpp.TableOptions{
+			DistributeBy: d.DistributeBy,
+			Replicated:   d.Replicated,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements Engine.
+func (e *ClusterEngine) Load(table string, rows []types.Row) error {
+	return e.Cluster.Insert(table, rows)
+}
+
+// Query implements Engine.
+func (e *ClusterEngine) Query(q *workload.QuerySpec) (int, error) {
+	r, err := e.Cluster.Query(q.SQL())
+	if err != nil {
+		return 0, err
+	}
+	return len(r.Rows), nil
+}
+
+// Execute implements Engine. Scratch tables created mid-workload are not
+// registered with placement metadata, so DDL goes through the SQL path.
+func (e *ClusterEngine) Execute(st *workload.Statement) (int, error) {
+	r, err := e.Cluster.Query(st.SQL())
+	if err != nil {
+		return 0, err
+	}
+	if r.Rows != nil {
+		return len(r.Rows), nil
+	}
+	return int(r.RowsAffected), nil
+}
+
+// --- dashDB single-node adapter ----------------------------------------------
+
+// CoreEngine drives a single dashDB engine (the Test 4 configuration:
+// one 32-vcpu cloud box).
+type CoreEngine struct {
+	DB    *core.DB
+	Label string
+}
+
+// Name implements Engine.
+func (e *CoreEngine) Name() string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return "dashdb-local"
+}
+
+// Setup implements Engine.
+func (e *CoreEngine) Setup(defs []workload.TableDef) error {
+	for _, d := range defs {
+		if _, err := e.DB.CreateTable(d.Name, d.Schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements Engine.
+func (e *CoreEngine) Load(table string, rows []types.Row) error {
+	t, ok := e.DB.Table(table)
+	if !ok {
+		return fmt.Errorf("bench: table %s missing", table)
+	}
+	return t.InsertBatch(rows)
+}
+
+// Query implements Engine.
+func (e *CoreEngine) Query(q *workload.QuerySpec) (int, error) {
+	r, err := e.DB.NewSession().Exec(q.SQL())
+	if err != nil {
+		return 0, err
+	}
+	return len(r.Rows), nil
+}
+
+// Execute implements Engine.
+func (e *CoreEngine) Execute(st *workload.Statement) (int, error) {
+	r, err := e.DB.NewSession().Exec(st.SQL())
+	if err != nil {
+		return 0, err
+	}
+	if r.Rows != nil {
+		return len(r.Rows), nil
+	}
+	return int(r.RowsAffected), nil
+}
+
+// --- appliance adapter --------------------------------------------------------
+
+// ApplianceEngine drives the FPGA-appliance simulator.
+type ApplianceEngine struct {
+	A *appliance.Appliance
+}
+
+// Name implements Engine.
+func (e *ApplianceEngine) Name() string { return e.A.Name() }
+
+// Setup implements Engine.
+func (e *ApplianceEngine) Setup(defs []workload.TableDef) error {
+	for _, d := range defs {
+		if err := e.A.CreateTable(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements Engine.
+func (e *ApplianceEngine) Load(table string, rows []types.Row) error {
+	return e.A.Load(table, rows)
+}
+
+// Query implements Engine.
+func (e *ApplianceEngine) Query(q *workload.QuerySpec) (int, error) {
+	rows, err := e.A.Query(q)
+	return len(rows), err
+}
+
+// Execute implements Engine.
+func (e *ApplianceEngine) Execute(st *workload.Statement) (int, error) {
+	return e.A.Execute(st)
+}
+
+// --- cloud column store adapter ------------------------------------------------
+
+// CloudEngine drives the cloud column-store simulator.
+type CloudEngine struct {
+	S *cloudstore.Store
+}
+
+// Name implements Engine.
+func (e *CloudEngine) Name() string { return e.S.Name() }
+
+// Setup implements Engine.
+func (e *CloudEngine) Setup(defs []workload.TableDef) error {
+	for _, d := range defs {
+		if err := e.S.CreateTable(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load implements Engine.
+func (e *CloudEngine) Load(table string, rows []types.Row) error {
+	return e.S.Load(table, rows)
+}
+
+// Query implements Engine.
+func (e *CloudEngine) Query(q *workload.QuerySpec) (int, error) {
+	rows, err := e.S.Query(q)
+	return len(rows), err
+}
+
+// Execute implements Engine.
+func (e *CloudEngine) Execute(st *workload.Statement) (int, error) {
+	return e.S.Execute(st)
+}

@@ -1,0 +1,281 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dashdb/internal/workload"
+)
+
+// QueryTiming records one query's execution on both systems.
+type QueryTiming struct {
+	Name      string
+	FastTime  time.Duration // dashDB
+	SlowTime  time.Duration // baseline
+	FastRows  int
+	SlowRows  int
+	RowsAgree bool
+}
+
+// Speedup is SlowTime/FastTime for this query.
+func (q QueryTiming) Speedup() float64 {
+	if q.FastTime <= 0 {
+		return 0
+	}
+	return float64(q.SlowTime) / float64(q.FastTime)
+}
+
+// SerialReport summarizes a serial query comparison (Tests 1 and 3, and
+// figure F-C's column-vs-row comparison).
+type SerialReport struct {
+	Fast, Slow string // engine names
+	Timings    []QueryTiming
+}
+
+// AvgSpeedup returns the mean per-query speedup (the paper's "average
+// query speedup" metric).
+func (r SerialReport) AvgSpeedup() float64 {
+	if len(r.Timings) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, t := range r.Timings {
+		sum += t.Speedup()
+	}
+	return sum / float64(len(r.Timings))
+}
+
+// MedianSpeedup returns the median per-query speedup.
+func (r SerialReport) MedianSpeedup() float64 {
+	if len(r.Timings) == 0 {
+		return 0
+	}
+	s := make([]float64, len(r.Timings))
+	for i, t := range r.Timings {
+		s[i] = t.Speedup()
+	}
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// ResultsAgree reports whether every query returned the same row count on
+// both systems (the correctness cross-check).
+func (r SerialReport) ResultsAgree() bool {
+	for _, t := range r.Timings {
+		if !t.RowsAgree {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report.
+func (r SerialReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serial comparison: %s vs %s over %d queries\n", r.Fast, r.Slow, len(r.Timings))
+	fmt.Fprintf(&b, "  avg speedup:    %.1fx\n", r.AvgSpeedup())
+	fmt.Fprintf(&b, "  median speedup: %.1fx\n", r.MedianSpeedup())
+	fmt.Fprintf(&b, "  results agree:  %v\n", r.ResultsAgree())
+	return b.String()
+}
+
+// RunSerial executes the query set once on each engine, timing every
+// query individually. Queries run warm (one untimed warm-up execution per
+// engine) so the comparison reflects steady-state processing, matching
+// the paper's measurement of long-running analytics.
+func RunSerial(fast, slow Engine, queries []workload.QuerySpec) (SerialReport, error) {
+	rep := SerialReport{Fast: fast.Name(), Slow: slow.Name()}
+	for i := range queries {
+		q := &queries[i]
+		// Warm-up, untimed.
+		if _, err := fast.Query(q); err != nil {
+			return rep, fmt.Errorf("bench: %s warm-up %s: %w", fast.Name(), q.Name, err)
+		}
+		if _, err := slow.Query(q); err != nil {
+			return rep, fmt.Errorf("bench: %s warm-up %s: %w", slow.Name(), q.Name, err)
+		}
+		t0 := time.Now()
+		fr, err := fast.Query(q)
+		if err != nil {
+			return rep, err
+		}
+		ft := time.Since(t0)
+		t1 := time.Now()
+		sr, err := slow.Query(q)
+		if err != nil {
+			return rep, err
+		}
+		st := time.Since(t1)
+		rep.Timings = append(rep.Timings, QueryTiming{
+			Name: q.Name, FastTime: ft, SlowTime: st,
+			FastRows: fr, SlowRows: sr, RowsAgree: fr == sr,
+		})
+	}
+	return rep, nil
+}
+
+// ConcurrentReport summarizes a multi-stream whole-workload run (Test 2).
+type ConcurrentReport struct {
+	Fast, Slow         string
+	Streams            int
+	Statements         int
+	FastTime, SlowTime time.Duration
+}
+
+// Improvement is SlowTime/FastTime ("2.1x execution time improvement").
+func (r ConcurrentReport) Improvement() float64 {
+	if r.FastTime <= 0 {
+		return 0
+	}
+	return float64(r.SlowTime) / float64(r.FastTime)
+}
+
+// String renders the report.
+func (r ConcurrentReport) String() string {
+	return fmt.Sprintf(
+		"Concurrent workload: %d statements over %d streams\n  %-14s %8.1fms\n  %-14s %8.1fms\n  improvement:   %.1fx\n",
+		r.Statements, r.Streams,
+		r.Fast+":", float64(r.FastTime.Microseconds())/1000,
+		r.Slow+":", float64(r.SlowTime.Microseconds())/1000,
+		r.Improvement())
+}
+
+// runStreams executes the statements partitioned over n concurrent
+// streams and returns the whole-workload wall time.
+func runStreams(e Engine, stmts []workload.Statement, streams int) (time.Duration, error) {
+	if streams < 1 {
+		streams = 1
+	}
+	buckets := make([][]*workload.Statement, streams)
+	for i := range stmts {
+		buckets[i%streams] = append(buckets[i%streams], &stmts[i])
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, streams)
+	start := time.Now()
+	for si, bucket := range buckets {
+		wg.Add(1)
+		go func(si int, bucket []*workload.Statement) {
+			defer wg.Done()
+			for _, st := range bucket {
+				if _, err := e.Execute(st); err != nil {
+					errs[si] = fmt.Errorf("bench: stream %d: %s: %w", si, st.SQL(), err)
+					return
+				}
+			}
+		}(si, bucket)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start), nil
+}
+
+// RunConcurrent measures the whole mixed workload end-to-end on both
+// engines under the given stream concurrency (Test 2: "executing the
+// workload exactly how they are executed in customer environments").
+// Each engine gets its own statement copy so scratch-table DDL does not
+// interfere.
+func RunConcurrent(fast, slow Engine, gen func() []workload.Statement, streams int) (ConcurrentReport, error) {
+	rep := ConcurrentReport{Fast: fast.Name(), Slow: slow.Name(), Streams: streams}
+	fastStmts := gen()
+	rep.Statements = len(fastStmts)
+	ft, err := runStreams(fast, fastStmts, streams)
+	if err != nil {
+		return rep, err
+	}
+	st, err := runStreams(slow, gen(), streams)
+	if err != nil {
+		return rep, err
+	}
+	rep.FastTime, rep.SlowTime = ft, st
+	return rep, nil
+}
+
+// ThroughputReport summarizes a QpH comparison (Test 4).
+type ThroughputReport struct {
+	Fast, Slow       string
+	Streams          int
+	FastQpH, SlowQpH float64
+	FastRan, SlowRan int
+}
+
+// Advantage is FastQpH/SlowQpH ("3.2x throughput advantage").
+func (r ThroughputReport) Advantage() float64 {
+	if r.SlowQpH <= 0 {
+		return 0
+	}
+	return r.FastQpH / r.SlowQpH
+}
+
+// String renders the report.
+func (r ThroughputReport) String() string {
+	return fmt.Sprintf(
+		"Throughput (%d streams)\n  %-14s %10.0f QpH (%d queries)\n  %-14s %10.0f QpH (%d queries)\n  advantage:     %.1fx\n",
+		r.Streams,
+		r.Fast+":", r.FastQpH, r.FastRan,
+		r.Slow+":", r.SlowQpH, r.SlowRan,
+		r.Advantage())
+}
+
+// measureQpH runs the per-stream query sets round-robin for rounds
+// iterations and converts the wall time into queries per hour.
+func measureQpH(e Engine, streams [][]workload.QuerySpec, rounds int) (float64, int, error) {
+	var wg sync.WaitGroup
+	errs := make([]error, len(streams))
+	counts := make([]int, len(streams))
+	start := time.Now()
+	for si, qs := range streams {
+		wg.Add(1)
+		go func(si int, qs []workload.QuerySpec) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := range qs {
+					if _, err := e.Query(&qs[i]); err != nil {
+						errs[si] = err
+						return
+					}
+					counts[si]++
+				}
+			}
+		}(si, qs)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	qph := float64(total) / elapsed.Hours()
+	return qph, total, nil
+}
+
+// RunThroughput compares QpH on both engines under the 5-stream BD
+// Insight workload shape.
+func RunThroughput(fast, slow Engine, streams [][]workload.QuerySpec, rounds int) (ThroughputReport, error) {
+	rep := ThroughputReport{Fast: fast.Name(), Slow: slow.Name(), Streams: len(streams)}
+	var err error
+	rep.FastQpH, rep.FastRan, err = measureQpH(fast, streams, rounds)
+	if err != nil {
+		return rep, err
+	}
+	rep.SlowQpH, rep.SlowRan, err = measureQpH(slow, streams, rounds)
+	if err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,324 @@
+// Package bufferpool implements the in-memory caching layer of the engine
+// (paper §II.B.5). Big-data scan workloads defeat LRU: by the time a scan
+// reaches the end of a table, the pages from the top of the scan — the
+// ones the next scan needs first — have already been evicted. dashDB's
+// answer ([13], US patent 9,037,803) is a probabilistic replacement policy
+// based on randomized page weights that keeps a notion of access frequency
+// but is insensitive to a page's position in the table.
+//
+// This package provides that policy plus LRU and CLOCK baselines behind a
+// common interface, a byte-budgeted Pool with hit/miss instrumentation,
+// and an offline Belady-optimal replayer used to report "within a few
+// percentiles of optimal" (experiment F-E).
+package bufferpool
+
+import (
+	"math/rand"
+
+	"dashdb/internal/page"
+)
+
+// Policy chooses eviction victims. Implementations are not safe for
+// concurrent use; the Pool serializes calls.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Admit registers a newly cached page.
+	Admit(id page.ID)
+	// Access records a cache hit.
+	Access(id page.ID)
+	// Victim selects and removes the next page to evict. It panics if
+	// the policy tracks no pages (the Pool never lets that happen).
+	Victim() page.ID
+	// Forget removes a page without counting it as an eviction decision
+	// (invalidation on DROP/TRUNCATE).
+	Forget(id page.ID)
+	// Len returns how many pages the policy tracks.
+	Len() int
+}
+
+// --- LRU baseline ---------------------------------------------------------
+
+type lruNode struct {
+	id         page.ID
+	prev, next *lruNode
+}
+
+// LRU is the classic least-recently-used policy; the strawman the paper's
+// probabilistic policy replaces.
+type LRU struct {
+	nodes      map[page.ID]*lruNode
+	head, tail *lruNode // head = most recent
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU { return &LRU{nodes: make(map[page.ID]*lruNode)} }
+
+// Name implements Policy.
+func (l *LRU) Name() string { return "LRU" }
+
+// Len implements Policy.
+func (l *LRU) Len() int { return len(l.nodes) }
+
+// Admit implements Policy.
+func (l *LRU) Admit(id page.ID) {
+	n := &lruNode{id: id}
+	l.nodes[id] = n
+	l.pushFront(n)
+}
+
+// Access implements Policy.
+func (l *LRU) Access(id page.ID) {
+	n, ok := l.nodes[id]
+	if !ok {
+		return
+	}
+	l.unlink(n)
+	l.pushFront(n)
+}
+
+// Victim implements Policy.
+func (l *LRU) Victim() page.ID {
+	n := l.tail
+	if n == nil {
+		panic("bufferpool: Victim on empty LRU")
+	}
+	l.unlink(n)
+	delete(l.nodes, n.id)
+	return n.id
+}
+
+// Forget implements Policy.
+func (l *LRU) Forget(id page.ID) {
+	if n, ok := l.nodes[id]; ok {
+		l.unlink(n)
+		delete(l.nodes, id)
+	}
+}
+
+func (l *LRU) pushFront(n *lruNode) {
+	n.prev, n.next = nil, l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *LRU) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// --- CLOCK baseline -------------------------------------------------------
+
+// Clock is the second-chance approximation of LRU.
+type Clock struct {
+	ids  []page.ID
+	ref  map[page.ID]bool
+	pos  map[page.ID]int
+	hand int
+}
+
+// NewClock returns an empty CLOCK policy.
+func NewClock() *Clock {
+	return &Clock{ref: make(map[page.ID]bool), pos: make(map[page.ID]int)}
+}
+
+// Name implements Policy.
+func (c *Clock) Name() string { return "CLOCK" }
+
+// Len implements Policy.
+func (c *Clock) Len() int { return len(c.ids) }
+
+// Admit implements Policy.
+func (c *Clock) Admit(id page.ID) {
+	c.pos[id] = len(c.ids)
+	c.ids = append(c.ids, id)
+	c.ref[id] = true
+}
+
+// Access implements Policy.
+func (c *Clock) Access(id page.ID) {
+	if _, ok := c.pos[id]; ok {
+		c.ref[id] = true
+	}
+}
+
+// Victim implements Policy.
+func (c *Clock) Victim() page.ID {
+	if len(c.ids) == 0 {
+		panic("bufferpool: Victim on empty CLOCK")
+	}
+	for {
+		if c.hand >= len(c.ids) {
+			c.hand = 0
+		}
+		id := c.ids[c.hand]
+		if c.ref[id] {
+			c.ref[id] = false
+			c.hand++
+			continue
+		}
+		c.removeAt(c.hand)
+		return id
+	}
+}
+
+// Forget implements Policy.
+func (c *Clock) Forget(id page.ID) {
+	if i, ok := c.pos[id]; ok {
+		c.removeAt(i)
+	}
+}
+
+func (c *Clock) removeAt(i int) {
+	id := c.ids[i]
+	last := len(c.ids) - 1
+	c.ids[i] = c.ids[last]
+	c.pos[c.ids[i]] = i
+	c.ids = c.ids[:last]
+	delete(c.pos, id)
+	delete(c.ref, id)
+	if c.hand > last {
+		c.hand = 0
+	}
+}
+
+// --- Probabilistic randomized-weight policy (the paper's) ------------------
+
+// probSample is how many random frames a victim search inspects. A small
+// sample keeps eviction O(1) while converging on frequency ordering.
+const probSample = 8
+
+// Probabilistic implements the randomized page-weight replacement of
+// paper reference [13]. Every cached page carries a small logarithmic
+// access-frequency weight; the victim is the lowest-weight page among a
+// random sample. Random sampling makes the policy insensitive to table
+// position — the failure mode that breaks LRU under cyclic scans — while
+// the frequency weight keeps hot pages of hot columns resident.
+type Probabilistic struct {
+	ids    []page.ID
+	pos    map[page.ID]int
+	weight map[page.ID]uint8
+	rng    *rand.Rand
+	ticks  int
+	// probation holds pages admitted but never re-accessed, in admission
+	// order; they are the preferred victims (scan-resistance).
+	probation []page.ID
+}
+
+// NewProbabilistic returns the policy seeded deterministically so tests
+// and experiments are reproducible.
+func NewProbabilistic(seed int64) *Probabilistic {
+	return &Probabilistic{
+		pos:    make(map[page.ID]int),
+		weight: make(map[page.ID]uint8),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements Policy.
+func (p *Probabilistic) Name() string { return "PROB" }
+
+// Len implements Policy.
+func (p *Probabilistic) Len() int { return len(p.ids) }
+
+// Admit implements Policy. New pages enter on probation (weight 0):
+// under a big scan, the page just faulted in is exactly the one a
+// scan-resistant policy should sacrifice next, so the established hot set
+// stays pinned. A page earns weight only by being re-accessed.
+func (p *Probabilistic) Admit(id page.ID) {
+	p.pos[id] = len(p.ids)
+	p.ids = append(p.ids, id)
+	p.weight[id] = 0
+	p.probation = append(p.probation, id)
+}
+
+// Access implements Policy. The weight is a capped logarithmic counter:
+// promotion gets harder as a page gets hotter, so a single burst cannot
+// permanently pin a page. Periodic decay ages the whole pool.
+func (p *Probabilistic) Access(id page.ID) {
+	w, ok := p.weight[id]
+	if !ok {
+		return
+	}
+	if w == 0 {
+		p.weight[id] = 1
+	} else if w < 15 && p.rng.Intn(1<<w) == 0 {
+		p.weight[id] = w + 1
+	}
+	p.ticks++
+	if p.ticks >= 4*len(p.ids) && len(p.ids) > 0 {
+		p.ticks = 0
+		for k, w := range p.weight {
+			if w > 1 {
+				p.weight[k] = w - 1
+			}
+		}
+	}
+}
+
+// Victim implements Policy: a RANDOM page still on probation when one
+// exists — randomization (the patent's "randomized page weights") is what
+// makes the policy insensitive to table position: a random subset of each
+// scan survives a full cycle, earns a weight on its next hit and becomes
+// protected, so the pool converges on a stable resident set instead of
+// LRU/FIFO's total churn. With no probationary pages the victim is the
+// minimum-weight page among a random sample.
+func (p *Probabilistic) Victim() page.ID {
+	n := len(p.ids)
+	if n == 0 {
+		panic("bufferpool: Victim on empty Probabilistic")
+	}
+	for len(p.probation) > 0 {
+		j := p.rng.Intn(len(p.probation))
+		id := p.probation[j]
+		last := len(p.probation) - 1
+		p.probation[j] = p.probation[last]
+		p.probation = p.probation[:last]
+		if i, ok := p.pos[id]; ok && p.weight[id] == 0 {
+			p.removeAt(i)
+			return id
+		}
+	}
+	bestIdx := p.rng.Intn(n)
+	bestW := p.weight[p.ids[bestIdx]]
+	for s := 1; s < probSample && s < n; s++ {
+		i := p.rng.Intn(n)
+		if w := p.weight[p.ids[i]]; w < bestW {
+			bestIdx, bestW = i, w
+		}
+	}
+	id := p.ids[bestIdx]
+	p.removeAt(bestIdx)
+	return id
+}
+
+// Forget implements Policy.
+func (p *Probabilistic) Forget(id page.ID) {
+	if i, ok := p.pos[id]; ok {
+		p.removeAt(i)
+	}
+}
+
+func (p *Probabilistic) removeAt(i int) {
+	id := p.ids[i]
+	last := len(p.ids) - 1
+	p.ids[i] = p.ids[last]
+	p.pos[p.ids[i]] = i
+	p.ids = p.ids[:last]
+	delete(p.pos, id)
+	delete(p.weight, id)
+}

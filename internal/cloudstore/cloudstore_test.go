@@ -1,0 +1,132 @@
+package cloudstore
+
+import (
+	"testing"
+
+	"dashdb/internal/core"
+	"dashdb/internal/encoding"
+	"dashdb/internal/types"
+	"dashdb/internal/workload"
+)
+
+func loadedStore(t *testing.T) *Store {
+	t.Helper()
+	s := New("cloud-dw", 8<<20)
+	gen := workload.NewBDInsight(5000, 3)
+	for _, def := range gen.Tables() {
+		if err := s.CreateTable(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Load("product", gen.Products()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load("orders", gen.Orders()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestQueryMatchesDashDB(t *testing.T) {
+	// The cloud store must be slower, never wrong: cross-check against
+	// the dashDB engine on the same data and queries.
+	s := loadedStore(t)
+	db := core.Open(core.Config{BufferPoolBytes: 16 << 20})
+	gen := workload.NewBDInsight(5000, 3)
+	for _, def := range gen.Tables() {
+		if _, err := db.CreateTable(def.Name, def.Schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, _ := db.Table("product")
+	p.InsertBatch(gen.Products())
+	o, _ := db.Table("orders")
+	o.InsertBatch(gen.Orders())
+	sess := db.NewSession()
+	for _, q := range gen.StreamQueries(0) {
+		cloudRows, err := s.Query(&q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		dashRes, err := sess.Exec(q.SQL())
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		if len(cloudRows) != len(dashRes.Rows) {
+			t.Fatalf("%s: cloud %d rows, dashdb %d rows", q.Name, len(cloudRows), len(dashRes.Rows))
+		}
+	}
+}
+
+func TestNoSkippingInNaiveScan(t *testing.T) {
+	s := loadedStore(t)
+	tbl, err := s.table("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.ResetStats()
+	// A highly selective date predicate: the naive scan must visit every
+	// stride (the defining ablation).
+	_, err = s.Query(&workload.QuerySpec{
+		Table: "orders",
+		Preds: []workload.Pred{{Col: "o_id", Op: encoding.OpLT, Val: types.NewInt(10)}},
+		Aggs:  []workload.Agg{{Func: "COUNT"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tbl.Stats()
+	if st.StridesSkipped != 0 {
+		t.Fatalf("cloud store must not skip strides: %+v", st)
+	}
+	if st.StridesVisited == 0 {
+		t.Fatal("no strides visited")
+	}
+}
+
+func TestDML(t *testing.T) {
+	s := loadedStore(t)
+	n, err := s.Execute(&workload.Statement{
+		Kind:  workload.KindUpdate,
+		Table: "orders",
+		Preds: []workload.Pred{{Col: "o_id", Op: encoding.OpLT, Val: types.NewInt(10)}},
+		Set:   map[string]types.Value{"o_units": types.NewInt(0)},
+	})
+	if err != nil || n != 10 {
+		t.Fatalf("update %d %v", n, err)
+	}
+	n, err = s.Execute(&workload.Statement{
+		Kind:  workload.KindDelete,
+		Table: "orders",
+		Preds: []workload.Pred{{Col: "o_id", Op: encoding.OpLT, Val: types.NewInt(5)}},
+	})
+	if err != nil || n != 5 {
+		t.Fatalf("delete %d %v", n, err)
+	}
+	def := &workload.TableDef{Name: "tmp", Schema: types.Schema{{Name: "k", Kind: types.KindInt}}}
+	if _, err := s.Execute(&workload.Statement{Kind: workload.KindCreate, Def: def}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(&workload.Statement{Kind: workload.KindDrop, Table: "tmp"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s := New("x", 0)
+	if _, err := s.Query(&workload.QuerySpec{Table: "ghost"}); err == nil {
+		t.Fatal("missing table")
+	}
+	if err := s.Load("ghost", nil); err != nil {
+		// expected
+	} else {
+		t.Fatal("load into missing table must fail")
+	}
+	def := workload.TableDef{Name: "t", Schema: types.Schema{{Name: "k", Kind: types.KindInt}}}
+	if err := s.CreateTable(def); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateTable(def); err == nil {
+		t.Fatal("duplicate")
+	}
+}

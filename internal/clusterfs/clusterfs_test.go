@@ -1,0 +1,100 @@
+package clusterfs
+
+import (
+	"testing"
+
+	"dashdb/internal/page"
+)
+
+func TestFileOperations(t *testing.T) {
+	fs := New()
+	fs.WriteFile("a/b/c", []byte("hello"))
+	data, err := fs.ReadFile("a/b/c")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("%q %v", data, err)
+	}
+	if _, err := fs.ReadFile("missing"); err == nil {
+		t.Fatal("missing file must error")
+	}
+	// Write isolation: mutating the caller's slice must not affect the FS.
+	buf := []byte("mutable")
+	fs.WriteFile("x", buf)
+	buf[0] = 'X'
+	data, _ = fs.ReadFile("x")
+	if string(data) != "mutable" {
+		t.Fatal("file aliased caller's buffer")
+	}
+	fs.Remove("x")
+	if _, err := fs.ReadFile("x"); err == nil {
+		t.Fatal("removed file readable")
+	}
+	fs.Remove("x") // idempotent
+}
+
+func TestListAndRemovePrefix(t *testing.T) {
+	fs := New()
+	fs.WriteFile("shards/0001/p1", []byte("1"))
+	fs.WriteFile("shards/0001/p2", []byte("2"))
+	fs.WriteFile("shards/0002/p1", []byte("3"))
+	if got := fs.List("shards/0001/"); len(got) != 2 || got[0] != "shards/0001/p1" {
+		t.Fatalf("list %v", got)
+	}
+	fs.RemovePrefix("shards/0001/")
+	if got := fs.List("shards/"); len(got) != 1 {
+		t.Fatalf("after remove %v", got)
+	}
+	if fs.TotalBytes() != 1 {
+		t.Fatalf("bytes %d", fs.TotalBytes())
+	}
+}
+
+func TestStats(t *testing.T) {
+	fs := New()
+	fs.WriteFile("f", make([]byte, 100))
+	fs.ReadFile("f")
+	fs.ReadFile("f")
+	st := fs.Stats()
+	if st.Writes != 1 || st.Reads != 2 || st.BytesWritten != 100 || st.BytesRead != 200 {
+		t.Fatalf("%+v", st)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	fs := New()
+	fs.WriteFile("f", []byte("v1"))
+	snap := fs.Snapshot()
+	fs.WriteFile("f", []byte("v2"))
+	data, _ := snap.ReadFile("f")
+	if string(data) != "v1" {
+		t.Fatal("snapshot not isolated")
+	}
+}
+
+func TestShardStore(t *testing.T) {
+	fs := New()
+	s0 := fs.ShardStore(0)
+	s1 := fs.ShardStore(1)
+	id := page.ID{Table: 7, Column: 2, Stride: 3}
+	if err := s0.WritePage(id, []byte("shard0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.WritePage(id, []byte("shard1")); err != nil {
+		t.Fatal(err)
+	}
+	// Same page ID in different shards must not collide (private
+	// file-sets, §II.E).
+	d0, _ := s0.ReadPage(id)
+	d1, _ := s1.ReadPage(id)
+	if string(d0) != "shard0" || string(d1) != "shard1" {
+		t.Fatalf("cross-shard collision: %q %q", d0, d1)
+	}
+	if err := s0.DeletePages(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s0.ReadPage(id); err == nil {
+		t.Fatal("deleted page readable")
+	}
+	if _, err := s1.ReadPage(id); err != nil {
+		t.Fatal("delete leaked across shards")
+	}
+}

@@ -1,0 +1,437 @@
+package columnar
+
+import (
+	"fmt"
+
+	"dashdb/internal/bitpack"
+	"dashdb/internal/encoding"
+	"dashdb/internal/page"
+	"dashdb/internal/synopsis"
+	"dashdb/internal/types"
+)
+
+// Pred is one conjunct of a scan predicate: column OP constant.
+type Pred struct {
+	Col int
+	Op  encoding.CmpOp
+	Val types.Value
+}
+
+// Batch is one stride's worth of selected tuples handed to the scan
+// callback. A batch is only valid during the callback; it references
+// table-internal state guarded by the scan's read lock.
+type Batch struct {
+	t      *Table
+	stride int   // stride index; -1 for the open stride
+	base   int   // global row id of stride start
+	sel    []int // selected offsets within the stride, ascending
+	pages  map[int]*page.Page
+}
+
+// Len returns the number of selected tuples.
+func (b *Batch) Len() int { return len(b.sel) }
+
+// RowID returns the global row id of the i'th selected tuple.
+func (b *Batch) RowID(i int) int64 { return int64(b.base + b.sel[i]) }
+
+// Value returns column ci of the i'th selected tuple, decoding lazily.
+func (b *Batch) Value(ci, i int) types.Value {
+	off := b.sel[i]
+	c := b.t.cols[ci]
+	if b.stride < 0 {
+		return c.openVals[off]
+	}
+	pg, ok := b.pages[ci]
+	if !ok {
+		var err error
+		pg, err = b.t.loadPage(ci, b.stride)
+		if err != nil {
+			panic(fmt.Sprintf("columnar: batch page load %v: %v", b.t.pageID(ci, b.stride), err))
+		}
+		b.pages[ci] = pg
+	}
+	if pg.Nulls.Get(off) {
+		return types.NullOf(b.t.schema[ci].Kind)
+	}
+	return c.enc.Decode(pg.Codes.Get(off))
+}
+
+// Column materializes column ci for all selected tuples.
+func (b *Batch) Column(ci int) []types.Value {
+	out := make([]types.Value, len(b.sel))
+	for i := range b.sel {
+		out[i] = b.Value(ci, i)
+	}
+	return out
+}
+
+// Row materializes the full i'th selected tuple.
+func (b *Batch) Row(i int) types.Row {
+	row := make(types.Row, len(b.t.schema))
+	for ci := range b.t.schema {
+		row[ci] = b.Value(ci, i)
+	}
+	return row
+}
+
+// Scan streams batches of tuples satisfying the conjunction of preds to
+// fn, in row-id order, applying data skipping and SWAR evaluation over
+// compressed codes. fn returning false stops the scan. The callback must
+// not mutate the table (the scan holds a read lock) and must not retain
+// the batch. Storage failures during lazy batch materialization are
+// converted into a returned error.
+func (t *Table) Scan(preds []Pred, fn func(b *Batch) bool) (err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	defer recoverScanPanic(&err)
+	return t.scanLocked(preds, fn)
+}
+
+// recoverScanPanic converts page-load panics raised inside batch
+// materialization into scan errors, so storage faults surface cleanly.
+func recoverScanPanic(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("columnar: scan aborted: %v", r)
+	}
+}
+
+func (t *Table) scanLocked(preds []Pred, fn func(b *Batch) bool) error {
+	if t.rows == 0 {
+		return nil
+	}
+	t.ensureEncodersLocked()
+	for _, p := range preds {
+		if p.Col < 0 || p.Col >= len(t.cols) {
+			return fmt.Errorf("columnar: predicate on column %d of %d-column table %s", p.Col, len(t.cols), t.name)
+		}
+	}
+	// Translate every predicate to code space once.
+	translated := make([]encoding.Predicate, len(preds))
+	for i, p := range preds {
+		translated[i] = t.cols[p.Col].enc.Translate(p.Op, p.Val)
+		if translated[i].None {
+			return nil // a false conjunct kills the whole scan
+		}
+	}
+
+	sealed := t.sealedStrides()
+	for s := 0; s < sealed; s++ {
+		// Data skipping: every conjunct must be satisfiable in this
+		// stride's code span.
+		skip := false
+		for i, p := range preds {
+			if !synopsis.MayMatch(translated[i], t.cols[p.Col].syn.Entry(s)) {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			t.stats.stridesSkipped.Add(1)
+			continue
+		}
+		t.stats.stridesVisited.Add(1)
+		b, err := t.evalSealedStride(s, preds, translated)
+		if err != nil {
+			return err
+		}
+		if b.Len() > 0 && !fn(b) {
+			return nil
+		}
+	}
+	// Open stride: value-space evaluation over the unpacked buffers.
+	if n := t.openLen(); n > 0 {
+		t.stats.stridesVisited.Add(1)
+		b := t.evalOpenStride(preds)
+		if b.Len() > 0 && !fn(b) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// evalSealedStride evaluates the conjunction over one sealed stride using
+// the SWAR kernels, returning the selected offsets.
+func (t *Table) evalSealedStride(s int, preds []Pred, translated []encoding.Predicate) (*Batch, error) {
+	base := s * page.StrideSize
+	var sel *bitpack.Bitmap
+	pages := make(map[int]*page.Page, len(preds))
+
+	for i, p := range preds {
+		pg, ok := pages[p.Col]
+		if !ok {
+			var err error
+			pg, err = t.loadPage(p.Col, s)
+			if err != nil {
+				return nil, err
+			}
+			pages[p.Col] = pg
+			t.stats.pagesRead.Add(1)
+		}
+		match := bitpack.NewBitmap(pg.Rows())
+		applyPredicate(pg, t.cols[p.Col].enc, translated[i], preds[i], match)
+		// Comparison predicates never match NULL.
+		match.AndNot(pg.Nulls)
+		if sel == nil {
+			sel = match
+		} else {
+			sel.And(match)
+		}
+		if !sel.Any() {
+			return &Batch{t: t, stride: s, base: base, pages: pages}, nil
+		}
+	}
+	rows := page.StrideSize
+	if len(preds) == 0 {
+		sel = bitpack.NewBitmapFull(rows)
+	} else {
+		rows = sel.Len()
+	}
+	t.stats.rowsScanned.Add(uint64(rows))
+	// Mask tombstones.
+	selIdx := make([]int, 0, sel.Count())
+	sel.ForEach(func(off int) {
+		if !t.deleted.Get(base + off) {
+			selIdx = append(selIdx, off)
+		}
+	})
+	return &Batch{t: t, stride: s, base: base, sel: selIdx, pages: pages}, nil
+}
+
+// applyPredicate ORs matching positions into match: SWAR range kernels for
+// exact ranges, decode-and-recheck for residual ranges.
+func applyPredicate(pg *page.Page, enc encoding.Encoder, tp encoding.Predicate, p Pred, match *bitpack.Bitmap) {
+	if tp.All {
+		full := bitpack.NewBitmapFull(pg.Rows())
+		match.Or(full)
+		return
+	}
+	maxCode := uint64(1)<<pg.Codes.Width() - 1
+	for _, r := range tp.Ranges {
+		lo, hi := r.Lo, r.Hi
+		if lo > maxCode {
+			continue // this stride's narrow width cannot hold such codes
+		}
+		if hi > maxCode {
+			hi = maxCode
+		}
+		pg.Codes.CompareRange(lo, hi, match)
+	}
+	for _, r := range tp.Residual {
+		lo, hi := r.Lo, r.Hi
+		if lo > maxCode {
+			continue
+		}
+		if hi > maxCode {
+			hi = maxCode
+		}
+		cand := bitpack.NewBitmap(pg.Rows())
+		pg.Codes.CompareRange(lo, hi, cand)
+		cand.ForEach(func(off int) {
+			if !pg.Nulls.Get(off) && p.Op.Eval(enc.Decode(pg.Codes.Get(off)), p.Val) {
+				match.Set(off)
+			}
+		})
+	}
+}
+
+// evalOpenStride evaluates predicates over the open stride's buffered
+// values in value space.
+func (t *Table) evalOpenStride(preds []Pred) *Batch {
+	n := t.openLen()
+	base := t.sealedStrides() * page.StrideSize
+	sel := make([]int, 0, n)
+	for off := 0; off < n; off++ {
+		if t.deleted.Get(base + off) {
+			continue
+		}
+		ok := true
+		for _, p := range preds {
+			c := t.cols[p.Col]
+			if c.openNulls[off] || !p.Op.Eval(c.openVals[off], p.Val) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			sel = append(sel, off)
+		}
+	}
+	t.stats.rowsScanned.Add(uint64(n))
+	return &Batch{t: t, stride: -1, base: base, sel: sel}
+}
+
+// ScanNaive is the decode-then-evaluate ablation (DESIGN.md §6): it
+// visits every stride (no data skipping), decodes every code back to a
+// value and compares in value space (no SWAR, no operating on compressed
+// data). The cloud column-store baseline of Test 4 runs its scans through
+// this path; benchmarking it against Scan isolates exactly the techniques
+// of §II.B.2/4/6.
+func (t *Table) ScanNaive(preds []Pred, fn func(b *Batch) bool) (err error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	defer recoverScanPanic(&err)
+	if t.rows == 0 {
+		return nil
+	}
+	t.ensureEncodersLocked()
+	for _, p := range preds {
+		if p.Col < 0 || p.Col >= len(t.cols) {
+			return fmt.Errorf("columnar: predicate on column %d of %d-column table %s", p.Col, len(t.cols), t.name)
+		}
+	}
+	sealed := t.sealedStrides()
+	for s := 0; s < sealed; s++ {
+		t.stats.stridesVisited.Add(1)
+		base := s * page.StrideSize
+		pages := make(map[int]*page.Page, len(preds))
+		sel := make([]int, 0, page.StrideSize)
+		for off := 0; off < page.StrideSize; off++ {
+			if t.deleted.Get(base + off) {
+				continue
+			}
+			ok := true
+			for _, p := range preds {
+				pg, have := pages[p.Col]
+				if !have {
+					var err error
+					pg, err = t.loadPage(p.Col, s)
+					if err != nil {
+						return err
+					}
+					pages[p.Col] = pg
+					t.stats.pagesRead.Add(1)
+				}
+				if pg.Nulls.Get(off) {
+					ok = false
+					break
+				}
+				v := t.cols[p.Col].enc.Decode(pg.Codes.Get(off))
+				if !p.Op.Eval(v, p.Val) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				sel = append(sel, off)
+			}
+		}
+		t.stats.rowsScanned.Add(page.StrideSize)
+		if len(sel) > 0 {
+			b := &Batch{t: t, stride: s, base: base, sel: sel, pages: pages}
+			if !fn(b) {
+				return nil
+			}
+		}
+	}
+	if n := t.openLen(); n > 0 {
+		t.stats.stridesVisited.Add(1)
+		b := t.evalOpenStride(preds)
+		if b.Len() > 0 && !fn(b) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// CountWhere returns the number of live rows satisfying the conjunction,
+// without materializing values (COUNT(*) fast path).
+func (t *Table) CountWhere(preds []Pred) (int, error) {
+	total := 0
+	err := t.Scan(preds, func(b *Batch) bool {
+		total += b.Len()
+		return true
+	})
+	return total, err
+}
+
+// SelectWhere materializes all matching rows (convenience for small
+// results and tests; the executor streams batches instead).
+func (t *Table) SelectWhere(preds []Pred) ([]types.Row, error) {
+	var out []types.Row
+	err := t.Scan(preds, func(b *Batch) bool {
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, b.Row(i))
+		}
+		return true
+	})
+	return out, err
+}
+
+// DeleteWhere tombstones matching rows, returning how many were deleted.
+func (t *Table) DeleteWhere(preds []Pred) (int, error) {
+	var rids []int64
+	err := t.Scan(preds, func(b *Batch) bool {
+		for i := 0; i < b.Len(); i++ {
+			rids = append(rids, b.RowID(i))
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, rid := range rids {
+		if !t.deleted.Get(int(rid)) {
+			t.deleted.Set(int(rid))
+			t.live--
+		}
+	}
+	return len(rids), nil
+}
+
+// DeleteRows tombstones the given row ids, returning how many were live.
+// The general DML path uses it after evaluating residual predicates the
+// scan could not push down.
+func (t *Table) DeleteRows(rids []int64) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, rid := range rids {
+		if rid < 0 || int(rid) >= t.rows {
+			continue
+		}
+		if !t.deleted.Get(int(rid)) {
+			t.deleted.Set(int(rid))
+			t.live--
+			n++
+		}
+	}
+	return n
+}
+
+// UpdateWhere rewrites matching rows: columnar updates are implemented as
+// delete + re-insert of the modified row, the standard approach for
+// column-organized storage. set maps column ordinals to new values.
+func (t *Table) UpdateWhere(preds []Pred, set map[int]types.Value) (int, error) {
+	var updated []types.Row
+	var rids []int64
+	err := t.Scan(preds, func(b *Batch) bool {
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			for ci, v := range set {
+				row[ci] = v
+			}
+			updated = append(updated, row)
+			rids = append(rids, b.RowID(i))
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	for _, rid := range rids {
+		if !t.deleted.Get(int(rid)) {
+			t.deleted.Set(int(rid))
+			t.live--
+		}
+	}
+	t.mu.Unlock()
+	for _, row := range updated {
+		if err := t.Insert(row); err != nil {
+			return 0, err
+		}
+	}
+	return len(updated), nil
+}

@@ -1,0 +1,289 @@
+// Package core is the single-node dashDB engine: it ties the polyglot SQL
+// front end, the compressed columnar storage, the buffer pool and the
+// workload manager into one embeddable database. The MPP layer runs one
+// core engine per data shard group; the public dashdb package wraps it.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dashdb/internal/bufferpool"
+	"dashdb/internal/catalog"
+	"dashdb/internal/columnar"
+	"dashdb/internal/sql"
+	"dashdb/internal/types"
+	"dashdb/internal/wlm"
+)
+
+// Config sizes the engine. The deploy package's auto-configuration
+// produces one of these from detected hardware (paper §II.A).
+type Config struct {
+	// BufferPoolBytes is the page-cache budget. 0 selects a small default.
+	BufferPoolBytes int
+	// Parallelism is the target query parallelism (informational at the
+	// single-node level; the MPP layer uses it for shard fan-out).
+	Parallelism int
+	// MaxConcurrentQueries gates admission (workload management). 0
+	// disables admission control.
+	MaxConcurrentQueries int
+	// Store overrides the page store (the clustered filesystem provides
+	// one per shard).
+	Store columnar.PageStore
+	// CachePolicy names the buffer pool policy: "PROB" (default), "LRU",
+	// "CLOCK" — the ablation hook for experiment F-E.
+	CachePolicy string
+}
+
+// Procedure is a stored procedure callable via SQL CALL (the Spark
+// integration registers SPARK_SUBMIT and friends, §II.D).
+type Procedure func(s *Session, args []types.Value) (*Result, error)
+
+// DB is one database engine instance.
+type DB struct {
+	cat   *catalog.Catalog
+	pool  *bufferpool.Pool
+	store columnar.PageStore
+	cfg   Config
+	wlm   *wlm.Manager
+
+	mu    sync.RWMutex
+	procs map[string]Procedure
+	udx   *sql.FuncRegistry
+}
+
+// Open creates an engine with the given configuration.
+func Open(cfg Config) *DB {
+	if cfg.BufferPoolBytes <= 0 {
+		cfg.BufferPoolBytes = 64 << 20
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 1
+	}
+	var policy bufferpool.Policy
+	switch strings.ToUpper(cfg.CachePolicy) {
+	case "LRU":
+		policy = bufferpool.NewLRU()
+	case "CLOCK":
+		policy = bufferpool.NewClock()
+	default:
+		policy = bufferpool.NewProbabilistic(1)
+	}
+	store := cfg.Store
+	if store == nil {
+		store = columnar.NewMemStore()
+	}
+	db := &DB{
+		cat:   catalog.New(),
+		pool:  bufferpool.New(cfg.BufferPoolBytes, policy),
+		store: store,
+		cfg:   cfg,
+		wlm:   wlm.New(cfg.MaxConcurrentQueries),
+		procs: make(map[string]Procedure),
+		udx:   sql.NewFuncRegistry(),
+	}
+	db.registerSystemViews()
+	return db
+}
+
+// Catalog exposes the catalog (MPP coordinator and Spark integration).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Pool exposes the buffer pool (experiments and monitoring).
+func (db *DB) Pool() *bufferpool.Pool { return db.pool }
+
+// Config returns the engine configuration.
+func (db *DB) Config() Config { return db.cfg }
+
+// WLM exposes the workload manager.
+func (db *DB) WLM() *wlm.Manager { return db.wlm }
+
+// RegisterFunction installs a user-defined scalar function (UDX,
+// §II.C.4), immediately callable from SQL in every session and dialect.
+func (db *DB) RegisterFunction(name string, minArgs, maxArgs int, fn func(args []types.Value) (types.Value, error)) error {
+	return db.udx.Register(name, minArgs, maxArgs, fn)
+}
+
+// RegisterProcedure installs a stored procedure.
+func (db *DB) RegisterProcedure(name string, p Procedure) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.procs[strings.ToUpper(name)] = p
+}
+
+func (db *DB) procedure(name string) (Procedure, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, ok := db.procs[strings.ToUpper(name)]
+	return p, ok
+}
+
+// CreateTable creates a base table programmatically (library API).
+func (db *DB) CreateTable(name string, schema types.Schema) (*columnar.Table, error) {
+	t := columnar.NewTable(db.cat.NextTableID(), name, schema, columnar.Config{
+		Pool:  db.pool,
+		Store: db.store,
+	})
+	if err := db.cat.CreateTable(t, false); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table resolves a base table.
+func (db *DB) Table(name string) (*columnar.Table, bool) { return db.cat.Table(name) }
+
+// NewSession opens a session with the ANSI dialect.
+func (db *DB) NewSession() *Session {
+	return &Session{
+		db:      db,
+		dialect: sql.DialectANSI,
+		user:    "default",
+	}
+}
+
+// Session is one client connection: it carries the SQL dialect (settable
+// per session, §II.C.2) and the statement clock.
+type Session struct {
+	db      *DB
+	dialect sql.Dialect
+	user    string
+	mu      sync.Mutex
+	params  []types.Value // positional bindings for the current statement
+}
+
+// SetUser names the session user (Spark per-user isolation keys off it).
+func (s *Session) SetUser(u string) { s.user = u }
+
+// User returns the session user.
+func (s *Session) User() string { return s.user }
+
+// Dialect returns the active SQL dialect.
+func (s *Session) Dialect() sql.Dialect { return s.dialect }
+
+// SetDialect switches the session's SQL dialect.
+func (s *Session) SetDialect(d sql.Dialect) { s.dialect = d }
+
+// DB returns the owning engine.
+func (s *Session) DB() *DB { return s.db }
+
+// Result is the outcome of one statement.
+type Result struct {
+	Columns      []string
+	Rows         []types.Row
+	RowsAffected int64
+	Message      string
+}
+
+// Exec parses and executes one statement.
+func (s *Session) Exec(text string) (*Result, error) {
+	st, err := sql.Parse(text, s.dialect)
+	if err != nil {
+		return nil, err
+	}
+	return s.execStmt(st, text)
+}
+
+// ExecParsed executes an already-parsed statement (the MPP coordinator
+// ships rewritten ASTs to shard engines through this entry point).
+func (s *Session) ExecParsed(st sql.Statement) (*Result, error) {
+	return s.execStmt(st, "")
+}
+
+// ExecScript executes a ';'-separated script, returning the last result.
+func (s *Session) ExecScript(text string) (*Result, error) {
+	stmts, err := sql.ParseScript(text, s.dialect)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		last, err = s.execStmt(st, text)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if last == nil {
+		last = &Result{Message: "OK"}
+	}
+	return last, nil
+}
+
+// Query is Exec restricted to row-returning statements.
+func (s *Session) Query(text string) (*Result, error) {
+	r, err := s.Exec(text)
+	if err != nil {
+		return nil, err
+	}
+	if r.Columns == nil {
+		return nil, fmt.Errorf("core: statement returned no result set")
+	}
+	return r, nil
+}
+
+// env builds the evaluation environment for one statement.
+func (s *Session) env() *sql.EvalEnv {
+	return &sql.EvalEnv{Now: time.Now().UTC(), Dialect: s.dialect}
+}
+
+func (s *Session) compiler() *sql.Compiler {
+	c := sql.NewCompiler(s.db.cat, s.dialect, s.env())
+	c.UDX = s.db.udx
+	s.mu.Lock()
+	c.Params = s.params
+	s.mu.Unlock()
+	return c
+}
+
+// ExecParams executes a statement with positional ? parameters bound to
+// args, in order (the prepared-statement surface behind the database/sql
+// driver).
+func (s *Session) ExecParams(text string, args ...types.Value) (*Result, error) {
+	st, err := sql.Parse(text, s.dialect)
+	if err != nil {
+		return nil, err
+	}
+	return s.execStmtParams(st, args)
+}
+
+// Stmt is a prepared statement: parsed once, executable many times with
+// different parameter bindings.
+type Stmt struct {
+	sess *Session
+	st   sql.Statement
+	text string
+}
+
+// Prepare parses a statement for repeated execution.
+func (s *Session) Prepare(text string) (*Stmt, error) {
+	st, err := sql.Parse(text, s.dialect)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{sess: s, st: st, text: text}, nil
+}
+
+// Exec runs the prepared statement with the given parameter bindings.
+func (st *Stmt) Exec(args ...types.Value) (*Result, error) {
+	return st.sess.execStmtParams(st.st, args)
+}
+
+// Text returns the statement's original SQL.
+func (st *Stmt) Text() string { return st.text }
+
+// execStmtParams executes with parameters carried via the session for the
+// duration of the statement.
+func (s *Session) execStmtParams(st sql.Statement, args []types.Value) (*Result, error) {
+	s.mu.Lock()
+	saved := s.params
+	s.params = args
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.params = saved
+		s.mu.Unlock()
+	}()
+	return s.execStmt(st, "")
+}

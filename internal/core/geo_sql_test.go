@@ -1,0 +1,207 @@
+package core
+
+import (
+	"dashdb/internal/types"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestGeospatialSQL exercises the SQL/MM surface of §II.C.5 end to end:
+// location data stored in ordinary columns, ST_* functions in projections
+// and predicates — the Esri/ArcMap scenario of Figure 4.
+func TestGeospatialSQL(t *testing.T) {
+	s := newDB(t).NewSession()
+	mustExec(t, s, `CREATE TABLE stores (id BIGINT NOT NULL, name VARCHAR(32), loc VARCHAR(64))`)
+	mustExec(t, s, `INSERT INTO stores VALUES
+		(1, 'downtown', ST_POINT(1, 1)),
+		(2, 'airport',  ST_POINT(9, 9)),
+		(3, 'harbor',   ST_POINT(2, 0))`)
+
+	// Distance computation and ordering.
+	r := mustExec(t, s, `
+		SELECT name, ST_DISTANCE(loc, ST_POINT(0, 0)) d
+		FROM stores ORDER BY d`)
+	if r.Rows[0][0].Str() != "downtown" || r.Rows[2][0].Str() != "airport" {
+		t.Fatalf("distance order %v", r.Rows)
+	}
+	if math.Abs(r.Rows[0][1].Float()-math.Sqrt2) > 1e-9 {
+		t.Fatalf("distance %v", r.Rows[0][1])
+	}
+
+	// Region containment predicate (stores inside a service polygon).
+	r = mustExec(t, s, `
+		SELECT COUNT(*) FROM stores
+		WHERE ST_CONTAINS('POLYGON ((0 0, 5 0, 5 5, 0 5, 0 0))', loc) = TRUE`)
+	if r.Rows[0][0].Int() != 2 {
+		t.Fatalf("containment count %v", r.Rows[0])
+	}
+
+	// Buffer + within: stores within radius 3 of the harbor.
+	r = mustExec(t, s, `
+		SELECT COUNT(*) FROM stores
+		WHERE ST_WITHIN(loc, ST_BUFFER(ST_POINT(2, 0), 3)) = TRUE`)
+	if r.Rows[0][0].Int() != 2 { // harbor itself + downtown at distance ~1.41
+		t.Fatalf("buffer count %v", r.Rows[0])
+	}
+
+	// Measures and accessors.
+	r = mustExec(t, s, `SELECT
+		ST_AREA('POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))'),
+		ST_LENGTH('LINESTRING (0 0, 3 4)'),
+		ST_X(ST_POINT(7, 8)), ST_Y(ST_POINT(7, 8)),
+		ST_GEOMETRYTYPE('LINESTRING (0 0, 1 1)'),
+		ST_NUMPOINTS('LINESTRING (0 0, 1 1, 2 2)')`)
+	row := r.Rows[0]
+	if row[0].Float() != 16 || row[1].Float() != 5 || row[2].Float() != 7 || row[3].Float() != 8 {
+		t.Fatalf("measures %v", row)
+	}
+	if row[4].Str() != "ST_LINESTRING" || row[5].Int() != 3 {
+		t.Fatalf("accessors %v", row)
+	}
+
+	// Centroid round-trips through WKT.
+	r = mustExec(t, s, `SELECT ST_X(ST_CENTROID('POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))'))`)
+	if math.Abs(r.Rows[0][0].Float()-5) > 1e-9 {
+		t.Fatalf("centroid %v", r.Rows[0])
+	}
+
+	// Invalid WKT surfaces an error.
+	if _, err := s.Exec(`SELECT ST_AREA('TRIANGLE (0 0)')`); err == nil {
+		t.Fatal("invalid WKT must fail")
+	}
+}
+
+// TestJSONSQL exercises the JSON analytics functions (§VI future work).
+func TestJSONSQL(t *testing.T) {
+	s := newDB(t).NewSession()
+	mustExec(t, s, `CREATE TABLE events (id BIGINT NOT NULL, payload VARCHAR(256))`)
+	mustExec(t, s, `INSERT INTO events VALUES
+		(1, '{"user": {"name": "ann"}, "clicks": [1, 2, 3]}'),
+		(2, '{"user": {"name": "bob"}, "clicks": []}')`)
+	r := mustExec(t, s, `
+		SELECT JSON_VALUE(payload, '$.user.name'), JSON_ARRAY_LENGTH(payload, '$.clicks')
+		FROM events ORDER BY id`)
+	if r.Rows[0][0].Str() != "ann" || r.Rows[0][1].Int() != 3 || r.Rows[1][1].Int() != 0 {
+		t.Fatalf("json rows %v", r.Rows)
+	}
+	r = mustExec(t, s, `SELECT COUNT(*) FROM events WHERE JSON_EXISTS(payload, '$.clicks[2]') = TRUE`)
+	if r.Rows[0][0].Int() != 1 {
+		t.Fatalf("json_exists %v", r.Rows[0])
+	}
+	if _, err := s.Exec(`SELECT JSON_VALUE('not json', '$.a')`); err == nil {
+		t.Fatal("invalid JSON must fail")
+	}
+}
+
+// TestSystemCatalogViews queries the SYSCAT nicknames.
+func TestSystemCatalogViews(t *testing.T) {
+	s := newDB(t).NewSession()
+	seedSales(t, s, 100)
+	r := mustExec(t, s, `SELECT table_name, row_count FROM syscat_tables`)
+	if len(r.Rows) != 1 || !strings.EqualFold(r.Rows[0][0].Str(), "sales") || r.Rows[0][1].Int() != 100 {
+		t.Fatalf("syscat_tables %v", r.Rows)
+	}
+	r = mustExec(t, s, `SELECT COUNT(*) FROM syscat_config WHERE value >= 0`)
+	if r.Rows[0][0].Int() < 5 {
+		t.Fatalf("syscat_config %v", r.Rows)
+	}
+	r = mustExec(t, s, `SELECT value FROM syscat_bufferpool WHERE metric = 'capacity_bytes'`)
+	if r.Rows[0][0].Float() <= 0 {
+		t.Fatalf("syscat_bufferpool %v", r.Rows)
+	}
+}
+
+// TestUDXFunctions exercises the user-defined extension framework
+// (§II.C.4): custom scalar functions callable from any dialect.
+func TestUDXFunctions(t *testing.T) {
+	db := newDB(t)
+	err := db.RegisterFunction("FAHRENHEIT", 1, 1, func(args []types.Value) (types.Value, error) {
+		c, ok := args[0].AsFloat()
+		if !ok {
+			return types.Null, nil
+		}
+		return types.NewFloat(c*9/5 + 32), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	r := mustExec(t, s, `SELECT FAHRENHEIT(100)`)
+	if r.Rows[0][0].Float() != 212 {
+		t.Fatalf("udx result %v", r.Rows[0])
+	}
+	// UDX usable inside predicates and over table data.
+	mustExec(t, s, `CREATE TABLE temps (c DOUBLE)`)
+	mustExec(t, s, `INSERT INTO temps VALUES (0), (100), (37)`)
+	r = mustExec(t, s, `SELECT COUNT(*) FROM temps WHERE FAHRENHEIT(c) > 90`)
+	if r.Rows[0][0].Int() != 2 {
+		t.Fatalf("udx predicate %v", r.Rows[0])
+	}
+	// And across dialects.
+	mustExec(t, s, `SET SQL_DIALECT = 'ORACLE'`)
+	r = mustExec(t, s, `SELECT FAHRENHEIT(0) FROM DUAL`)
+	if r.Rows[0][0].Float() != 32 {
+		t.Fatalf("udx under oracle %v", r.Rows[0])
+	}
+	// Collisions rejected.
+	if err := db.RegisterFunction("UPPER", 1, 1, nil); err == nil {
+		t.Fatal("built-in collision must fail")
+	}
+	if err := db.RegisterFunction("fahrenheit", 1, 1, nil); err == nil {
+		t.Fatal("duplicate UDX must fail")
+	}
+}
+
+// TestPreparedStatements exercises positional parameters and Prepare.
+func TestPreparedStatements(t *testing.T) {
+	s := newDB(t).NewSession()
+	seedSales(t, s, 100)
+	r, err := s.ExecParams(`SELECT COUNT(*) FROM sales WHERE id < ? AND region = ?`,
+		types.NewInt(40), types.NewString("north"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Int() != 10 {
+		t.Fatalf("param query %v", r.Rows[0])
+	}
+	st, err := s.Prepare(`SELECT COUNT(*) FROM sales WHERE id < ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int64{10, 50, 100} {
+		r, err := st.Exec(types.NewInt(n))
+		if err != nil || r.Rows[0][0].Int() != n {
+			t.Fatalf("prepared n=%d: %v err %v", n, r, err)
+		}
+	}
+	// Unbound parameter errors.
+	if _, err := s.ExecParams(`SELECT COUNT(*) FROM sales WHERE id < ?`); err == nil {
+		t.Fatal("missing binding must fail")
+	}
+	// Parameters in INSERT.
+	r, err = s.ExecParams(`INSERT INTO sales VALUES (?, ?, ?, ?)`,
+		types.NewInt(9999), types.NewString("north"), types.NewFloat(1), types.Null)
+	if err != nil || r.RowsAffected != 1 {
+		t.Fatalf("param insert %v err %v", r, err)
+	}
+}
+
+// TestIndexesRejectedPerPaper: §II.B.7 — "no indexes other than those
+// enforcing uniqueness are necessary or even allowed".
+func TestIndexesRejectedPerPaper(t *testing.T) {
+	s := newDB(t).NewSession()
+	seedSales(t, s, 10)
+	if _, err := s.Exec(`CREATE INDEX ix1 ON sales (id)`); err == nil {
+		t.Fatal("secondary index must be rejected")
+	} else if !strings.Contains(err.Error(), "uniqueness") {
+		t.Fatalf("rejection should explain the scan-centric design: %v", err)
+	}
+	r := mustExec(t, s, `CREATE UNIQUE INDEX ux1 ON sales (id)`)
+	if !strings.Contains(r.Message, "UNIQUE") {
+		t.Fatalf("unique index message %q", r.Message)
+	}
+	if _, err := s.Exec(`CREATE UNIQUE INDEX ux2 ON ghost (id)`); err == nil {
+		t.Fatal("index on missing table must fail")
+	}
+}

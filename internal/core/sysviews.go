@@ -1,0 +1,113 @@
+package core
+
+import (
+	"dashdb/internal/types"
+)
+
+// System catalog views, in the spirit of the product's web console and
+// DB2's SYSCAT: queryable metadata about tables, storage and the engine
+// configuration. Registered as nicknames at Open so they behave like
+// ordinary relations:
+//
+//	SELECT * FROM SYSCAT_TABLES
+//	SELECT * FROM SYSCAT_CONFIG
+//	SELECT * FROM SYSCAT_BUFFERPOOL
+
+// syscatTables lists base tables with row counts and storage.
+type syscatTables struct{ db *DB }
+
+func (s *syscatTables) Origin() string { return "SYSCAT" }
+
+func (s *syscatTables) Schema() types.Schema {
+	return types.Schema{
+		{Name: "table_name", Kind: types.KindString},
+		{Name: "row_count", Kind: types.KindInt},
+		{Name: "raw_bytes", Kind: types.KindInt},
+		{Name: "compressed_bytes", Kind: types.KindInt},
+		{Name: "compression_ratio", Kind: types.KindFloat},
+	}
+}
+
+func (s *syscatTables) ScanAll() ([]types.Row, error) {
+	var out []types.Row
+	for _, name := range s.db.cat.TableNames() {
+		t, ok := s.db.cat.Table(name)
+		if !ok {
+			continue
+		}
+		c := t.Compression()
+		out = append(out, types.Row{
+			types.NewString(name),
+			types.NewInt(int64(t.Rows())),
+			types.NewInt(int64(c.RawBytes)),
+			types.NewInt(int64(c.CompressedBytes)),
+			types.NewFloat(c.Ratio),
+		})
+	}
+	return out, nil
+}
+
+// syscatConfig exposes the engine's (auto-derived) configuration.
+type syscatConfig struct{ db *DB }
+
+func (s *syscatConfig) Origin() string { return "SYSCAT" }
+
+func (s *syscatConfig) Schema() types.Schema {
+	return types.Schema{
+		{Name: "name", Kind: types.KindString},
+		{Name: "value", Kind: types.KindInt},
+	}
+}
+
+func (s *syscatConfig) ScanAll() ([]types.Row, error) {
+	cfg := s.db.cfg
+	wlmStats := s.db.wlm.Stats()
+	entries := []struct {
+		name string
+		val  int64
+	}{
+		{"buffer_pool_bytes", int64(cfg.BufferPoolBytes)},
+		{"parallelism", int64(cfg.Parallelism)},
+		{"max_concurrent_queries", int64(cfg.MaxConcurrentQueries)},
+		{"wlm_admitted", int64(wlmStats.Admitted)},
+		{"wlm_queued", int64(wlmStats.Queued)},
+		{"wlm_peak_concurrency", wlmStats.Peak},
+	}
+	out := make([]types.Row, len(entries))
+	for i, e := range entries {
+		out[i] = types.Row{types.NewString(e.name), types.NewInt(e.val)}
+	}
+	return out, nil
+}
+
+// syscatBufferPool exposes cache effectiveness counters.
+type syscatBufferPool struct{ db *DB }
+
+func (s *syscatBufferPool) Origin() string { return "SYSCAT" }
+
+func (s *syscatBufferPool) Schema() types.Schema {
+	return types.Schema{
+		{Name: "metric", Kind: types.KindString},
+		{Name: "value", Kind: types.KindFloat},
+	}
+}
+
+func (s *syscatBufferPool) ScanAll() ([]types.Row, error) {
+	st := s.db.pool.Stats()
+	return []types.Row{
+		{types.NewString("hits"), types.NewFloat(float64(st.Hits))},
+		{types.NewString("misses"), types.NewFloat(float64(st.Misses))},
+		{types.NewString("evictions"), types.NewFloat(float64(st.Evictions))},
+		{types.NewString("hit_ratio"), types.NewFloat(st.HitRatio())},
+		{types.NewString("used_bytes"), types.NewFloat(float64(s.db.pool.UsedBytes()))},
+		{types.NewString("capacity_bytes"), types.NewFloat(float64(s.db.pool.Capacity()))},
+	}, nil
+}
+
+// registerSystemViews installs the SYSCAT nicknames; failures are
+// impossible on a fresh catalog and ignored defensively.
+func (db *DB) registerSystemViews() {
+	db.cat.CreateNickname("syscat_tables", &syscatTables{db: db})
+	db.cat.CreateNickname("syscat_config", &syscatConfig{db: db})
+	db.cat.CreateNickname("syscat_bufferpool", &syscatBufferPool{db: db})
+}

@@ -1,0 +1,156 @@
+package encoding
+
+import (
+	"dashdb/internal/types"
+)
+
+// forHeadroomNum/forHeadroomDen widen the observed integer range before
+// fixing a frame of reference, so moderate post-load drift does not force
+// a column re-encode.
+const (
+	forHeadroomNum = 1
+	forHeadroomDen = 4
+)
+
+// maxFORWidth is the widest span IntFOR will accept before the analyzer
+// falls back to a dictionary; spans wider than the packer's MaxWidth
+// cannot be bit-packed.
+const maxFORWidth = 32
+
+// ChooseEncoder analyzes a sample of column values and selects the best
+// encoding, mirroring the engine's load-time compression optimization
+// ("compression is then optimized globally per column", §II.B.1):
+//
+//   - integral kinds whose value span fits the packer → minus encoding,
+//     with headroom for drift;
+//   - everything else (strings, floats, very wide integers) → the
+//     frequency-partitioned dictionary.
+//
+// An empty sample yields an extension-only dictionary that grows with the
+// data (the page-level dictionary path for tables populated by INSERT).
+func ChooseEncoder(kind types.Kind, sample []types.Value) Encoder {
+	nonNull := sample[:0:0]
+	for _, v := range sample {
+		if !v.IsNull() {
+			nonNull = append(nonNull, v)
+		}
+	}
+	if len(nonNull) == 0 {
+		return NewDict(kind)
+	}
+	switch kind {
+	case types.KindBool:
+		return NewIntFOR(0, 1, kind)
+	case types.KindFloat:
+		// Fixed-point floats (prices, amounts) become scaled minus codes;
+		// other floats fall back to the dictionary.
+		if scale := fixedPointScale(nonNull); scale > 0 {
+			min, max, ok := scaledRange(nonNull, scale)
+			if ok {
+				span := uint64(max - min)
+				pad := int64(span/uint64(forHeadroomDen)*uint64(forHeadroomNum)) + int64(scale)
+				lo, hi := min, max
+				if lo > lo-pad {
+					lo -= pad
+				}
+				if hi < hi+pad {
+					hi += pad
+				}
+				if uint64(hi-lo) < 1<<maxFORWidth {
+					return NewFloatFOR(lo, hi, scale)
+				}
+			}
+		}
+		return BuildDict(kind, nonNull)
+	case types.KindInt, types.KindDate, types.KindTimestamp:
+		min, max, ok := intRange(nonNull)
+		if !ok {
+			return BuildDict(kind, nonNull)
+		}
+		span := uint64(max - min)
+		// Add headroom on both sides, clamping against overflow.
+		pad := int64(span/uint64(forHeadroomDen)*uint64(forHeadroomNum)) + 1
+		lo, hi := min, max
+		if lo > lo-pad {
+			lo -= pad
+		}
+		if hi < hi+pad {
+			hi += pad
+		}
+		if uint64(hi-lo) < 1<<maxFORWidth {
+			return NewIntFOR(lo, hi, kind)
+		}
+		return BuildDict(kind, nonNull)
+	default:
+		return BuildDict(kind, nonNull)
+	}
+}
+
+// scaledRange returns the min and max of sample values scaled to fixed
+// point.
+func scaledRange(sample []types.Value, scale float64) (min, max int64, ok bool) {
+	first := true
+	for _, v := range sample {
+		f, isNum := v.AsFloat()
+		if !isNum {
+			return 0, 0, false
+		}
+		i := int64(f*scale + 0.5*sign(f))
+		if first {
+			min, max, first = i, i, false
+			continue
+		}
+		if i < min {
+			min = i
+		}
+		if i > max {
+			max = i
+		}
+	}
+	return min, max, !first
+}
+
+func sign(f float64) float64 {
+	if f < 0 {
+		return -1
+	}
+	return 1
+}
+
+// intRange returns the min and max of integral values in the sample.
+func intRange(sample []types.Value) (min, max int64, ok bool) {
+	first := true
+	for _, v := range sample {
+		i, isInt := v.AsInt()
+		if !isInt {
+			return 0, 0, false
+		}
+		if first {
+			min, max, first = i, i, false
+			continue
+		}
+		if i < min {
+			min = i
+		}
+		if i > max {
+			max = i
+		}
+	}
+	return min, max, !first
+}
+
+// EstimateRawBytes returns the number of bytes the values would occupy in
+// a naive uncompressed row representation (8 bytes per numeric, string
+// length + 4-byte header per string); the numerator of the compression
+// ratios reported by experiment F-B.
+func EstimateRawBytes(sample []types.Value) int {
+	sz := 0
+	for _, v := range sample {
+		if v.Kind() == types.KindString && !v.IsNull() {
+			sz += 4 + len(v.Str())
+			continue
+		}
+		sz += 8
+	}
+	return sz
+}

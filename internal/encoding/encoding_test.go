@@ -1,0 +1,411 @@
+package encoding
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dashdb/internal/types"
+)
+
+// evalPredicate applies a code-space Predicate to a code, using decode for
+// residual ranges; the semantics scans implement.
+func evalPredicate(p Predicate, code uint64, dec func(uint64) types.Value, op CmpOp, c types.Value) bool {
+	if p.None {
+		return false
+	}
+	if p.All {
+		return true
+	}
+	for _, r := range p.Ranges {
+		if code >= r.Lo && code <= r.Hi {
+			return true
+		}
+	}
+	for _, r := range p.Residual {
+		if code >= r.Lo && code <= r.Hi {
+			return op.Eval(dec(code), c)
+		}
+	}
+	return false
+}
+
+var cmpOps = []CmpOp{OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE}
+
+func TestIntFORRoundTrip(t *testing.T) {
+	e := NewIntFOR(-100, 155, types.KindInt)
+	if e.Width() != 8 {
+		t.Fatalf("width=%d want 8", e.Width())
+	}
+	for _, raw := range []int64{-100, -1, 0, 42, 155} {
+		code := e.Encode(types.NewInt(raw))
+		if got := e.Decode(code); got.Int() != raw {
+			t.Errorf("round trip %d -> %d -> %v", raw, code, got)
+		}
+	}
+	if e.Contains(-101) || e.Contains(156) {
+		t.Error("Contains out-of-domain")
+	}
+}
+
+func TestIntFOROrderPreserving(t *testing.T) {
+	e := NewIntFOR(-50, 50, types.KindInt)
+	prev := uint64(0)
+	for raw := int64(-50); raw <= 50; raw++ {
+		code := e.Encode(types.NewInt(raw))
+		if raw > -50 && code <= prev {
+			t.Fatalf("codes not monotone at %d", raw)
+		}
+		prev = code
+	}
+}
+
+// TestIntFORTranslateAgainstValueSpace exhaustively checks that the code-
+// space translation of every operator agrees with value-space evaluation,
+// including constants outside the domain.
+func TestIntFORTranslateAgainstValueSpace(t *testing.T) {
+	e := NewIntFOR(10, 20, types.KindInt)
+	for _, c := range []int64{5, 9, 10, 11, 15, 19, 20, 21, 100} {
+		cv := types.NewInt(c)
+		for _, op := range cmpOps {
+			p := e.Translate(op, cv)
+			for raw := int64(10); raw <= 20; raw++ {
+				code := e.Encode(types.NewInt(raw))
+				got := evalPredicate(p, code, e.Decode, op, cv)
+				want := op.Eval(types.NewInt(raw), cv)
+				if got != want {
+					t.Errorf("op %v c=%d raw=%d: code-space %v, value-space %v (pred %+v)",
+						op, c, raw, got, want, p)
+				}
+			}
+		}
+	}
+}
+
+func TestIntFORTranslateFloatConstants(t *testing.T) {
+	e := NewIntFOR(0, 10, types.KindInt)
+	for _, tc := range []struct {
+		op   CmpOp
+		c    float64
+		raw  int64
+		want bool
+	}{
+		{OpLT, 2.5, 2, true},
+		{OpLT, 2.5, 3, false},
+		{OpGT, 2.5, 3, true},
+		{OpGT, 2.5, 2, false},
+		{OpEQ, 2.5, 2, false},
+		{OpNE, 2.5, 2, true},
+		{OpGE, 2.5, 3, true},
+		{OpLE, 2.5, 2, true},
+	} {
+		p := e.Translate(tc.op, types.NewFloat(tc.c))
+		code := e.Encode(types.NewInt(tc.raw))
+		got := evalPredicate(p, code, e.Decode, tc.op, types.NewFloat(tc.c))
+		if got != tc.want {
+			t.Errorf("%d %v %v: got %v want %v", tc.raw, tc.op, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestIntFORNullConstant(t *testing.T) {
+	e := NewIntFOR(0, 10, types.KindInt)
+	for _, op := range cmpOps {
+		if p := e.Translate(op, types.Null); !p.None {
+			t.Errorf("op %v with NULL constant must match nothing", op)
+		}
+	}
+}
+
+func TestDictBuildAndRoundTrip(t *testing.T) {
+	var sample []types.Value
+	// Skewed: "apple" dominates.
+	for i := 0; i < 90; i++ {
+		sample = append(sample, types.NewString("apple"))
+	}
+	for _, s := range []string{"banana", "cherry", "date", "elderberry", "fig", "grape", "kiwi", "lemon"} {
+		sample = append(sample, types.NewString(s))
+	}
+	d := BuildDict(types.KindString, sample)
+	if d.Cardinality() != 9 {
+		t.Fatalf("cardinality %d want 9", d.Cardinality())
+	}
+	// The dominant value must receive the smallest code (partition 0).
+	if code, ok := d.EncodeExisting(types.NewString("apple")); !ok || code != 0 {
+		t.Errorf("hot value code = %d, %v; want 0", code, ok)
+	}
+	for _, s := range []string{"apple", "banana", "kiwi"} {
+		code, ok := d.EncodeExisting(types.NewString(s))
+		if !ok {
+			t.Fatalf("missing %s", s)
+		}
+		if got := d.Decode(code); got.Str() != s {
+			t.Errorf("round trip %s -> %d -> %s", s, code, got.Str())
+		}
+	}
+}
+
+func TestDictOrderPreservingWithinPartition(t *testing.T) {
+	// Uniform distribution → a single sorted partition; codes must order
+	// exactly as values do.
+	var sample []types.Value
+	words := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for _, w := range words {
+		sample = append(sample, types.NewString(w))
+	}
+	d := BuildDict(types.KindString, sample)
+	sorted := append([]string(nil), words...)
+	sort.Strings(sorted)
+	var prev uint64
+	for i, w := range sorted {
+		code, ok := d.EncodeExisting(types.NewString(w))
+		if !ok {
+			t.Fatalf("missing %s", w)
+		}
+		if i > 0 && code <= prev {
+			t.Fatalf("codes not order preserving: %s=%d after %d", w, code, prev)
+		}
+		prev = code
+	}
+}
+
+func TestDictExtensionRegion(t *testing.T) {
+	d := BuildDict(types.KindInt, []types.Value{types.NewInt(1), types.NewInt(2)})
+	base := d.Cardinality()
+	code := d.Encode(types.NewInt(99))
+	if int(code) != base {
+		t.Fatalf("extension code %d want %d", code, base)
+	}
+	if got := d.Decode(code); got.Int() != 99 {
+		t.Fatalf("extension decode %v", got)
+	}
+	// Range predicate must include a residual range covering extension.
+	p := d.Translate(OpGT, types.NewInt(50))
+	if len(p.Residual) == 0 {
+		t.Fatal("expected residual range over extension region")
+	}
+	if !evalPredicate(p, code, d.Decode, OpGT, types.NewInt(50)) {
+		t.Error("extension value 99 must match > 50 via residual")
+	}
+	if evalPredicate(p, d.mustCode(t, types.NewInt(1)), d.Decode, OpGT, types.NewInt(50)) {
+		t.Error("1 must not match > 50")
+	}
+}
+
+func (d *Dict) mustCode(t *testing.T, v types.Value) uint64 {
+	t.Helper()
+	code, ok := d.EncodeExisting(v)
+	if !ok {
+		t.Fatalf("value %v missing from dictionary", v)
+	}
+	return code
+}
+
+// TestDictTranslateAgainstValueSpace cross-validates every operator over a
+// two-partition dictionary with an extension region.
+func TestDictTranslateAgainstValueSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sample []types.Value
+	for i := 0; i < 500; i++ {
+		// Zipf-ish skew over 30 words.
+		w := rng.Intn(30)
+		if rng.Intn(100) < 70 {
+			w = rng.Intn(3)
+		}
+		sample = append(sample, types.NewString(fmt.Sprintf("word%02d", w)))
+	}
+	d := BuildDict(types.KindString, sample)
+	d.Encode(types.NewString("zzz-late-arrival"))
+	d.Encode(types.NewString("aaa-late-arrival"))
+
+	consts := []types.Value{
+		types.NewString("word00"),
+		types.NewString("word15"),
+		types.NewString("word29"),
+		types.NewString("nonexistent"),
+		types.NewString("aaa-late-arrival"),
+		types.NewString(""),
+	}
+	for _, cv := range consts {
+		for _, op := range cmpOps {
+			p := d.Translate(op, cv)
+			for code := uint64(0); code < uint64(d.Cardinality()); code++ {
+				val := d.Decode(code)
+				got := evalPredicate(p, code, d.Decode, op, cv)
+				want := op.Eval(val, cv)
+				if got != want {
+					t.Errorf("op %v const %v code %d (%v): code-space %v value-space %v",
+						op, cv, code, val, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestChooseEncoder(t *testing.T) {
+	ints := []types.Value{types.NewInt(5), types.NewInt(900), types.NewInt(-3)}
+	if e := ChooseEncoder(types.KindInt, ints); e.Kind() != KindIntFOR {
+		t.Errorf("small-span ints should use MINUS, got %v", e.Kind())
+	}
+	wide := []types.Value{types.NewInt(0), types.NewInt(1 << 40)}
+	if e := ChooseEncoder(types.KindInt, wide); e.Kind() != KindDict {
+		t.Errorf("wide ints should fall back to dictionary, got %v", e.Kind())
+	}
+	strs := []types.Value{types.NewString("a"), types.NewString("b")}
+	if e := ChooseEncoder(types.KindString, strs); e.Kind() != KindDict {
+		t.Errorf("strings should use dictionary, got %v", e.Kind())
+	}
+	if e := ChooseEncoder(types.KindInt, nil); e.Kind() != KindDict {
+		t.Errorf("empty sample should yield growable dictionary, got %v", e.Kind())
+	}
+	// Headroom: values near the sample range must stay in-domain.
+	e := ChooseEncoder(types.KindInt, ints).(*IntFOR)
+	if !e.Contains(1000) {
+		t.Error("headroom should cover moderate drift above max")
+	}
+}
+
+func TestFrontCodedList(t *testing.T) {
+	words := []string{
+		"", "app", "apple", "apple pie", "apples", "application",
+		"banana", "band", "bandana", "bandwidth", "zebra",
+	}
+	// Pad beyond one restart block.
+	for i := 0; i < 40; i++ {
+		words = append(words, fmt.Sprintf("pad%04d", i))
+	}
+	sort.Strings(words)
+	f := NewFrontCodedList(words)
+	if f.Len() != len(words) {
+		t.Fatalf("len %d want %d", f.Len(), len(words))
+	}
+	for i, w := range words {
+		if got := f.Get(i); got != w {
+			t.Fatalf("Get(%d)=%q want %q", i, got, w)
+		}
+	}
+	for i, w := range words {
+		pos, found := f.Search(w)
+		if !found || pos != i {
+			t.Fatalf("Search(%q)=(%d,%v) want (%d,true)", w, pos, found, i)
+		}
+	}
+	if _, found := f.Search("not-in-list-xyz"); found {
+		t.Error("Search must not find absent string")
+	}
+}
+
+func TestFrontCodedListCompression(t *testing.T) {
+	// Many strings sharing long prefixes must compress well.
+	var words []string
+	rawBytes := 0
+	for i := 0; i < 1000; i++ {
+		w := fmt.Sprintf("customer/region-north/account-%06d", i)
+		words = append(words, w)
+		rawBytes += len(w)
+	}
+	f := NewFrontCodedList(words)
+	if f.MemSize() >= rawBytes {
+		t.Errorf("front coding saved nothing: %d vs raw %d", f.MemSize(), rawBytes)
+	}
+}
+
+func TestFrontCodedListRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted input")
+		}
+	}()
+	NewFrontCodedList([]string{"b", "a"})
+}
+
+// Property: IntFOR translation agrees with value-space evaluation for
+// random domains, constants and operators.
+func TestIntFORTranslateProperty(t *testing.T) {
+	f := func(base int16, spanSel uint8, cSel int32, opSel uint8) bool {
+		span := int64(spanSel) + 1
+		e := NewIntFOR(int64(base), int64(base)+span, types.KindInt)
+		op := cmpOps[int(opSel)%len(cmpOps)]
+		cv := types.NewInt(int64(cSel))
+		p := e.Translate(op, cv)
+		for raw := int64(base); raw <= int64(base)+span; raw += span/7 + 1 {
+			code := e.Encode(types.NewInt(raw))
+			if evalPredicate(p, code, e.Decode, op, cv) != op.Eval(types.NewInt(raw), cv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dict round trip is the identity for random string sets.
+func TestDictRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 1
+		var sample []types.Value
+		for i := 0; i < n; i++ {
+			sample = append(sample, types.NewString(fmt.Sprintf("v%d", rng.Intn(20))))
+		}
+		d := BuildDict(types.KindString, sample)
+		for _, v := range sample {
+			code, ok := d.EncodeExisting(v)
+			if !ok || types.Compare(d.Decode(code), v) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateRawBytes(t *testing.T) {
+	vals := []types.Value{types.NewInt(1), types.NewString("abcd"), types.Null}
+	if got := EstimateRawBytes(vals); got != 8+8+8 {
+		t.Errorf("EstimateRawBytes = %d", got)
+	}
+}
+
+func BenchmarkDictEncode(b *testing.B) {
+	var sample []types.Value
+	for i := 0; i < 1000; i++ {
+		sample = append(sample, types.NewString(fmt.Sprintf("key-%03d", i%100)))
+	}
+	d := BuildDict(types.KindString, sample)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Encode(sample[i%len(sample)])
+	}
+}
+
+func BenchmarkDictDecode(b *testing.B) {
+	var sample []types.Value
+	for i := 0; i < 1000; i++ {
+		sample = append(sample, types.NewString(fmt.Sprintf("key-%03d", i%100)))
+	}
+	d := BuildDict(types.KindString, sample)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Decode(uint64(i % d.Cardinality()))
+	}
+}
+
+func BenchmarkTranslateRange(b *testing.B) {
+	var sample []types.Value
+	for i := 0; i < 10000; i++ {
+		sample = append(sample, types.NewString(fmt.Sprintf("key-%05d", i)))
+	}
+	d := BuildDict(types.KindString, sample)
+	c := types.NewString("key-05000")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Translate(OpGT, c)
+	}
+}

@@ -1,0 +1,102 @@
+package encoding
+
+import "sort"
+
+// frontRestart is the block size of the front-coded string store: every
+// frontRestart'th string is stored in full so random access only replays
+// a short run of suffixes.
+const frontRestart = 16
+
+// FrontCodedList stores a sorted list of strings with prefix compression
+// (paper §II.B.1: "prefix compression methods are also used to eliminate
+// storage for commonly occurring string prefixes"). Each entry records how
+// many leading bytes it shares with its predecessor plus its distinct
+// suffix; restart points every frontRestart entries keep random access and
+// binary search cheap.
+type FrontCodedList struct {
+	prefixLens []uint16
+	offsets    []uint32 // offset of entry i's suffix in data
+	data       []byte
+	n          int
+}
+
+// NewFrontCodedList builds a list from strings that must already be in
+// ascending order. It panics on unsorted input: the dictionary builder
+// sorts before calling.
+func NewFrontCodedList(sorted []string) *FrontCodedList {
+	f := &FrontCodedList{
+		prefixLens: make([]uint16, 0, len(sorted)),
+		offsets:    make([]uint32, 0, len(sorted)),
+	}
+	prev := ""
+	for i, s := range sorted {
+		if i > 0 && s < prev {
+			panic("encoding: FrontCodedList input not sorted")
+		}
+		pl := 0
+		if i%frontRestart != 0 {
+			pl = commonPrefix(prev, s)
+			if pl > 0xffff {
+				pl = 0xffff
+			}
+		}
+		f.prefixLens = append(f.prefixLens, uint16(pl))
+		f.offsets = append(f.offsets, uint32(len(f.data)))
+		f.data = append(f.data, s[pl:]...)
+		prev = s
+		f.n++
+	}
+	return f
+}
+
+func commonPrefix(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// Len returns the number of stored strings.
+func (f *FrontCodedList) Len() int { return f.n }
+
+// MemSize returns the approximate byte footprint of the list.
+func (f *FrontCodedList) MemSize() int {
+	return len(f.data) + 2*len(f.prefixLens) + 4*len(f.offsets)
+}
+
+// suffix returns entry i's stored suffix bytes.
+func (f *FrontCodedList) suffix(i int) []byte {
+	end := len(f.data)
+	if i+1 < f.n {
+		end = int(f.offsets[i+1])
+	}
+	return f.data[f.offsets[i]:end]
+}
+
+// Get reconstructs the i'th string by replaying suffixes from the
+// preceding restart point.
+func (f *FrontCodedList) Get(i int) string {
+	if i < 0 || i >= f.n {
+		panic("encoding: FrontCodedList index out of range")
+	}
+	start := i - i%frontRestart
+	buf := append([]byte(nil), f.suffix(start)...)
+	for j := start + 1; j <= i; j++ {
+		buf = append(buf[:f.prefixLens[j]], f.suffix(j)...)
+	}
+	return string(buf)
+}
+
+// Search returns the position where s would insert (the count of stored
+// strings < s) and whether s is present; the dictionary uses it to
+// translate range predicates into code ranges.
+func (f *FrontCodedList) Search(s string) (pos int, found bool) {
+	pos = sort.Search(f.n, func(i int) bool { return f.Get(i) >= s })
+	found = pos < f.n && f.Get(pos) == s
+	return pos, found
+}

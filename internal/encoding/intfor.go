@@ -1,0 +1,191 @@
+package encoding
+
+import (
+	"math"
+
+	"dashdb/internal/types"
+)
+
+// IntFOR is the "minus encoding" of §II.B.1: integers (and dates and
+// timestamps, which the engine holds as integer day / microsecond counts)
+// are stored as the difference from a per-column base value. High-
+// cardinality numerics with a bounded range compress to bits(max−min).
+//
+// Codes are fully order preserving: code(a) < code(b) ⇔ a < b, so every
+// comparison predicate translates to a single code range.
+type IntFOR struct {
+	base  int64  // encoded value = raw − base
+	limit uint64 // highest code handed out so far
+	width uint
+	kind  types.Kind // value kind to decode back into
+}
+
+// NewIntFOR creates a minus encoder for values known to lie in [min, max].
+// The width is fixed by that range; Encode panics on values outside it
+// (the analyzer widens the range before construction; the columnar layer
+// re-analyzes when a batch falls outside the domain).
+func NewIntFOR(min, max int64, kind types.Kind) *IntFOR {
+	if max < min {
+		max = min
+	}
+	span := uint64(max - min)
+	return &IntFOR{
+		base:  min,
+		limit: span,
+		width: widthForSpan(span),
+		kind:  kind,
+	}
+}
+
+func widthForSpan(span uint64) uint {
+	w := uint(1)
+	for ; w < 64; w++ {
+		if span < 1<<w {
+			break
+		}
+	}
+	if w > 32 {
+		w = 32 // clamp to bitpack.MaxWidth; analyzer avoids wider spans
+	}
+	return w
+}
+
+// Kind reports KindIntFOR.
+func (e *IntFOR) Kind() Kind { return KindIntFOR }
+
+// Width returns the code width in bits.
+func (e *IntFOR) Width() uint { return e.width }
+
+// Cardinality returns the domain size (span + 1).
+func (e *IntFOR) Cardinality() int { return int(e.limit) + 1 }
+
+// MemSize is constant: minus encoding has no dictionary.
+func (e *IntFOR) MemSize() int { return 32 }
+
+// Base returns the frame-of-reference base value.
+func (e *IntFOR) Base() int64 { return e.base }
+
+// Contains reports whether raw lies inside the encodable domain.
+func (e *IntFOR) Contains(raw int64) bool {
+	return raw >= e.base && uint64(raw-e.base) <= e.limit
+}
+
+// Encode maps a value to its code. The value must be integral-kinded and
+// inside the analyzed domain.
+func (e *IntFOR) Encode(v types.Value) uint64 {
+	raw, ok := v.AsInt()
+	if !ok || !e.Contains(raw) {
+		panic("encoding: IntFOR.Encode outside domain; caller must re-analyze")
+	}
+	return uint64(raw - e.base)
+}
+
+// Decode maps a code back to a value of the encoder's kind.
+func (e *IntFOR) Decode(code uint64) types.Value {
+	raw := e.base + int64(code)
+	switch e.kind {
+	case types.KindDate:
+		return types.NewDate(raw)
+	case types.KindTimestamp:
+		return types.NewTimestamp(raw)
+	case types.KindBool:
+		return types.NewBool(raw != 0)
+	default:
+		return types.NewInt(raw)
+	}
+}
+
+// Translate converts "column OP v" into code space. Because minus codes
+// are order preserving, every operator becomes at most one code range.
+func (e *IntFOR) Translate(op CmpOp, v types.Value) Predicate {
+	if v.IsNull() {
+		return NonePredicate()
+	}
+	// Constants may be floats (e.g. "x < 2.5"): compare against the
+	// integer lattice correctly by flooring/ceiling.
+	var lo, hi bool // constant below/above the whole domain
+	var c int64
+	if f, ok := v.AsFloat(); ok && v.Kind() == types.KindFloat && f != math.Trunc(f) {
+		switch op {
+		case OpEQ:
+			return NonePredicate()
+		case OpNE:
+			return AllPredicate()
+		case OpLT, OpLE:
+			c = int64(math.Ceil(f)) // x < 2.5 ⇔ x <= 2 ⇔ x < 3
+			op = OpLT
+		case OpGT, OpGE:
+			c = int64(math.Floor(f)) // x > 2.5 ⇔ x >= 3 ⇔ x > 2
+			op = OpGT
+		}
+	} else if i, ok := v.AsInt(); ok {
+		c = i
+	} else {
+		return NonePredicate()
+	}
+	lo = c < e.base
+	hi = c > e.base+int64(e.limit)
+
+	code := func() uint64 { return uint64(c - e.base) }
+	switch op {
+	case OpEQ:
+		if lo || hi {
+			return NonePredicate()
+		}
+		return Predicate{Ranges: []CodeRange{{code(), code()}}}
+	case OpNE:
+		if lo || hi {
+			return AllPredicate()
+		}
+		var rs []CodeRange
+		if code() > 0 {
+			rs = append(rs, CodeRange{0, code() - 1})
+		}
+		if code() < e.limit {
+			rs = append(rs, CodeRange{code() + 1, e.limit})
+		}
+		if len(rs) == 0 {
+			return NonePredicate()
+		}
+		return Predicate{Ranges: rs}
+	case OpLT:
+		if lo {
+			return NonePredicate()
+		}
+		if hi {
+			return AllPredicate()
+		}
+		if code() == 0 {
+			return NonePredicate()
+		}
+		return Predicate{Ranges: []CodeRange{{0, code() - 1}}}
+	case OpLE:
+		if lo {
+			return NonePredicate()
+		}
+		if hi {
+			return AllPredicate()
+		}
+		return Predicate{Ranges: []CodeRange{{0, code()}}}
+	case OpGT:
+		if hi {
+			return NonePredicate()
+		}
+		if lo {
+			return AllPredicate()
+		}
+		if code() == e.limit {
+			return NonePredicate()
+		}
+		return Predicate{Ranges: []CodeRange{{code() + 1, e.limit}}}
+	case OpGE:
+		if hi {
+			return NonePredicate()
+		}
+		if lo {
+			return AllPredicate()
+		}
+		return Predicate{Ranges: []CodeRange{{code(), e.limit}}}
+	}
+	return NonePredicate()
+}

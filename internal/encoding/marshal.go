@@ -1,0 +1,146 @@
+package encoding
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"dashdb/internal/types"
+)
+
+// Encoder persistence: dictionaries and frames of reference serialize so
+// a column-organized table can be closed and reopened from the clustered
+// filesystem (the §II.E portability/DR story). The format is gob over a
+// small DTO; codes are stable across a round trip, so existing pages stay
+// valid.
+
+// wireVal is the serializable form of types.Value.
+type wireVal struct {
+	K    uint8
+	Null bool
+	I    int64
+	F    float64
+	S    string
+}
+
+func toWireVal(v types.Value) wireVal {
+	w := wireVal{K: uint8(v.Kind()), Null: v.IsNull()}
+	if w.Null {
+		return w
+	}
+	switch v.Kind() {
+	case types.KindBool:
+		if v.Bool() {
+			w.I = 1
+		}
+	case types.KindInt, types.KindDate, types.KindTimestamp:
+		w.I = v.Int()
+	case types.KindFloat:
+		w.F = v.Float()
+	case types.KindString:
+		w.S = v.Str()
+	}
+	return w
+}
+
+func fromWireVal(w wireVal) types.Value {
+	k := types.Kind(w.K)
+	if w.Null {
+		return types.NullOf(k)
+	}
+	switch k {
+	case types.KindBool:
+		return types.NewBool(w.I != 0)
+	case types.KindInt:
+		return types.NewInt(w.I)
+	case types.KindDate:
+		return types.NewDate(w.I)
+	case types.KindTimestamp:
+		return types.NewTimestamp(w.I)
+	case types.KindFloat:
+		return types.NewFloat(w.F)
+	case types.KindString:
+		return types.NewString(w.S)
+	default:
+		return types.Null
+	}
+}
+
+// encSnapshot is the on-disk encoder state.
+type encSnapshot struct {
+	Tag   uint8 // 1 = IntFOR, 2 = Dict, 3 = FloatFOR
+	Kind  uint8 // types.Kind the encoder decodes into
+	Base  int64
+	Limit uint64
+	Scale float64
+	// Dict state: partitions hold sorted values in code order; Ext holds
+	// extension-region values in code order.
+	Parts [][]wireVal
+	Ext   []wireVal
+}
+
+// MarshalEncoder serializes any built-in encoder.
+func MarshalEncoder(e Encoder) ([]byte, error) {
+	var snap encSnapshot
+	switch enc := e.(type) {
+	case *IntFOR:
+		snap = encSnapshot{Tag: 1, Kind: uint8(enc.kind), Base: enc.base, Limit: enc.limit}
+	case *FloatFOR:
+		snap = encSnapshot{Tag: 3, Kind: uint8(types.KindFloat), Base: enc.inner.base, Limit: enc.inner.limit, Scale: enc.scale}
+	case *Dict:
+		snap = encSnapshot{Tag: 2, Kind: uint8(enc.kind)}
+		for i := range enc.parts {
+			p := &enc.parts[i]
+			vals := make([]wireVal, p.len())
+			for j := 0; j < p.len(); j++ {
+				vals[j] = toWireVal(p.get(j, enc.kind))
+			}
+			snap.Parts = append(snap.Parts, vals)
+		}
+		for _, v := range enc.extension {
+			snap.Ext = append(snap.Ext, toWireVal(v))
+		}
+	default:
+		return nil, fmt.Errorf("encoding: cannot marshal encoder %T", e)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalEncoder reconstructs an encoder; code assignments are
+// identical to the original's, so packed pages remain decodable.
+func UnmarshalEncoder(data []byte) (Encoder, error) {
+	var snap encSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("encoding: unmarshal encoder: %w", err)
+	}
+	kind := types.Kind(snap.Kind)
+	switch snap.Tag {
+	case 1:
+		return &IntFOR{base: snap.Base, limit: snap.Limit, width: widthForSpan(snap.Limit), kind: kind}, nil
+	case 3:
+		return &FloatFOR{
+			inner: &IntFOR{base: snap.Base, limit: snap.Limit, width: widthForSpan(snap.Limit), kind: types.KindInt},
+			scale: snap.Scale,
+		}, nil
+	case 2:
+		d := &Dict{kind: kind, lookup: make(map[types.Value]uint64)}
+		for _, part := range snap.Parts {
+			vals := make([]types.Value, len(part))
+			for i, w := range part {
+				vals[i] = fromWireVal(w)
+			}
+			d.addPartition(vals)
+		}
+		d.extStart = d.card
+		for _, w := range snap.Ext {
+			d.Encode(fromWireVal(w))
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("encoding: unknown encoder tag %d", snap.Tag)
+	}
+}

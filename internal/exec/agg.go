@@ -1,0 +1,419 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dashdb/internal/types"
+)
+
+// AggFunc enumerates the aggregate functions, covering ANSI plus the
+// Oracle / Netezza / DB2 dialect aggregates of §II.C (MEDIAN, PERCENTILE,
+// STDDEV/VARIANCE families, COVARIANCE).
+type AggFunc uint8
+
+const (
+	// AggCountStar counts rows.
+	AggCountStar AggFunc = iota
+	// AggCount counts non-NULL argument values.
+	AggCount
+	// AggCountDistinct counts distinct non-NULL argument values.
+	AggCountDistinct
+	// AggSum sums; integer inputs stay integral.
+	AggSum
+	// AggAvg averages.
+	AggAvg
+	// AggMin takes the minimum.
+	AggMin
+	// AggMax takes the maximum.
+	AggMax
+	// AggStddevPop is population standard deviation (STDDEV_POP, STDDEV).
+	AggStddevPop
+	// AggStddevSamp is sample standard deviation (STDDEV_SAMP).
+	AggStddevSamp
+	// AggVarPop is population variance (VAR_POP, VARIANCE).
+	AggVarPop
+	// AggVarSamp is sample variance (VAR_SAMP, VARIANCE_SAMP).
+	AggVarSamp
+	// AggMedian is Oracle/Netezza MEDIAN.
+	AggMedian
+	// AggPercentileCont is PERCENTILE_CONT(p): linear interpolation.
+	AggPercentileCont
+	// AggPercentileDisc is PERCENTILE_DISC(p): smallest value with
+	// cumulative distribution >= p.
+	AggPercentileDisc
+	// AggCovarPop is population covariance of (Arg, Arg2).
+	AggCovarPop
+	// AggCovarSamp is sample covariance of (Arg, Arg2).
+	AggCovarSamp
+)
+
+// AggSpec describes one aggregate output.
+type AggSpec struct {
+	Func  AggFunc
+	Arg   Expr    // nil for COUNT(*)
+	Arg2  Expr    // second argument for covariance
+	Param float64 // percentile parameter in [0,1]
+	Name  string  // output column name
+}
+
+// accumulator holds running state for one aggregate in one group.
+type accumulator struct {
+	count    int64
+	intSum   int64
+	floatSum float64
+	isFloat  bool
+	sumSq    float64
+	sumXY    float64
+	sumX     float64
+	sumY     float64
+	pairN    int64
+	min, max types.Value
+	vals     []float64            // for MEDIAN / PERCENTILE
+	distinct map[types.Value]bool // for COUNT(DISTINCT)
+}
+
+func (a *accumulator) add(spec AggSpec, row types.Row) error {
+	if spec.Func == AggCountStar {
+		a.count++
+		return nil
+	}
+	v, err := spec.Arg.Eval(row)
+	if err != nil {
+		return err
+	}
+	switch spec.Func {
+	case AggCovarPop, AggCovarSamp:
+		v2, err := spec.Arg2.Eval(row)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() || v2.IsNull() {
+			return nil
+		}
+		x, _ := v.AsFloat()
+		y, _ := v2.AsFloat()
+		a.pairN++
+		a.sumX += x
+		a.sumY += y
+		a.sumXY += x * y
+		return nil
+	}
+	if v.IsNull() {
+		return nil
+	}
+	a.count++
+	switch spec.Func {
+	case AggCount:
+	case AggCountDistinct:
+		if a.distinct == nil {
+			a.distinct = make(map[types.Value]bool)
+		}
+		a.distinct[v] = true
+	case AggSum, AggAvg, AggStddevPop, AggStddevSamp, AggVarPop, AggVarSamp:
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("exec: non-numeric value %v in aggregate", v)
+		}
+		if v.Kind() == types.KindFloat {
+			a.isFloat = true
+		}
+		if i, ok := v.AsInt(); ok && v.Kind() == types.KindInt {
+			a.intSum += i
+		}
+		a.floatSum += f
+		a.sumSq += f * f
+	case AggMin:
+		if a.min.IsNull() || types.Compare(v, a.min) < 0 {
+			a.min = v
+		}
+	case AggMax:
+		if a.max.IsNull() || types.Compare(v, a.max) > 0 {
+			a.max = v
+		}
+	case AggMedian, AggPercentileCont, AggPercentileDisc:
+		f, ok := v.AsFloat()
+		if !ok {
+			return fmt.Errorf("exec: non-numeric value %v in percentile aggregate", v)
+		}
+		a.vals = append(a.vals, f)
+	}
+	return nil
+}
+
+func (a *accumulator) result(spec AggSpec) types.Value {
+	switch spec.Func {
+	case AggCountStar, AggCount:
+		return types.NewInt(a.count)
+	case AggCountDistinct:
+		return types.NewInt(int64(len(a.distinct)))
+	case AggSum:
+		if a.count == 0 {
+			return types.Null
+		}
+		if !a.isFloat {
+			return types.NewInt(a.intSum)
+		}
+		return types.NewFloat(a.floatSum)
+	case AggAvg:
+		if a.count == 0 {
+			return types.Null
+		}
+		return types.NewFloat(a.floatSum / float64(a.count))
+	case AggMin:
+		return a.min
+	case AggMax:
+		return a.max
+	case AggVarPop, AggVarSamp, AggStddevPop, AggStddevSamp:
+		n := float64(a.count)
+		if a.count == 0 {
+			return types.Null
+		}
+		div := n
+		if spec.Func == AggVarSamp || spec.Func == AggStddevSamp {
+			if a.count < 2 {
+				return types.Null
+			}
+			div = n - 1
+		}
+		mean := a.floatSum / n
+		variance := (a.sumSq - n*mean*mean) / div
+		if variance < 0 {
+			variance = 0 // guard FP noise
+		}
+		if spec.Func == AggStddevPop || spec.Func == AggStddevSamp {
+			return types.NewFloat(math.Sqrt(variance))
+		}
+		return types.NewFloat(variance)
+	case AggMedian:
+		return percentileCont(a.vals, 0.5)
+	case AggPercentileCont:
+		return percentileCont(a.vals, spec.Param)
+	case AggPercentileDisc:
+		return percentileDisc(a.vals, spec.Param)
+	case AggCovarPop, AggCovarSamp:
+		if a.pairN == 0 {
+			return types.Null
+		}
+		n := float64(a.pairN)
+		div := n
+		if spec.Func == AggCovarSamp {
+			if a.pairN < 2 {
+				return types.Null
+			}
+			div = n - 1
+		}
+		return types.NewFloat((a.sumXY - a.sumX*a.sumY/n) / div)
+	}
+	return types.Null
+}
+
+func percentileCont(vals []float64, p float64) types.Value {
+	if len(vals) == 0 {
+		return types.Null
+	}
+	sort.Float64s(vals)
+	pos := p * float64(len(vals)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return types.NewFloat(vals[lo])
+	}
+	frac := pos - float64(lo)
+	return types.NewFloat(vals[lo]*(1-frac) + vals[hi]*frac)
+}
+
+func percentileDisc(vals []float64, p float64) types.Value {
+	if len(vals) == 0 {
+		return types.Null
+	}
+	sort.Float64s(vals)
+	idx := int(math.Ceil(p*float64(len(vals)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return types.NewFloat(vals[idx])
+}
+
+// GroupByOp evaluates grouped aggregation. With no group expressions it
+// produces a single global group (one row even over empty input, per SQL).
+// Grouping is hash-based over the group key values.
+type GroupByOp struct {
+	Child     Operator
+	GroupBy   []Expr
+	GroupCols types.Schema // names/kinds for the group key outputs
+	Aggs      []AggSpec
+
+	out     types.Schema
+	results []types.Row
+	pos     int
+}
+
+// Schema implements Operator: group columns then aggregate columns.
+func (g *GroupByOp) Schema() types.Schema {
+	if g.out == nil {
+		g.out = append(types.Schema{}, g.GroupCols...)
+		for _, a := range g.Aggs {
+			kind := types.KindFloat
+			switch a.Func {
+			case AggCount, AggCountStar, AggCountDistinct:
+				kind = types.KindInt
+			case AggMin, AggMax, AggSum:
+				kind = types.KindNull // depends on input; refined at runtime
+			}
+			g.out = append(g.out, types.Column{Name: a.Name, Kind: kind, Nullable: true})
+		}
+	}
+	return g.out
+}
+
+type groupState struct {
+	key  types.Row
+	accs []accumulator
+}
+
+// Open implements Operator: it consumes the whole child and aggregates.
+func (g *GroupByOp) Open() error {
+	if err := g.Child.Open(); err != nil {
+		return err
+	}
+	defer g.Child.Close()
+	groups := make(map[uint64][]*groupState)
+	var order []*groupState
+	for {
+		ch, err := g.Child.Next()
+		if err != nil {
+			return err
+		}
+		if ch == nil {
+			break
+		}
+		for _, row := range ch.Rows {
+			key := make(types.Row, len(g.GroupBy))
+			for i, e := range g.GroupBy {
+				v, err := e.Eval(row)
+				if err != nil {
+					return err
+				}
+				key[i] = v
+			}
+			h := key.Hash()
+			var st *groupState
+			for _, cand := range groups[h] {
+				if groupKeyEqual(cand.key, key) {
+					st = cand
+					break
+				}
+			}
+			if st == nil {
+				st = &groupState{key: key, accs: make([]accumulator, len(g.Aggs))}
+				groups[h] = append(groups[h], st)
+				order = append(order, st)
+			}
+			for i := range g.Aggs {
+				if err := st.accs[i].add(g.Aggs[i], row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(order) == 0 && len(g.GroupBy) == 0 {
+		order = append(order, &groupState{accs: make([]accumulator, len(g.Aggs))})
+	}
+	g.results = g.results[:0]
+	for _, st := range order {
+		row := make(types.Row, 0, len(st.key)+len(g.Aggs))
+		row = append(row, st.key...)
+		for i := range g.Aggs {
+			row = append(row, st.accs[i].result(g.Aggs[i]))
+		}
+		g.results = append(g.results, row)
+	}
+	g.pos = 0
+	return nil
+}
+
+// groupKeyEqual compares group keys with NULL == NULL (SQL GROUP BY puts
+// NULLs into one group, unlike comparison semantics).
+func groupKeyEqual(a, b types.Row) bool {
+	for i := range a {
+		an, bn := a[i].IsNull(), b[i].IsNull()
+		if an != bn {
+			return false
+		}
+		if !an && types.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Next implements Operator.
+func (g *GroupByOp) Next() (*Chunk, error) {
+	if g.pos >= len(g.results) {
+		return nil, nil
+	}
+	end := g.pos + ChunkSize
+	if end > len(g.results) {
+		end = len(g.results)
+	}
+	ch := &Chunk{Schema: g.Schema(), Rows: g.results[g.pos:end]}
+	g.pos = end
+	return ch, nil
+}
+
+// Close implements Operator.
+func (g *GroupByOp) Close() error {
+	g.results = nil
+	return nil
+}
+
+// DistinctOp removes duplicate rows (SELECT DISTINCT).
+type DistinctOp struct {
+	Child Operator
+	seen  map[uint64][]types.Row
+}
+
+// Schema implements Operator.
+func (d *DistinctOp) Schema() types.Schema { return d.Child.Schema() }
+
+// Open implements Operator.
+func (d *DistinctOp) Open() error {
+	d.seen = make(map[uint64][]types.Row)
+	return d.Child.Open()
+}
+
+// Next implements Operator.
+func (d *DistinctOp) Next() (*Chunk, error) {
+	for {
+		ch, err := d.Child.Next()
+		if err != nil || ch == nil {
+			return nil, err
+		}
+		var out []types.Row
+		for _, row := range ch.Rows {
+			h := row.Hash()
+			dup := false
+			for _, prev := range d.seen[h] {
+				if groupKeyEqual(prev, row) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				d.seen[h] = append(d.seen[h], row)
+				out = append(out, row)
+			}
+		}
+		if len(out) > 0 {
+			return &Chunk{Schema: ch.Schema, Rows: out}, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (d *DistinctOp) Close() error {
+	d.seen = nil
+	return d.Child.Close()
+}

@@ -1,0 +1,278 @@
+package exec
+
+import (
+	"fmt"
+
+	"dashdb/internal/types"
+)
+
+// JoinType selects the join semantics.
+type JoinType uint8
+
+const (
+	// InnerJoin emits only matching pairs.
+	InnerJoin JoinType = iota
+	// LeftJoin preserves unmatched left rows, padding the right side
+	// with NULLs (including Oracle's (+) outer-join syntax).
+	LeftJoin
+)
+
+// l2Budget is the target size of one build-side partition, approximating
+// an L2 cache slice. Partitioning the build input into chunks of this size
+// before building hash tables is the cache-efficient join strategy of
+// §II.B.7 ("partitioning data into L3 or L2 chunks for performing joins
+// and grouping, as pioneered in Hybrid Hash Join and MonetDB").
+const l2Budget = 256 << 10
+
+// rowBytes is the planner's crude per-row memory estimate.
+func rowBytes(r types.Row) int {
+	sz := 24
+	for _, v := range r {
+		if v.Kind() == types.KindString && !v.IsNull() {
+			sz += 16 + len(v.Str())
+		} else {
+			sz += 16
+		}
+	}
+	return sz
+}
+
+// HashJoinOp is a partitioned in-memory hash join. The right child is the
+// build side (the planner puts the smaller input there); the left child
+// streams as the probe side.
+type HashJoinOp struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []int
+	Type                JoinType
+
+	parts   []joinPartition
+	mask    uint64
+	out     types.Schema
+	pending []types.Row
+}
+
+type joinPartition struct {
+	rows  []types.Row
+	table map[uint64][]int32 // key hash -> row indices in rows
+}
+
+// Schema implements Operator: left columns followed by right columns.
+func (j *HashJoinOp) Schema() types.Schema {
+	if j.out == nil {
+		j.out = append(append(types.Schema{}, j.Left.Schema()...), j.Right.Schema()...)
+	}
+	return j.out
+}
+
+// Open implements Operator: it drains and partitions the build side.
+func (j *HashJoinOp) Open() error {
+	if len(j.LeftKeys) != len(j.RightKeys) || len(j.LeftKeys) == 0 {
+		return fmt.Errorf("exec: hash join needs matching non-empty key lists")
+	}
+	build, err := Drain(j.Right) // Drain opens and closes the build side
+	if err != nil {
+		return err
+	}
+	totalBytes := 0
+	for _, r := range build {
+		totalBytes += rowBytes(r)
+	}
+	nParts := 1
+	for nParts*l2Budget < totalBytes {
+		nParts *= 2
+	}
+	j.mask = uint64(nParts - 1)
+	j.parts = make([]joinPartition, nParts)
+	for _, r := range build {
+		h, ok := keyHash(r, j.RightKeys)
+		if !ok {
+			continue // NULL join keys never match
+		}
+		p := &j.parts[h&j.mask]
+		p.rows = append(p.rows, r)
+	}
+	// Build one small hash table per partition; each fits the cache
+	// budget so probes stay cache-resident.
+	for pi := range j.parts {
+		p := &j.parts[pi]
+		p.table = make(map[uint64][]int32, len(p.rows))
+		for i, r := range p.rows {
+			h, _ := keyHash(r, j.RightKeys)
+			p.table[h] = append(p.table[h], int32(i))
+		}
+	}
+	return j.Left.Open()
+}
+
+// keyHash hashes the join key columns; ok is false when any key is NULL.
+func keyHash(r types.Row, keys []int) (uint64, bool) {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, k := range keys {
+		if r[k].IsNull() {
+			return 0, false
+		}
+		h = h*0x100000001b3 ^ r[k].Hash()
+	}
+	return h, true
+}
+
+// keysEqual verifies candidate matches (hash collisions).
+func keysEqual(l types.Row, lk []int, r types.Row, rk []int) bool {
+	for i := range lk {
+		if !types.Equal(l[lk[i]], r[rk[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Next implements Operator.
+func (j *HashJoinOp) Next() (*Chunk, error) {
+	for {
+		if len(j.pending) >= ChunkSize {
+			ch := &Chunk{Schema: j.Schema(), Rows: j.pending[:ChunkSize]}
+			j.pending = j.pending[ChunkSize:]
+			return ch, nil
+		}
+		lch, err := j.Left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if lch == nil {
+			if len(j.pending) > 0 {
+				ch := &Chunk{Schema: j.Schema(), Rows: j.pending}
+				j.pending = nil
+				return ch, nil
+			}
+			return nil, nil
+		}
+		rightWidth := len(j.Right.Schema())
+		for _, lrow := range lch.Rows {
+			matched := false
+			if h, ok := keyHash(lrow, j.LeftKeys); ok {
+				p := &j.parts[h&j.mask]
+				for _, ri := range p.table[h] {
+					rrow := p.rows[ri]
+					if keysEqual(lrow, j.LeftKeys, rrow, j.RightKeys) {
+						matched = true
+						out := make(types.Row, 0, len(lrow)+len(rrow))
+						out = append(append(out, lrow...), rrow...)
+						j.pending = append(j.pending, out)
+					}
+				}
+			}
+			if !matched && j.Type == LeftJoin {
+				out := make(types.Row, 0, len(lrow)+rightWidth)
+				out = append(out, lrow...)
+				for i := 0; i < rightWidth; i++ {
+					out = append(out, types.NullOf(j.Right.Schema()[i].Kind))
+				}
+				j.pending = append(j.pending, out)
+			}
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoinOp) Close() error {
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	j.parts = nil
+	j.pending = nil
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// NestedLoopJoinOp joins on an arbitrary predicate (non-equi joins,
+// e.g. Oracle hierarchical or theta joins). Quadratic; the planner only
+// picks it when no equi-keys exist.
+type NestedLoopJoinOp struct {
+	Left, Right Operator
+	Pred        Expr // evaluated on the concatenated row; nil = cross join
+	Type        JoinType
+
+	right   []types.Row
+	out     types.Schema
+	pending []types.Row
+}
+
+// Schema implements Operator.
+func (j *NestedLoopJoinOp) Schema() types.Schema {
+	if j.out == nil {
+		j.out = append(append(types.Schema{}, j.Left.Schema()...), j.Right.Schema()...)
+	}
+	return j.out
+}
+
+// Open implements Operator.
+func (j *NestedLoopJoinOp) Open() error {
+	var err error
+	j.right, err = Drain(j.Right) // Drain opens and closes the build side
+	if err != nil {
+		return err
+	}
+	return j.Left.Open()
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoinOp) Next() (*Chunk, error) {
+	for {
+		if len(j.pending) >= ChunkSize {
+			ch := &Chunk{Schema: j.Schema(), Rows: j.pending[:ChunkSize]}
+			j.pending = j.pending[ChunkSize:]
+			return ch, nil
+		}
+		lch, err := j.Left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if lch == nil {
+			if len(j.pending) > 0 {
+				ch := &Chunk{Schema: j.Schema(), Rows: j.pending}
+				j.pending = nil
+				return ch, nil
+			}
+			return nil, nil
+		}
+		rightWidth := len(j.Right.Schema())
+		for _, lrow := range lch.Rows {
+			matched := false
+			for _, rrow := range j.right {
+				out := make(types.Row, 0, len(lrow)+len(rrow))
+				out = append(append(out, lrow...), rrow...)
+				if j.Pred != nil {
+					v, err := j.Pred.Eval(out)
+					if err != nil {
+						return nil, err
+					}
+					if v.IsNull() || v.Kind() != types.KindBool || !v.Bool() {
+						continue
+					}
+				}
+				matched = true
+				j.pending = append(j.pending, out)
+			}
+			if !matched && j.Type == LeftJoin {
+				out := make(types.Row, 0, len(lrow)+rightWidth)
+				out = append(out, lrow...)
+				for i := 0; i < rightWidth; i++ {
+					out = append(out, types.NullOf(j.Right.Schema()[i].Kind))
+				}
+				j.pending = append(j.pending, out)
+			}
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoinOp) Close() error {
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	j.right = nil
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

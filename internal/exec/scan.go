@@ -1,0 +1,154 @@
+package exec
+
+import (
+	"dashdb/internal/columnar"
+	"dashdb/internal/rowstore"
+	"dashdb/internal/types"
+)
+
+// ScanOp streams a columnar table with predicates pushed into the
+// compressed scan (data skipping + SWAR) and optional projection.
+// Projection ordinals refer to the table schema; nil projects all columns.
+type ScanOp struct {
+	Table      *columnar.Table
+	Preds      []columnar.Pred
+	Projection []int
+
+	out    types.Schema
+	chunks chan *Chunk
+	errc   chan error
+	stop   chan struct{}
+}
+
+// NewScan builds a ScanOp.
+func NewScan(t *columnar.Table, preds []columnar.Pred, projection []int) *ScanOp {
+	s := &ScanOp{Table: t, Preds: preds, Projection: projection}
+	if projection == nil {
+		s.out = t.Schema()
+	} else {
+		for _, ci := range projection {
+			s.out = append(s.out, t.Schema()[ci])
+		}
+	}
+	return s
+}
+
+// Schema implements Operator.
+func (s *ScanOp) Schema() types.Schema { return s.out }
+
+// Open implements Operator: the scan runs in a goroutine delivering one
+// chunk per stride; batches are materialized inside the scan callback
+// because a columnar.Batch is only valid during the callback.
+func (s *ScanOp) Open() error {
+	s.chunks = make(chan *Chunk, 2)
+	s.errc = make(chan error, 1)
+	s.stop = make(chan struct{})
+	go func() {
+		defer close(s.chunks)
+		err := s.Table.Scan(s.Preds, func(b *columnar.Batch) bool {
+			rows := make([]types.Row, b.Len())
+			for i := 0; i < b.Len(); i++ {
+				if s.Projection == nil {
+					rows[i] = b.Row(i)
+				} else {
+					r := make(types.Row, len(s.Projection))
+					for j, ci := range s.Projection {
+						r[j] = b.Value(ci, i)
+					}
+					rows[i] = r
+				}
+			}
+			select {
+			case s.chunks <- &Chunk{Schema: s.out, Rows: rows}:
+				return true
+			case <-s.stop:
+				return false
+			}
+		})
+		if err != nil {
+			s.errc <- err
+		}
+	}()
+	return nil
+}
+
+// Next implements Operator.
+func (s *ScanOp) Next() (*Chunk, error) {
+	ch, ok := <-s.chunks
+	if !ok {
+		select {
+		case err := <-s.errc:
+			return nil, err
+		default:
+			return nil, nil
+		}
+	}
+	return ch, nil
+}
+
+// Close implements Operator.
+func (s *ScanOp) Close() error {
+	if s.stop != nil {
+		select {
+		case <-s.stop:
+		default:
+			close(s.stop)
+		}
+		// Drain so the producer goroutine exits.
+		for range s.chunks {
+		}
+		s.stop = nil
+	}
+	return nil
+}
+
+// RowScanOp streams a row-store table (the baseline engine's access path:
+// row-at-a-time with a residual predicate, no skipping, no SIMD).
+type RowScanOp struct {
+	Table *rowstore.Table
+	Pred  Expr // optional residual filter
+	rows  []types.Row
+	pos   int
+}
+
+// Schema implements Operator.
+func (r *RowScanOp) Schema() types.Schema { return r.Table.Schema() }
+
+// Open implements Operator.
+func (r *RowScanOp) Open() error {
+	r.rows = r.rows[:0]
+	r.pos = 0
+	var err error
+	r.Table.Scan(func(_ int64, row types.Row) bool {
+		if r.Pred != nil {
+			v, e := r.Pred.Eval(row)
+			if e != nil {
+				err = e
+				return false
+			}
+			if v.IsNull() || v.Kind() != types.KindBool || !v.Bool() {
+				return true
+			}
+		}
+		r.rows = append(r.rows, row)
+		return true
+	})
+	return err
+}
+
+// Next implements Operator.
+func (r *RowScanOp) Next() (*Chunk, error) {
+	if r.pos >= len(r.rows) {
+		return nil, nil
+	}
+	end := r.pos + ChunkSize
+	if end > len(r.rows) {
+		end = len(r.rows)
+	}
+	ch := &Chunk{Schema: r.Table.Schema(), Rows: r.rows[r.pos:end]}
+	r.pos = end
+	return ch, nil
+}
+
+// Close implements Operator.
+func (r *RowScanOp) Close() error { return nil }

@@ -1,0 +1,92 @@
+package exec
+
+import (
+	"sort"
+
+	"dashdb/internal/types"
+)
+
+// SortKey is one ORDER BY term.
+type SortKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// SortOp buffers its input and emits it ordered by the sort keys.
+// NULLs sort first ascending (types.Compare convention), last descending.
+type SortOp struct {
+	Child Operator
+	Keys  []SortKey
+
+	rows []types.Row
+	pos  int
+}
+
+// Schema implements Operator.
+func (s *SortOp) Schema() types.Schema { return s.Child.Schema() }
+
+// Open implements Operator: drains and sorts the child.
+func (s *SortOp) Open() error {
+	rows, err := Drain(s.Child)
+	if err != nil {
+		return err
+	}
+	// Precompute key columns so the comparator never re-evaluates
+	// expressions (sort is O(n log n) comparisons).
+	keys := make([][]types.Value, len(rows))
+	for i, r := range rows {
+		ks := make([]types.Value, len(s.Keys))
+		for j, k := range s.Keys {
+			v, err := k.Expr.Eval(r)
+			if err != nil {
+				return err
+			}
+			ks[j] = v
+		}
+		keys[i] = ks
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for j := range s.Keys {
+			c := types.Compare(ka[j], kb[j])
+			if c == 0 {
+				continue
+			}
+			if s.Keys[j].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.rows = make([]types.Row, len(rows))
+	for i, ix := range idx {
+		s.rows[i] = rows[ix]
+	}
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *SortOp) Next() (*Chunk, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	end := s.pos + ChunkSize
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	ch := &Chunk{Schema: s.Schema(), Rows: s.rows[s.pos:end]}
+	s.pos = end
+	return ch, nil
+}
+
+// Close implements Operator.
+func (s *SortOp) Close() error {
+	s.rows = nil
+	return nil
+}

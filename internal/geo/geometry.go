@@ -1,0 +1,517 @@
+// Package geo implements the SQL/MM geospatial support of §II.C.5:
+// "complete coverage of location data types such as points, line strings
+// and polygons along with the full set of geospatial computation and
+// analytic functions as defined by the SQL/MM standard".
+//
+// Geometries are exchanged with SQL as WKT (well-known text) strings —
+// POINT, LINESTRING and POLYGON — and the ST_* function surface
+// (registered by RegisterFunctions in the sql package) computes over the
+// parsed forms in planar coordinates.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// GeomKind discriminates geometry types.
+type GeomKind uint8
+
+const (
+	// KindPoint is a single coordinate.
+	KindPoint GeomKind = iota
+	// KindLineString is an ordered coordinate sequence.
+	KindLineString
+	// KindPolygon is a closed outer ring (optionally with holes).
+	KindPolygon
+)
+
+// String names the kind in WKT style.
+func (k GeomKind) String() string {
+	return [...]string{"POINT", "LINESTRING", "POLYGON"}[k]
+}
+
+// XY is one planar coordinate.
+type XY struct {
+	X, Y float64
+}
+
+// Geometry is a parsed geometry value.
+type Geometry struct {
+	Kind  GeomKind
+	Pts   []XY   // point: 1 entry; linestring: vertices
+	Rings [][]XY // polygon: ring 0 = outer shell, rest = holes
+}
+
+// --- WKT --------------------------------------------------------------------
+
+// ParseWKT parses POINT/LINESTRING/POLYGON well-known text.
+func ParseWKT(s string) (*Geometry, error) {
+	s = strings.TrimSpace(s)
+	upper := strings.ToUpper(s)
+	switch {
+	case strings.HasPrefix(upper, "POINT"):
+		pts, err := parseCoordList(s[len("POINT"):])
+		if err != nil {
+			return nil, err
+		}
+		if len(pts) != 1 {
+			return nil, fmt.Errorf("geo: POINT needs exactly one coordinate")
+		}
+		return &Geometry{Kind: KindPoint, Pts: pts}, nil
+	case strings.HasPrefix(upper, "LINESTRING"):
+		pts, err := parseCoordList(s[len("LINESTRING"):])
+		if err != nil {
+			return nil, err
+		}
+		if len(pts) < 2 {
+			return nil, fmt.Errorf("geo: LINESTRING needs at least two coordinates")
+		}
+		return &Geometry{Kind: KindLineString, Pts: pts}, nil
+	case strings.HasPrefix(upper, "POLYGON"):
+		rings, err := parseRings(s[len("POLYGON"):])
+		if err != nil {
+			return nil, err
+		}
+		return &Geometry{Kind: KindPolygon, Rings: rings}, nil
+	}
+	return nil, fmt.Errorf("geo: unsupported WKT %q", truncate(s, 40))
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// parseCoordList parses "(x y, x y, ...)".
+func parseCoordList(s string) ([]XY, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("geo: expected parenthesized coordinates, got %q", truncate(s, 40))
+	}
+	inner := s[1 : len(s)-1]
+	parts := strings.Split(inner, ",")
+	pts := make([]XY, 0, len(parts))
+	for _, part := range parts {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("geo: coordinate %q must be 'x y'", part)
+		}
+		x, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("geo: bad x %q", fields[0])
+		}
+		y, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("geo: bad y %q", fields[1])
+		}
+		pts = append(pts, XY{X: x, Y: y})
+	}
+	return pts, nil
+}
+
+// parseRings parses "((x y, ...), (x y, ...))".
+func parseRings(s string) ([][]XY, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("geo: expected ring list, got %q", truncate(s, 40))
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	var rings [][]XY
+	depth := 0
+	start := 0
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '(':
+			if depth == 0 {
+				start = i
+			}
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				ring, err := parseCoordList(inner[start : i+1])
+				if err != nil {
+					return nil, err
+				}
+				if len(ring) < 4 {
+					return nil, fmt.Errorf("geo: ring needs at least 4 coordinates")
+				}
+				if ring[0] != ring[len(ring)-1] {
+					return nil, fmt.Errorf("geo: ring must be closed (first == last)")
+				}
+				rings = append(rings, ring)
+			}
+		}
+	}
+	if depth != 0 || len(rings) == 0 {
+		return nil, fmt.Errorf("geo: malformed polygon rings")
+	}
+	return rings, nil
+}
+
+// WKT renders the geometry back to well-known text.
+func (g *Geometry) WKT() string {
+	var b strings.Builder
+	switch g.Kind {
+	case KindPoint:
+		fmt.Fprintf(&b, "POINT (%s %s)", fl(g.Pts[0].X), fl(g.Pts[0].Y))
+	case KindLineString:
+		b.WriteString("LINESTRING (")
+		writeCoords(&b, g.Pts)
+		b.WriteByte(')')
+	case KindPolygon:
+		b.WriteString("POLYGON (")
+		for i, ring := range g.Rings {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteByte('(')
+			writeCoords(&b, ring)
+			b.WriteByte(')')
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+func writeCoords(b *strings.Builder, pts []XY) {
+	for i, p := range pts {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", fl(p.X), fl(p.Y))
+	}
+}
+
+func fl(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// --- measures ----------------------------------------------------------------
+
+// Length returns the linestring's polyline length, a polygon's perimeter,
+// or 0 for a point.
+func (g *Geometry) Length() float64 {
+	switch g.Kind {
+	case KindLineString:
+		return polylineLength(g.Pts)
+	case KindPolygon:
+		total := 0.0
+		for _, ring := range g.Rings {
+			total += polylineLength(ring)
+		}
+		return total
+	default:
+		return 0
+	}
+}
+
+func polylineLength(pts []XY) float64 {
+	total := 0.0
+	for i := 1; i < len(pts); i++ {
+		total += dist(pts[i-1], pts[i])
+	}
+	return total
+}
+
+func dist(a, b XY) float64 { return math.Hypot(a.X-b.X, a.Y-b.Y) }
+
+// Area returns the polygon's area (shoelace, holes subtracted); 0 for
+// other kinds.
+func (g *Geometry) Area() float64 {
+	if g.Kind != KindPolygon {
+		return 0
+	}
+	area := math.Abs(ringArea(g.Rings[0]))
+	for _, hole := range g.Rings[1:] {
+		area -= math.Abs(ringArea(hole))
+	}
+	return area
+}
+
+func ringArea(ring []XY) float64 {
+	sum := 0.0
+	for i := 1; i < len(ring); i++ {
+		sum += ring[i-1].X*ring[i].Y - ring[i].X*ring[i-1].Y
+	}
+	return sum / 2
+}
+
+// Centroid returns the geometry's centroid: the point itself, the
+// vertex-average for linestrings, the area centroid for polygons.
+func (g *Geometry) Centroid() XY {
+	switch g.Kind {
+	case KindPoint:
+		return g.Pts[0]
+	case KindLineString:
+		var c XY
+		for _, p := range g.Pts {
+			c.X += p.X
+			c.Y += p.Y
+		}
+		n := float64(len(g.Pts))
+		return XY{c.X / n, c.Y / n}
+	default:
+		ring := g.Rings[0]
+		a := ringArea(ring)
+		if a == 0 {
+			return ring[0]
+		}
+		var cx, cy float64
+		for i := 1; i < len(ring); i++ {
+			cross := ring[i-1].X*ring[i].Y - ring[i].X*ring[i-1].Y
+			cx += (ring[i-1].X + ring[i].X) * cross
+			cy += (ring[i-1].Y + ring[i].Y) * cross
+		}
+		return XY{cx / (6 * a), cy / (6 * a)}
+	}
+}
+
+// Envelope returns the geometry's bounding box as a polygon.
+func (g *Geometry) Envelope() *Geometry {
+	pts := g.Pts
+	if g.Kind == KindPolygon {
+		pts = nil
+		for _, ring := range g.Rings {
+			pts = append(pts, ring...)
+		}
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	ring := []XY{{minX, minY}, {maxX, minY}, {maxX, maxY}, {minX, maxY}, {minX, minY}}
+	return &Geometry{Kind: KindPolygon, Rings: [][]XY{ring}}
+}
+
+// NumPoints returns the vertex count.
+func (g *Geometry) NumPoints() int {
+	if g.Kind == KindPolygon {
+		n := 0
+		for _, ring := range g.Rings {
+			n += len(ring)
+		}
+		return n
+	}
+	return len(g.Pts)
+}
+
+// --- predicates ----------------------------------------------------------------
+
+// containsPoint tests point-in-polygon by ray casting, honoring holes.
+// Boundary points count as contained.
+func (g *Geometry) containsPoint(p XY) bool {
+	if g.Kind != KindPolygon {
+		return false
+	}
+	if !rayCast(g.Rings[0], p) && !onRing(g.Rings[0], p) {
+		return false
+	}
+	for _, hole := range g.Rings[1:] {
+		if rayCast(hole, p) && !onRing(hole, p) {
+			return false
+		}
+	}
+	return true
+}
+
+func rayCast(ring []XY, p XY) bool {
+	inside := false
+	for i := 1; i < len(ring); i++ {
+		a, b := ring[i-1], ring[i]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			xint := a.X + (p.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if p.X < xint {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+func onRing(ring []XY, p XY) bool {
+	for i := 1; i < len(ring); i++ {
+		if pointSegDist(p, ring[i-1], ring[i]) < 1e-12 {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether g spatially contains other (SQL/MM
+// ST_Contains). Supported: polygon⊇point, polygon⊇linestring (all
+// vertices inside), polygon⊇polygon (all shell vertices inside).
+func (g *Geometry) Contains(other *Geometry) bool {
+	if g.Kind != KindPolygon {
+		return false
+	}
+	switch other.Kind {
+	case KindPoint:
+		return g.containsPoint(other.Pts[0])
+	case KindLineString:
+		for _, p := range other.Pts {
+			if !g.containsPoint(p) {
+				return false
+			}
+		}
+		return true
+	case KindPolygon:
+		for _, p := range other.Rings[0] {
+			if !g.containsPoint(p) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Within is the converse of Contains.
+func (g *Geometry) Within(other *Geometry) bool { return other.Contains(g) }
+
+// Intersects reports whether the two geometries share any point
+// (point/linestring/polygon combinations via distance-zero or
+// containment).
+func (g *Geometry) Intersects(other *Geometry) bool {
+	if g.Kind == KindPolygon && other.Kind != KindPolygon {
+		for _, p := range allPoints(other) {
+			if g.containsPoint(p) {
+				return true
+			}
+		}
+	}
+	if other.Kind == KindPolygon && g.Kind != KindPolygon {
+		for _, p := range allPoints(g) {
+			if other.containsPoint(p) {
+				return true
+			}
+		}
+	}
+	if g.Kind == KindPolygon && other.Kind == KindPolygon {
+		for _, p := range other.Rings[0] {
+			if g.containsPoint(p) {
+				return true
+			}
+		}
+		for _, p := range g.Rings[0] {
+			if other.containsPoint(p) {
+				return true
+			}
+		}
+	}
+	return g.Distance(other) < 1e-12
+}
+
+func allPoints(g *Geometry) []XY {
+	if g.Kind == KindPolygon {
+		var pts []XY
+		for _, ring := range g.Rings {
+			pts = append(pts, ring...)
+		}
+		return pts
+	}
+	return g.Pts
+}
+
+// --- distance -------------------------------------------------------------------
+
+// pointSegDist is the distance from p to segment ab.
+func pointSegDist(p, a, b XY) float64 {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	if dx == 0 && dy == 0 {
+		return dist(p, a)
+	}
+	t := ((p.X-a.X)*dx + (p.Y-a.Y)*dy) / (dx*dx + dy*dy)
+	t = math.Max(0, math.Min(1, t))
+	return dist(p, XY{a.X + t*dx, a.Y + t*dy})
+}
+
+// segments returns the geometry's edges.
+func segments(g *Geometry) [][2]XY {
+	var segs [][2]XY
+	addPolyline := func(pts []XY) {
+		for i := 1; i < len(pts); i++ {
+			segs = append(segs, [2]XY{pts[i-1], pts[i]})
+		}
+	}
+	switch g.Kind {
+	case KindLineString:
+		addPolyline(g.Pts)
+	case KindPolygon:
+		for _, ring := range g.Rings {
+			addPolyline(ring)
+		}
+	}
+	return segs
+}
+
+// Distance returns the minimum planar distance between the two
+// geometries (0 when one contains or touches the other).
+func (g *Geometry) Distance(other *Geometry) float64 {
+	// Containment short-circuit.
+	if g.Kind == KindPolygon && other.Kind == KindPoint && g.containsPoint(other.Pts[0]) {
+		return 0
+	}
+	if other.Kind == KindPolygon && g.Kind == KindPoint && other.containsPoint(g.Pts[0]) {
+		return 0
+	}
+	gp, op := allPoints(g), allPoints(other)
+	gs, os := segments(g), segments(other)
+	min := math.Inf(1)
+	// Point-to-point.
+	for _, a := range gp {
+		for _, b := range op {
+			min = math.Min(min, dist(a, b))
+		}
+	}
+	// Point-to-segment both directions.
+	for _, p := range gp {
+		for _, s := range os {
+			min = math.Min(min, pointSegDist(p, s[0], s[1]))
+		}
+	}
+	for _, p := range op {
+		for _, s := range gs {
+			min = math.Min(min, pointSegDist(p, s[0], s[1]))
+		}
+	}
+	// Crossing segments.
+	for _, s1 := range gs {
+		for _, s2 := range os {
+			if segsIntersect(s1[0], s1[1], s2[0], s2[1]) {
+				return 0
+			}
+		}
+	}
+	return min
+}
+
+func segsIntersect(a, b, c, d XY) bool {
+	o := func(p, q, r XY) float64 { return (q.X-p.X)*(r.Y-p.Y) - (q.Y-p.Y)*(r.X-p.X) }
+	o1, o2, o3, o4 := o(a, b, c), o(a, b, d), o(c, d, a), o(c, d, b)
+	return o1*o2 < 0 && o3*o4 < 0
+}
+
+// Buffer returns a polygon approximating all points within radius r of a
+// point geometry (SQL/MM ST_Buffer, point support).
+func (g *Geometry) Buffer(r float64, segs int) (*Geometry, error) {
+	if g.Kind != KindPoint {
+		return nil, fmt.Errorf("geo: ST_Buffer supports POINT geometries")
+	}
+	if segs < 8 {
+		segs = 32
+	}
+	c := g.Pts[0]
+	ring := make([]XY, 0, segs+1)
+	for i := 0; i < segs; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(segs)
+		ring = append(ring, XY{c.X + r*math.Cos(theta), c.Y + r*math.Sin(theta)})
+	}
+	ring = append(ring, ring[0])
+	return &Geometry{Kind: KindPolygon, Rings: [][]XY{ring}}, nil
+}

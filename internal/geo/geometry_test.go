@@ -1,0 +1,198 @@
+package geo
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, wkt string) *Geometry {
+	t.Helper()
+	g, err := ParseWKT(wkt)
+	if err != nil {
+		t.Fatalf("ParseWKT(%q): %v", wkt, err)
+	}
+	return g
+}
+
+func TestParseWKTRoundTrip(t *testing.T) {
+	for _, wkt := range []string{
+		"POINT (1 2)",
+		"POINT (-3.5 4.25)",
+		"LINESTRING (0 0, 1 1, 2 0)",
+		"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+		"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))",
+	} {
+		g := mustParse(t, wkt)
+		back := mustParse(t, g.WKT())
+		if back.WKT() != g.WKT() {
+			t.Errorf("round trip %q -> %q -> %q", wkt, g.WKT(), back.WKT())
+		}
+	}
+	// Case-insensitive keyword, flexible spacing.
+	g := mustParse(t, "point(1   2)")
+	if g.Kind != KindPoint || g.Pts[0] != (XY{1, 2}) {
+		t.Errorf("lenient parse: %+v", g)
+	}
+}
+
+func TestParseWKTErrors(t *testing.T) {
+	for _, wkt := range []string{
+		"", "CIRCLE (0 0)", "POINT 1 2", "POINT (1)", "POINT (a b)",
+		"LINESTRING (0 0)", "POLYGON ((0 0, 1 0, 1 1))", // too few / unclosed
+		"POLYGON ((0 0, 1 0, 1 1, 2 2))", // not closed
+	} {
+		if _, err := ParseWKT(wkt); err == nil {
+			t.Errorf("ParseWKT(%q) should fail", wkt)
+		}
+	}
+}
+
+func TestAreaAndLength(t *testing.T) {
+	sq := mustParse(t, "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")
+	if sq.Area() != 100 {
+		t.Errorf("area %v", sq.Area())
+	}
+	if sq.Length() != 40 {
+		t.Errorf("perimeter %v", sq.Length())
+	}
+	holed := mustParse(t, "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))")
+	if holed.Area() != 96 {
+		t.Errorf("holed area %v", holed.Area())
+	}
+	ls := mustParse(t, "LINESTRING (0 0, 3 4)")
+	if ls.Length() != 5 {
+		t.Errorf("linestring length %v", ls.Length())
+	}
+}
+
+func TestContains(t *testing.T) {
+	poly := mustParse(t, "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")
+	in := mustParse(t, "POINT (5 5)")
+	out := mustParse(t, "POINT (15 5)")
+	edge := mustParse(t, "POINT (10 5)")
+	if !poly.Contains(in) || poly.Contains(out) {
+		t.Error("point containment")
+	}
+	if !poly.Contains(edge) {
+		t.Error("boundary point should count as contained")
+	}
+	// Hole excludes.
+	holed := mustParse(t, "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))")
+	if holed.Contains(mustParse(t, "POINT (5 5)")) {
+		t.Error("hole interior must not be contained")
+	}
+	if !holed.Contains(mustParse(t, "POINT (2 2)")) {
+		t.Error("shell interior outside hole must be contained")
+	}
+	// Linestring and polygon containment.
+	if !poly.Contains(mustParse(t, "LINESTRING (1 1, 9 9)")) {
+		t.Error("contained linestring")
+	}
+	if !poly.Contains(mustParse(t, "POLYGON ((2 2, 8 2, 8 8, 2 8, 2 2))")) {
+		t.Error("contained polygon")
+	}
+	if !mustParse(t, "POINT (5 5)").Within(poly) {
+		t.Error("within is converse of contains")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a := mustParse(t, "POINT (0 0)")
+	b := mustParse(t, "POINT (3 4)")
+	if a.Distance(b) != 5 {
+		t.Errorf("point-point %v", a.Distance(b))
+	}
+	ls := mustParse(t, "LINESTRING (0 10, 10 10)")
+	if d := a.Distance(ls); d != 10 {
+		t.Errorf("point-line %v", d)
+	}
+	poly := mustParse(t, "POLYGON ((5 5, 15 5, 15 15, 5 15, 5 5))")
+	inside := mustParse(t, "POINT (10 10)")
+	if d := inside.Distance(poly); d != 0 {
+		t.Errorf("inside point distance %v", d)
+	}
+	if d := a.Distance(poly); math.Abs(d-math.Hypot(5, 5)) > 1e-9 {
+		t.Errorf("outside point distance %v", d)
+	}
+	// Crossing linestrings → 0.
+	x1 := mustParse(t, "LINESTRING (0 0, 10 10)")
+	x2 := mustParse(t, "LINESTRING (0 10, 10 0)")
+	if d := x1.Distance(x2); d != 0 {
+		t.Errorf("crossing lines distance %v", d)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	p1 := mustParse(t, "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")
+	p2 := mustParse(t, "POLYGON ((5 5, 15 5, 15 15, 5 15, 5 5))")
+	p3 := mustParse(t, "POLYGON ((20 20, 30 20, 30 30, 20 30, 20 20))")
+	if !p1.Intersects(p2) {
+		t.Error("overlapping polygons")
+	}
+	if p1.Intersects(p3) {
+		t.Error("disjoint polygons")
+	}
+	if !p1.Intersects(mustParse(t, "POINT (5 5)")) {
+		t.Error("polygon-point")
+	}
+}
+
+func TestCentroidAndEnvelope(t *testing.T) {
+	sq := mustParse(t, "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))")
+	c := sq.Centroid()
+	if math.Abs(c.X-5) > 1e-9 || math.Abs(c.Y-5) > 1e-9 {
+		t.Errorf("centroid %+v", c)
+	}
+	env := mustParse(t, "LINESTRING (1 2, 7 3, 4 9)").Envelope()
+	if env.Area() != (7-1)*(9-2) {
+		t.Errorf("envelope area %v", env.Area())
+	}
+}
+
+func TestBuffer(t *testing.T) {
+	p := mustParse(t, "POINT (0 0)")
+	buf, err := p.Buffer(10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Area approaches πr² as segments increase.
+	if math.Abs(buf.Area()-math.Pi*100) > 2 {
+		t.Errorf("buffer area %v vs %v", buf.Area(), math.Pi*100)
+	}
+	if !buf.Contains(mustParse(t, "POINT (5 5)")) {
+		t.Error("buffer should contain interior point")
+	}
+	if _, err := mustParse(t, "LINESTRING (0 0, 1 1)").Buffer(1, 8); err == nil {
+		t.Error("buffer of linestring unsupported")
+	}
+}
+
+// Property: a point strictly inside a random rectangle is contained and
+// at distance 0; a point beyond the right edge is not contained.
+func TestRectContainmentProperty(t *testing.T) {
+	f := func(x0, y0 int8, w, h uint8) bool {
+		if w == 0 || h == 0 {
+			return true
+		}
+		x, y := float64(x0), float64(y0)
+		W, H := float64(w)+1, float64(h)+1
+		rect := &Geometry{Kind: KindPolygon, Rings: [][]XY{{
+			{x, y}, {x + W, y}, {x + W, y + H}, {x, y + H}, {x, y},
+		}}}
+		inside := &Geometry{Kind: KindPoint, Pts: []XY{{x + W/2, y + H/2}}}
+		outside := &Geometry{Kind: KindPoint, Pts: []XY{{x + W + 1, y}}}
+		return rect.Contains(inside) && !rect.Contains(outside) && inside.Distance(rect) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWKTFormat(t *testing.T) {
+	g := mustParse(t, "POINT (1.5 -2)")
+	if !strings.Contains(g.WKT(), "1.5 -2") {
+		t.Errorf("WKT %q", g.WKT())
+	}
+}

@@ -1,0 +1,54 @@
+// Package jsonpath navigates decoded JSON documents by dotted paths with
+// optional [n] array indexes — the engine's JSON_VALUE path dialect.
+package jsonpath
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Extract navigates a decoded JSON document by a dotted path with
+// optional [n] array indexes.
+func Extract(doc interface{}, path string) (interface{}, bool) {
+	cur := doc
+	if path == "" || path == "$" {
+		return cur, true
+	}
+	path = strings.TrimPrefix(path, "$.")
+	path = strings.TrimPrefix(path, "$")
+	for _, part := range strings.Split(path, ".") {
+		// Array indexes: key[0][1]
+		key := part
+		var idxs []int
+		for strings.HasSuffix(key, "]") {
+			open := strings.LastIndex(key, "[")
+			if open < 0 {
+				return nil, false
+			}
+			n, err := strconv.Atoi(key[open+1 : len(key)-1])
+			if err != nil {
+				return nil, false
+			}
+			idxs = append([]int{n}, idxs...)
+			key = key[:open]
+		}
+		if key != "" {
+			obj, ok := cur.(map[string]interface{})
+			if !ok {
+				return nil, false
+			}
+			cur, ok = obj[key]
+			if !ok {
+				return nil, false
+			}
+		}
+		for _, n := range idxs {
+			arr, ok := cur.([]interface{})
+			if !ok || n < 0 || n >= len(arr) {
+				return nil, false
+			}
+			cur = arr[n]
+		}
+	}
+	return cur, true
+}

@@ -1,0 +1,496 @@
+// Package mpp implements the shared-nothing scale-out of Figure 2 and the
+// elasticity/HA mechanics of §II.E and Figure 9. Data is hash-partitioned
+// into a number of shards several factors larger than the number of
+// servers; each shard is a full engine whose file-set lives on the
+// clustered filesystem. The association of shards to nodes is the only
+// mutable cluster state: failover, elastic shrink and elastic growth are
+// all the same operation — re-associate shards over the current node set
+// and recompute per-shard memory and parallelism.
+package mpp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dashdb/internal/clusterfs"
+	"dashdb/internal/core"
+	"dashdb/internal/types"
+)
+
+// NodeSpec describes one server host.
+type NodeSpec struct {
+	Name     string
+	Cores    int
+	MemBytes int64
+}
+
+// Node is one cluster member.
+type Node struct {
+	Spec NodeSpec
+	Up   bool
+}
+
+// Shard is one data partition: a complete engine over its own file-set.
+type Shard struct {
+	ID int
+	DB *core.DB
+}
+
+// TableOptions control MPP table placement.
+type TableOptions struct {
+	// DistributeBy names the hash-distribution column. Empty selects the
+	// first column.
+	DistributeBy string
+	// Replicated stores a full copy on every shard (dimension tables),
+	// making joins against it co-located.
+	Replicated bool
+}
+
+// tableMeta is the coordinator's view of one table.
+type tableMeta struct {
+	schema  types.Schema
+	distCol int
+	repl    bool
+}
+
+// Stats counts coordinator activity.
+type Stats struct {
+	FastPathQueries   uint64
+	GatherPathQueries uint64
+	Rebalances        uint64
+}
+
+// Cluster is the MPP coordinator plus its shards and nodes.
+type Cluster struct {
+	mu     sync.RWMutex
+	fs     *clusterfs.FS
+	nodes  []*Node
+	shards []*Shard
+	// assign maps shard ID -> node index; the Figure 9 state.
+	assign []int
+	tables map[string]*tableMeta
+	stats  Stats
+	// memPerShardFn recomputes per-shard memory after re-association.
+	shardsPerNode int
+}
+
+// NewCluster builds a cluster over the node specs with shardsPerNode data
+// shards per server (the paper: shard count "several factors larger than
+// the number of servers, though not larger than the cumulative cores").
+func NewCluster(nodes []NodeSpec, shardsPerNode int, fs *clusterfs.FS) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("mpp: cluster needs at least one node")
+	}
+	if shardsPerNode < 1 {
+		shardsPerNode = 1
+	}
+	totalCores := 0
+	for _, n := range nodes {
+		totalCores += n.Cores
+	}
+	nShards := len(nodes) * shardsPerNode
+	if nShards > totalCores && totalCores > 0 {
+		nShards = totalCores
+	}
+	if fs == nil {
+		fs = clusterfs.New()
+	}
+	c := &Cluster{
+		fs:            fs,
+		tables:        make(map[string]*tableMeta),
+		shardsPerNode: shardsPerNode,
+	}
+	for _, spec := range nodes {
+		c.nodes = append(c.nodes, &Node{Spec: spec, Up: true})
+	}
+	for i := 0; i < nShards; i++ {
+		c.shards = append(c.shards, &Shard{ID: i})
+		c.assign = append(c.assign, i%len(nodes))
+	}
+	c.configureShardsLocked()
+	return c, nil
+}
+
+// configureShardsLocked (re)creates or resizes shard engines according to
+// the current assignment: per-shard RAM = node memory / shards-on-node,
+// parallelism = node cores / shards-on-node (minimum 1).
+func (c *Cluster) configureShardsLocked() {
+	perNode := make([]int, len(c.nodes))
+	for _, ni := range c.assign {
+		perNode[ni]++
+	}
+	for _, sh := range c.shards {
+		ni := c.assign[sh.ID]
+		node := c.nodes[ni]
+		memShare := int(node.Spec.MemBytes) / max(1, perNode[ni])
+		if memShare < 1<<20 {
+			memShare = 1 << 20
+		}
+		par := node.Spec.Cores / max(1, perNode[ni])
+		if par < 1 {
+			par = 1
+		}
+		if sh.DB == nil {
+			sh.DB = core.Open(core.Config{
+				BufferPoolBytes: memShare,
+				Parallelism:     par,
+				Store:           c.fs.ShardStore(sh.ID),
+			})
+			continue
+		}
+		// Existing shard re-associated: adjust memory; data stays on the
+		// clustered filesystem (§II.E — no copy).
+		sh.DB.Pool().Resize(memShare)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Shards returns the shard list (read-only use).
+func (c *Cluster) Shards() []*Shard {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*Shard(nil), c.shards...)
+}
+
+// Nodes returns the node list snapshot.
+func (c *Cluster) Nodes() []Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Node, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = *n
+	}
+	return out
+}
+
+// Stats returns coordinator counters.
+func (c *Cluster) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats
+}
+
+// FS exposes the clustered filesystem.
+func (c *Cluster) FS() *clusterfs.FS { return c.fs }
+
+// ShardsOnNode returns the shard IDs currently associated with the node.
+func (c *Cluster) ShardsOnNode(name string) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []int
+	for sid, ni := range c.assign {
+		if c.nodes[ni].Spec.Name == name && c.nodes[ni].Up {
+			out = append(out, sid)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Assignment renders the shard→node map for display ("A:6 B:6 C:6 D:6").
+func (c *Cluster) Assignment() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	counts := make(map[string]int)
+	for _, ni := range c.assign {
+		counts[c.nodes[ni].Spec.Name]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s:%d", n, counts[n])
+	}
+	return strings.Join(parts, " ")
+}
+
+// TableInfo describes one cluster table for introspection and hybrid
+// synchronization.
+type TableInfo struct {
+	Name         string
+	Schema       types.Schema
+	DistributeBy string
+	Replicated   bool
+}
+
+// Tables lists the cluster's tables.
+func (c *Cluster) Tables() []TableInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []TableInfo
+	for name, meta := range c.tables {
+		ti := TableInfo{Name: name, Schema: meta.schema, Replicated: meta.repl}
+		if meta.distCol >= 0 && meta.distCol < len(meta.schema) {
+			ti.DistributeBy = meta.schema[meta.distCol].Name
+		}
+		out = append(out, ti)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TableRows gathers every live row of a table to the caller (hybrid sync
+// and diagnostics; replicated tables return one copy).
+func (c *Cluster) TableRows(name string) ([]types.Row, error) {
+	c.mu.RLock()
+	meta, ok := c.tables[strings.ToLower(name)]
+	shards := c.shards
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("mpp: table %s does not exist", name)
+	}
+	if meta.repl {
+		tbl, _ := shards[0].DB.Table(name)
+		return tbl.SelectWhere(nil)
+	}
+	var all []types.Row
+	for _, sh := range shards {
+		tbl, ok := sh.DB.Table(name)
+		if !ok {
+			return nil, fmt.Errorf("mpp: shard %d missing table %s", sh.ID, name)
+		}
+		rows, err := tbl.SelectWhere(nil)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, rows...)
+	}
+	return all, nil
+}
+
+// CreateTable creates a table on every shard and registers coordinator
+// metadata.
+func (c *Cluster) CreateTable(name string, schema types.Schema, opts TableOptions) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, exists := c.tables[key]; exists {
+		return fmt.Errorf("mpp: table %s already exists", name)
+	}
+	distCol := 0
+	if opts.DistributeBy != "" {
+		distCol = schema.ColumnIndex(opts.DistributeBy)
+		if distCol < 0 {
+			return fmt.Errorf("mpp: distribution column %s not in schema", opts.DistributeBy)
+		}
+	}
+	for _, sh := range c.shards {
+		if _, err := sh.DB.CreateTable(name, schema); err != nil {
+			return err
+		}
+	}
+	c.tables[key] = &tableMeta{schema: schema, distCol: distCol, repl: opts.Replicated}
+	return nil
+}
+
+// DropTable removes a table cluster-wide.
+func (c *Cluster) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("mpp: table %s does not exist", name)
+	}
+	delete(c.tables, key)
+	for _, sh := range c.shards {
+		if err := sh.DB.Catalog().DropTable(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert routes rows to shards by the hash of the distribution key;
+// replicated tables receive every row on every shard.
+func (c *Cluster) Insert(table string, rows []types.Row) error {
+	c.mu.RLock()
+	meta, ok := c.tables[strings.ToLower(table)]
+	if !ok {
+		c.mu.RUnlock()
+		return fmt.Errorf("mpp: table %s does not exist", table)
+	}
+	shards := c.shards
+	c.mu.RUnlock()
+
+	if meta.repl {
+		for _, sh := range shards {
+			tbl, _ := sh.DB.Table(table)
+			if err := tbl.InsertBatch(rows); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	buckets := make([][]types.Row, len(shards))
+	for _, r := range rows {
+		h := r[meta.distCol].Hash()
+		buckets[h%uint64(len(shards))] = append(buckets[h%uint64(len(shards))], r)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(shards))
+	for i, sh := range shards {
+		if len(buckets[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			tbl, ok := sh.DB.Table(table)
+			if !ok {
+				errs[i] = fmt.Errorf("mpp: shard %d missing table %s", sh.ID, table)
+				return
+			}
+			errs[i] = tbl.InsertBatch(buckets[i])
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows returns the cluster-wide live row count of a table (replicated
+// tables count one copy).
+func (c *Cluster) Rows(table string) (int, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	meta, ok := c.tables[strings.ToLower(table)]
+	if !ok {
+		return 0, fmt.Errorf("mpp: table %s does not exist", table)
+	}
+	if meta.repl {
+		tbl, _ := c.shards[0].DB.Table(table)
+		return tbl.Rows(), nil
+	}
+	total := 0
+	for _, sh := range c.shards {
+		tbl, _ := sh.DB.Table(table)
+		total += tbl.Rows()
+	}
+	return total, nil
+}
+
+// --- HA and elasticity (Figure 9) -------------------------------------------
+
+// FailNode marks a node down and re-associates its shards round-robin
+// over the surviving nodes, shrinking per-shard memory and parallelism.
+func (c *Cluster) FailNode(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removeNodeLocked(name, false)
+}
+
+// RemoveNode performs elastic contraction: the same re-association as a
+// failure, but deliberate (§II.E).
+func (c *Cluster) RemoveNode(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.removeNodeLocked(name, true)
+}
+
+func (c *Cluster) removeNodeLocked(name string, deliberate bool) error {
+	var victim = -1
+	var survivors []int
+	for i, n := range c.nodes {
+		if n.Spec.Name == name && n.Up {
+			victim = i
+			continue
+		}
+		if n.Up {
+			survivors = append(survivors, i)
+		}
+	}
+	if victim < 0 {
+		return fmt.Errorf("mpp: node %s not found or already down", name)
+	}
+	if len(survivors) == 0 {
+		return fmt.Errorf("mpp: cannot remove the last node")
+	}
+	c.nodes[victim].Up = false
+	// Re-associate the victim's shards round-robin across survivors,
+	// keeping the cluster a well-balanced unit (Figure 9: 4×6 → 3×8).
+	next := 0
+	for sid, ni := range c.assign {
+		if ni == victim {
+			c.assign[sid] = survivors[next%len(survivors)]
+			next++
+		}
+	}
+	c.stats.Rebalances++
+	c.configureShardsLocked()
+	return nil
+}
+
+// AddNode performs elastic growth (or reinstates a repaired node): shards
+// are re-associated onto the new node until the cluster is balanced, and
+// per-shard RAM and parallelism increase accordingly.
+func (c *Cluster) AddNode(spec NodeSpec) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := -1
+	for i, n := range c.nodes {
+		if n.Spec.Name == spec.Name {
+			if n.Up {
+				return fmt.Errorf("mpp: node %s already in cluster", spec.Name)
+			}
+			idx = i
+			n.Up = true
+			n.Spec = spec
+			break
+		}
+	}
+	if idx < 0 {
+		c.nodes = append(c.nodes, &Node{Spec: spec, Up: true})
+		idx = len(c.nodes) - 1
+	}
+	// Move shards from the most loaded nodes onto the new node until
+	// balanced.
+	upCount := 0
+	for _, n := range c.nodes {
+		if n.Up {
+			upCount++
+		}
+	}
+	target := len(c.shards) / upCount
+	moved := 0
+	for moved < target {
+		// Find the most loaded node other than idx.
+		counts := make([]int, len(c.nodes))
+		for _, ni := range c.assign {
+			counts[ni]++
+		}
+		donor, most := -1, 0
+		for i, n := range c.nodes {
+			if i != idx && n.Up && counts[i] > most {
+				donor, most = i, counts[i]
+			}
+		}
+		if donor < 0 || most <= target {
+			break
+		}
+		for sid, ni := range c.assign {
+			if ni == donor {
+				c.assign[sid] = idx
+				moved++
+				break
+			}
+		}
+	}
+	c.stats.Rebalances++
+	c.configureShardsLocked()
+	return nil
+}

@@ -1,0 +1,438 @@
+package mpp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dashdb/internal/core"
+	"dashdb/internal/exec"
+	"dashdb/internal/sql"
+	"dashdb/internal/types"
+)
+
+// Query parses and executes a statement cluster-wide under the ANSI
+// dialect. SELECTs use the MPP fast path (scatter partial aggregation,
+// gather, final merge) when the query decomposes; otherwise they fall
+// back to a coordinator gather plan. DML and DDL are routed or broadcast.
+func (c *Cluster) Query(text string) (*core.Result, error) {
+	return c.QueryDialect(text, sql.DialectANSI)
+}
+
+// QueryDialect is Query under an explicit SQL dialect.
+func (c *Cluster) QueryDialect(text string, d sql.Dialect) (*core.Result, error) {
+	st, err := sql.Parse(text, d)
+	if err != nil {
+		return nil, err
+	}
+	switch stmt := st.(type) {
+	case *sql.SelectStmt:
+		return c.querySelect(stmt, d)
+	case *sql.InsertStmt:
+		return c.insertStmt(stmt, d)
+	case *sql.CreateTableStmt:
+		return c.createTableStmt(stmt)
+	case *sql.DropStmt:
+		if stmt.Kind == "TABLE" {
+			if err := c.DropTable(stmt.Name); err != nil {
+				if stmt.IfExists {
+					return &core.Result{Message: "OK"}, nil
+				}
+				return nil, err
+			}
+			return &core.Result{Message: "TABLE DROPPED"}, nil
+		}
+		return c.broadcast(st)
+	case *sql.TruncateStmt, *sql.DeleteStmt, *sql.UpdateStmt:
+		return c.broadcast(st)
+	default:
+		return c.broadcast(st)
+	}
+}
+
+// broadcast runs a statement on every shard, summing affected rows.
+func (c *Cluster) broadcast(st sql.Statement) (*core.Result, error) {
+	c.mu.RLock()
+	shards := c.shards
+	c.mu.RUnlock()
+	var wg sync.WaitGroup
+	results := make([]*core.Result, len(shards))
+	errs := make([]error, len(shards))
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			results[i], errs[i] = sh.DB.NewSession().ExecParsed(st)
+		}(i, sh)
+	}
+	wg.Wait()
+	total := int64(0)
+	for i := range shards {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		total += results[i].RowsAffected
+	}
+	return &core.Result{RowsAffected: total, Message: fmt.Sprintf("%d rows affected cluster-wide", total)}, nil
+}
+
+// insertStmt evaluates INSERT rows at the coordinator and routes them by
+// distribution key.
+func (c *Cluster) insertStmt(stmt *sql.InsertStmt, d sql.Dialect) (*core.Result, error) {
+	c.mu.RLock()
+	meta, ok := c.tables[strings.ToLower(stmt.Table)]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("mpp: table %s does not exist", stmt.Table)
+	}
+	if stmt.Query != nil {
+		// INSERT..SELECT: run the query cluster-wide, then route.
+		res, err := c.querySelect(stmt.Query, d)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Insert(stmt.Table, res.Rows); err != nil {
+			return nil, err
+		}
+		return &core.Result{RowsAffected: int64(len(res.Rows))}, nil
+	}
+	// Evaluate literal rows with a scratch compiler.
+	scratch := core.Open(core.Config{BufferPoolBytes: 1 << 20})
+	comp := sql.NewCompiler(scratch.Catalog(), d, &sql.EvalEnv{Dialect: d})
+	var rows []types.Row
+	for _, exprRow := range stmt.Rows {
+		row := make(types.Row, len(exprRow))
+		for i, e := range exprRow {
+			ce, err := comp.CompileConstExpr(e)
+			if err != nil {
+				return nil, err
+			}
+			v, err := ce.Eval(nil)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		// Column-list mapping.
+		if len(stmt.Columns) > 0 {
+			full := make(types.Row, len(meta.schema))
+			for i := range full {
+				full[i] = types.NullOf(meta.schema[i].Kind)
+			}
+			for i, name := range stmt.Columns {
+				ci := meta.schema.ColumnIndex(name)
+				if ci < 0 {
+					return nil, fmt.Errorf("mpp: column %s not in table %s", name, stmt.Table)
+				}
+				full[ci] = row[i]
+			}
+			row = full
+		}
+		rows = append(rows, row)
+	}
+	if err := c.Insert(stmt.Table, rows); err != nil {
+		return nil, err
+	}
+	return &core.Result{RowsAffected: int64(len(rows))}, nil
+}
+
+func (c *Cluster) createTableStmt(stmt *sql.CreateTableStmt) (*core.Result, error) {
+	if stmt.AsQuery != nil {
+		return nil, fmt.Errorf("mpp: CREATE TABLE AS SELECT is not supported cluster-wide; create then INSERT..SELECT")
+	}
+	var schema types.Schema
+	for _, cd := range stmt.Columns {
+		kind, err := sql.TypeKindFor(cd.Type)
+		if err != nil {
+			return nil, err
+		}
+		schema = append(schema, types.Column{Name: cd.Name, Kind: kind, Nullable: !cd.NotNull})
+	}
+	if err := c.CreateTable(stmt.Table, schema, TableOptions{}); err != nil {
+		if stmt.IfNotExists {
+			return &core.Result{Message: "TABLE EXISTS"}, nil
+		}
+		return nil, err
+	}
+	return &core.Result{Message: "TABLE CREATED"}, nil
+}
+
+// --- SELECT handling ---------------------------------------------------------
+
+func (c *Cluster) querySelect(sel *sql.SelectStmt, d sql.Dialect) (*core.Result, error) {
+	if plan, ok := c.decompose(sel); ok {
+		res, err := c.runFastPath(sel, plan, d)
+		if err == nil {
+			c.mu.Lock()
+			c.stats.FastPathQueries++
+			c.mu.Unlock()
+			return res, nil
+		}
+		// Fall through to the gather path on any fast-path failure.
+	}
+	c.mu.Lock()
+	c.stats.GatherPathQueries++
+	c.mu.Unlock()
+	return c.gatherQuery(sel, d)
+}
+
+// gatherSource streams a table's rows from every shard to the
+// coordinator (the universal, slower path).
+type gatherSource struct {
+	c     *Cluster
+	table string
+	meta  *tableMeta
+}
+
+func (g *gatherSource) Schema() types.Schema { return g.meta.schema }
+func (g *gatherSource) Origin() string       { return "MPP-GATHER" }
+
+func (g *gatherSource) ScanAll() ([]types.Row, error) {
+	g.c.mu.RLock()
+	shards := g.c.shards
+	g.c.mu.RUnlock()
+	if g.meta.repl {
+		tbl, ok := shards[0].DB.Table(g.table)
+		if !ok {
+			return nil, fmt.Errorf("mpp: shard 0 missing table %s", g.table)
+		}
+		return tbl.SelectWhere(nil)
+	}
+	var mu sync.Mutex
+	var all []types.Row
+	var wg sync.WaitGroup
+	errs := make([]error, len(shards))
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			tbl, ok := sh.DB.Table(g.table)
+			if !ok {
+				errs[i] = fmt.Errorf("mpp: shard %d missing table %s", sh.ID, g.table)
+				return
+			}
+			rows, err := tbl.SelectWhere(nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			all = append(all, rows...)
+			mu.Unlock()
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return all, nil
+}
+
+// gatherQuery compiles the original query at a coordinator engine whose
+// tables are gather-nicknames over the shards. Always correct; used when
+// the query does not decompose.
+func (c *Cluster) gatherQuery(sel *sql.SelectStmt, d sql.Dialect) (*core.Result, error) {
+	coord := core.Open(core.Config{BufferPoolBytes: 4 << 20})
+	c.mu.RLock()
+	for name, meta := range c.tables {
+		if err := coord.Catalog().CreateNickname(name, &gatherSource{c: c, table: name, meta: meta}); err != nil {
+			c.mu.RUnlock()
+			return nil, err
+		}
+	}
+	c.mu.RUnlock()
+	sess := coord.NewSession()
+	sess.SetDialect(d)
+	return sess.ExecParsed(sel)
+}
+
+// fastPlan describes a decomposed aggregate query.
+type fastPlan struct {
+	groupN int // leading group-by output columns
+	aggs   []fastAgg
+	plain  bool // no aggregation: scatter-concat
+	// singleShard: every FROM table is replicated, so the query must run
+	// on exactly one shard (scattering would multiply results).
+	singleShard bool
+}
+
+type fastAgg struct {
+	kind    exec.AggFunc // final merge function
+	avgPair bool         // AVG: partials are (sum, count)
+	name    string
+}
+
+// hasSubquery reports whether the expression tree contains a subquery.
+func hasSubquery(e sql.Expr) bool {
+	switch ex := e.(type) {
+	case *sql.SubqueryExpr, *sql.ExistsExpr:
+		return true
+	case *sql.InExpr:
+		if ex.Sub != nil {
+			return true
+		}
+		for _, le := range ex.List {
+			if hasSubquery(le) {
+				return true
+			}
+		}
+		return hasSubquery(ex.Expr)
+	case *sql.BinaryOp:
+		return hasSubquery(ex.Left) || hasSubquery(ex.Right)
+	case *sql.UnaryOp:
+		return hasSubquery(ex.Expr)
+	case *sql.BetweenExpr:
+		return hasSubquery(ex.Expr) || hasSubquery(ex.Lo) || hasSubquery(ex.Hi)
+	case *sql.FuncCall:
+		for _, a := range ex.Args {
+			if hasSubquery(a) {
+				return true
+			}
+		}
+	case *sql.CaseExpr:
+		if ex.Operand != nil && hasSubquery(ex.Operand) {
+			return true
+		}
+		for _, w := range ex.Whens {
+			if hasSubquery(w.When) || hasSubquery(w.Then) {
+				return true
+			}
+		}
+		if ex.Else != nil {
+			return hasSubquery(ex.Else)
+		}
+	}
+	return false
+}
+
+// decompose decides whether the query can run scatter/gather with partial
+// aggregation. Requirements: no CTEs/UNION/DISTINCT/HAVING, no
+// subqueries, every FROM table known to the cluster with at most one
+// non-replicated table (co-location), aggregates limited to
+// COUNT/SUM/MIN/MAX/AVG, and select items that are either group-by
+// columns or aggregate calls.
+func (c *Cluster) decompose(sel *sql.SelectStmt) (*fastPlan, bool) {
+	if len(sel.With) > 0 || sel.Union != nil || sel.Distinct || sel.Having != nil {
+		return nil, false
+	}
+	if sel.Where != nil && hasSubquery(sel.Where) {
+		return nil, false
+	}
+	// FROM analysis: count non-replicated cluster tables.
+	nonRepl := 0
+	var checkFrom func(fi sql.FromItem) bool
+	checkFrom = func(fi sql.FromItem) bool {
+		switch f := fi.(type) {
+		case *sql.TableRef:
+			c.mu.RLock()
+			meta, ok := c.tables[strings.ToLower(f.Name)]
+			c.mu.RUnlock()
+			if !ok {
+				return false
+			}
+			if !meta.repl {
+				nonRepl++
+			}
+			return true
+		case *sql.JoinRef:
+			if f.Type == "RIGHT" { // keep the fast path simple
+				return false
+			}
+			return checkFrom(f.Left) && checkFrom(f.Right)
+		default:
+			return false
+		}
+	}
+	if len(sel.From) == 0 {
+		return nil, false
+	}
+	for _, fi := range sel.From {
+		if !checkFrom(fi) {
+			return nil, false
+		}
+	}
+	if nonRepl > 1 {
+		return nil, false
+	}
+	plan0singleShard := nonRepl == 0
+
+	// Classify select items.
+	groupKeys := make(map[string]bool)
+	for _, g := range sel.GroupBy {
+		if ref, ok := g.(*sql.ColumnRef); ok {
+			groupKeys[strings.ToLower(ref.Column)] = true
+		} else {
+			return nil, false // complex group expressions: gather path
+		}
+	}
+	plan := &fastPlan{singleShard: plan0singleShard}
+	hasAgg := false
+	for _, it := range sel.Items {
+		switch e := it.Expr.(type) {
+		case *sql.ColumnRef:
+			if !groupKeys[strings.ToLower(e.Column)] && len(sel.GroupBy) > 0 {
+				return nil, false
+			}
+			if len(sel.GroupBy) == 0 {
+				// Plain select column.
+				continue
+			}
+			plan.groupN++
+			if hasAgg {
+				return nil, false // group cols must precede aggregates
+			}
+		case *sql.FuncCall:
+			if hasSubquery(it.Expr) {
+				return nil, false
+			}
+			fa, ok := decomposableAgg(e)
+			if !ok {
+				return nil, false
+			}
+			fa.name = it.Alias
+			if fa.name == "" {
+				fa.name = e.Name
+			}
+			plan.aggs = append(plan.aggs, fa)
+			hasAgg = true
+		case *sql.Star:
+			if len(sel.GroupBy) > 0 {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+	}
+	if !hasAgg && len(sel.GroupBy) > 0 {
+		return nil, false
+	}
+	if !hasAgg {
+		// Plain select: ORDER BY must be ordinal- or name-resolvable at
+		// the coordinator; defer that check to runFastPath which falls
+		// back on error.
+		plan.plain = true
+	}
+	return plan, true
+}
+
+// decomposableAgg recognizes aggregates with distributive merges.
+func decomposableAgg(fc *sql.FuncCall) (fastAgg, bool) {
+	if fc.Distinct {
+		return fastAgg{}, false
+	}
+	switch strings.ToUpper(fc.Name) {
+	case "COUNT":
+		return fastAgg{kind: exec.AggSum}, true
+	case "SUM":
+		return fastAgg{kind: exec.AggSum}, true
+	case "MIN":
+		return fastAgg{kind: exec.AggMin}, true
+	case "MAX":
+		return fastAgg{kind: exec.AggMax}, true
+	case "AVG":
+		return fastAgg{kind: exec.AggSum, avgPair: true}, true
+	}
+	return fastAgg{}, false
+}

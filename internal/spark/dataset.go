@@ -1,0 +1,232 @@
+package spark
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dashdb/internal/types"
+)
+
+// Context is the handle an application uses to reach its user's cluster:
+// the analogue of SparkContext/SparkSession.
+type Context struct {
+	cm  *ClusterManager
+	job *Job
+}
+
+// User returns the submitting user.
+func (c *Context) User() string { return c.cm.user }
+
+// checkCancelled aborts the application when its job was cancelled.
+func (c *Context) checkCancelled() {
+	select {
+	case <-c.job.cancel:
+		panic(cancelledPanic{id: c.job.ID})
+	default:
+	}
+}
+
+// Dataset is a partitioned collection of rows with a functional API — the
+// RDD/DataFrame stand-in. One partition per worker, fetched collocated
+// from that worker's shard.
+type Dataset struct {
+	ctx        *Context
+	cols       []string
+	partitions [][]types.Row
+}
+
+// Table loads a table as a Dataset with every worker fetching its own
+// shard's rows over the socket channel. where is an optional SQL
+// predicate pushed down to each shard ("to transfer only the data really
+// needed"); cols optionally projects columns.
+func (c *Context) Table(table, where string, cols ...string) (*Dataset, error) {
+	c.checkCancelled()
+	parts := make([][]types.Row, len(c.cm.workers))
+	errs := make([]error, len(c.cm.workers))
+	var wg sync.WaitGroup
+	for i, w := range c.cm.workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			rows, err := fetch(w.DataAddr, fetchRequest{Table: table, Where: where, Cols: cols})
+			parts[i], errs[i] = rows, err
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Dataset{ctx: c, cols: cols, partitions: parts}, nil
+}
+
+// Parallelize distributes in-memory rows across the workers.
+func (c *Context) Parallelize(rows []types.Row) *Dataset {
+	n := len(c.cm.workers)
+	if n == 0 {
+		n = 1
+	}
+	parts := make([][]types.Row, n)
+	for i, r := range rows {
+		parts[i%n] = append(parts[i%n], r)
+	}
+	return &Dataset{ctx: c, partitions: parts}
+}
+
+// Partitions returns the partition count.
+func (d *Dataset) Partitions() int { return len(d.partitions) }
+
+// Count returns the total number of rows.
+func (d *Dataset) Count() int {
+	d.ctx.checkCancelled()
+	n := 0
+	for _, p := range d.partitions {
+		n += len(p)
+	}
+	return n
+}
+
+// Collect gathers every row to the driver, in partition order.
+func (d *Dataset) Collect() []types.Row {
+	d.ctx.checkCancelled()
+	var out []types.Row
+	for _, p := range d.partitions {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Map applies fn to every row, partition-parallel.
+func (d *Dataset) Map(fn func(types.Row) types.Row) *Dataset {
+	return d.transform(func(part []types.Row) []types.Row {
+		out := make([]types.Row, len(part))
+		for i, r := range part {
+			out[i] = fn(r)
+		}
+		return out
+	})
+}
+
+// Filter keeps rows where fn returns true, partition-parallel.
+func (d *Dataset) Filter(fn func(types.Row) bool) *Dataset {
+	return d.transform(func(part []types.Row) []types.Row {
+		var out []types.Row
+		for _, r := range part {
+			if fn(r) {
+				out = append(out, r)
+			}
+		}
+		return out
+	})
+}
+
+// transform runs a per-partition function concurrently (one goroutine per
+// partition simulates one task per worker).
+func (d *Dataset) transform(fn func([]types.Row) []types.Row) *Dataset {
+	d.ctx.checkCancelled()
+	parts := make([][]types.Row, len(d.partitions))
+	var wg sync.WaitGroup
+	for i, p := range d.partitions {
+		wg.Add(1)
+		go func(i int, p []types.Row) {
+			defer wg.Done()
+			parts[i] = fn(p)
+		}(i, p)
+	}
+	wg.Wait()
+	return &Dataset{ctx: d.ctx, cols: d.cols, partitions: parts}
+}
+
+// Aggregate folds every partition with seqOp then merges partials with
+// combOp (the treeAggregate shape MLlib uses for gradients).
+func (d *Dataset) Aggregate(zero func() interface{}, seqOp func(acc interface{}, row types.Row) interface{}, combOp func(a, b interface{}) interface{}) interface{} {
+	d.ctx.checkCancelled()
+	partials := make([]interface{}, len(d.partitions))
+	var wg sync.WaitGroup
+	for i, p := range d.partitions {
+		wg.Add(1)
+		go func(i int, p []types.Row) {
+			defer wg.Done()
+			acc := zero()
+			for _, r := range p {
+				acc = seqOp(acc, r)
+			}
+			partials[i] = acc
+		}(i, p)
+	}
+	wg.Wait()
+	if len(partials) == 0 {
+		return zero()
+	}
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc = combOp(acc, p)
+	}
+	return acc
+}
+
+// ReduceByKey groups rows by the key column ordinal and reduces the value
+// column ordinal with fn (a minimal shuffle).
+func (d *Dataset) ReduceByKey(keyCol, valCol int, fn func(a, b types.Value) types.Value) map[types.Value]types.Value {
+	d.ctx.checkCancelled()
+	out := make(map[types.Value]types.Value)
+	for _, p := range d.partitions {
+		for _, r := range p {
+			k, v := r[keyCol], r[valCol]
+			if prev, ok := out[k]; ok {
+				out[k] = fn(prev, v)
+			} else {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// SortedKeys renders a ReduceByKey result deterministically for reports.
+func SortedKeys(m map[types.Value]types.Value) []types.Value {
+	keys := make([]types.Value, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return types.Compare(keys[i], keys[j]) < 0 })
+	return keys
+}
+
+// Features extracts float feature vectors plus a label column for the ML
+// algorithms; rows with NULL in any used column are skipped.
+func (d *Dataset) Features(labelCol int, featureCols ...int) (X [][]float64, y []float64, err error) {
+	d.ctx.checkCancelled()
+	for _, p := range d.partitions {
+		for _, r := range p {
+			if labelCol >= len(r) {
+				return nil, nil, fmt.Errorf("spark: label column %d out of range", labelCol)
+			}
+			lv, ok := r[labelCol].AsFloat()
+			if !ok {
+				continue
+			}
+			vec := make([]float64, len(featureCols))
+			skip := false
+			for i, fc := range featureCols {
+				if fc >= len(r) {
+					return nil, nil, fmt.Errorf("spark: feature column %d out of range", fc)
+				}
+				fv, ok := r[fc].AsFloat()
+				if !ok {
+					skip = true
+					break
+				}
+				vec[i] = fv
+			}
+			if skip {
+				continue
+			}
+			X = append(X, vec)
+			y = append(y, lv)
+		}
+	}
+	return X, y, nil
+}

@@ -1,0 +1,330 @@
+package sql
+
+import (
+	"dashdb/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any parsed scalar expression.
+type Expr interface{ expr() }
+
+// --- Expressions -----------------------------------------------------------
+
+// Literal is a constant value.
+type Literal struct{ Val types.Value }
+
+// ColumnRef names a column, optionally qualified ("t.c").
+type ColumnRef struct {
+	Table  string // "" when unqualified
+	Column string
+	// OuterJoin marks Oracle's (+) on this reference.
+	OuterJoin bool
+}
+
+// Star is "*" or "t.*" in a select list.
+type Star struct{ Table string }
+
+// BinaryOp applies an infix operator: arithmetic (+ - * / %), comparison
+// (= <> < <= > >=), logical (AND OR), string concat (||), LIKE, IN is
+// separate (InExpr).
+type BinaryOp struct {
+	Op          string
+	Left, Right Expr
+}
+
+// UnaryOp applies a prefix operator: - + NOT.
+type UnaryOp struct {
+	Op   string
+	Expr Expr
+}
+
+// FuncCall invokes a scalar or aggregate function.
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x)
+	// WithinGroupOrder is the ORDER BY inside PERCENTILE_CONT(p)
+	// WITHIN GROUP (ORDER BY e); nil otherwise.
+	WithinGroupOrder Expr
+}
+
+// CaseExpr is CASE [operand] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []CaseWhen
+	Else    Expr
+}
+
+// CaseWhen is one WHEN/THEN arm.
+type CaseWhen struct{ When, Then Expr }
+
+// CastExpr is CAST(e AS type) or e::type.
+type CastExpr struct {
+	Expr Expr
+	Type string // raw type name, e.g. "VARCHAR2", "INT8", "DECFLOAT"
+}
+
+// IsNullExpr is "e IS [NOT] NULL" / Netezza "e ISNULL" / "e NOTNULL".
+type IsNullExpr struct {
+	Expr Expr
+	Not  bool
+}
+
+// IsBoolExpr is "e IS [NOT] TRUE/FALSE" / Netezza ISTRUE/ISFALSE.
+type IsBoolExpr struct {
+	Expr Expr
+	Want bool // the tested truth value
+	Not  bool
+}
+
+// BetweenExpr is "e [NOT] BETWEEN lo AND hi".
+type BetweenExpr struct {
+	Expr, Lo, Hi Expr
+	Not          bool
+}
+
+// InExpr is "e [NOT] IN (list...)" or "e [NOT] IN (subquery)".
+type InExpr struct {
+	Expr Expr
+	List []Expr
+	Sub  *SelectStmt // nil for list form
+	Not  bool
+}
+
+// ExistsExpr is "EXISTS (subquery)".
+type ExistsExpr struct {
+	Sub *SelectStmt
+	Not bool
+}
+
+// SubqueryExpr is a scalar subquery.
+type SubqueryExpr struct{ Sub *SelectStmt }
+
+// SeqValExpr reads a sequence: Oracle "seq.NEXTVAL"/"seq.CURRVAL" and
+// DB2 "NEXT VALUE FOR seq"/"PREVIOUS VALUE FOR seq".
+type SeqValExpr struct {
+	Seq  string
+	Next bool // true = NEXTVAL, false = CURRVAL
+}
+
+// RownumExpr is Oracle's ROWNUM pseudo-column.
+type RownumExpr struct{}
+
+// ParamExpr is a positional parameter marker "?" (0-indexed), bound at
+// execution time (prepared statements, §II.C.3's application interfaces).
+type ParamExpr struct{ Index int }
+
+// OverlapsExpr is "(s1, e1) OVERLAPS (s2, e2)" (Netezza/PG).
+type OverlapsExpr struct {
+	S1, E1, S2, E2 Expr
+}
+
+func (*Literal) expr()      {}
+func (*ColumnRef) expr()    {}
+func (*Star) expr()         {}
+func (*BinaryOp) expr()     {}
+func (*UnaryOp) expr()      {}
+func (*FuncCall) expr()     {}
+func (*CaseExpr) expr()     {}
+func (*CastExpr) expr()     {}
+func (*IsNullExpr) expr()   {}
+func (*IsBoolExpr) expr()   {}
+func (*BetweenExpr) expr()  {}
+func (*InExpr) expr()       {}
+func (*ExistsExpr) expr()   {}
+func (*SubqueryExpr) expr() {}
+func (*SeqValExpr) expr()   {}
+func (*RownumExpr) expr()   {}
+func (*ParamExpr) expr()    {}
+func (*OverlapsExpr) expr() {}
+
+// --- FROM clause -----------------------------------------------------------
+
+// TableRef is a named relation (base table, view, nickname or DUAL) with
+// an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryRef is a derived table with alias.
+type SubqueryRef struct {
+	Sub   *SelectStmt
+	Alias string
+}
+
+// JoinRef is an explicit JOIN.
+type JoinRef struct {
+	Left, Right FromItem
+	Type        string // "INNER", "LEFT", "RIGHT", "CROSS"
+	On          Expr   // nil for USING/CROSS
+	Using       []string
+}
+
+// FromItem is anything that can appear in FROM.
+type FromItem interface{ fromItem() }
+
+func (*TableRef) fromItem()    {}
+func (*SubqueryRef) fromItem() {}
+func (*JoinRef) fromItem()     {}
+
+// --- Statements ------------------------------------------------------------
+
+// SelectItem is one select-list entry.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY term; Ordinal > 0 means "ORDER BY n".
+type OrderItem struct {
+	Expr    Expr
+	Ordinal int
+	Desc    bool
+}
+
+// CTE is one WITH-list entry.
+type CTE struct {
+	Name string
+	Sub  *SelectStmt
+}
+
+// SelectStmt is a query, possibly with set operations chained via Union.
+type SelectStmt struct {
+	With     []CTE
+	Distinct bool
+	Items    []SelectItem
+	From     []FromItem // comma-separated items (implicit cross join)
+	Where    Expr
+	GroupBy  []Expr // may include ordinals/aliases (resolved at compile)
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 = none
+	Offset   int64
+	// Union chains the next set operand; UnionAll distinguishes ALL.
+	Union    *SelectStmt
+	UnionAll bool
+}
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES ... | SELECT ...
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Query   *SelectStmt
+}
+
+// UpdateStmt is UPDATE t SET c = e, ... [WHERE p].
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one "col = expr" assignment.
+type SetClause struct {
+	Column string
+	Expr   Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE p].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name    string
+	Type    string
+	NotNull bool
+}
+
+// CreateTableStmt covers CREATE TABLE, CREATE [GLOBAL] TEMP[ORARY] TABLE
+// and DECLARE GLOBAL TEMPORARY TABLE.
+type CreateTableStmt struct {
+	Table       string
+	Columns     []ColumnDef
+	Temp        bool
+	IfNotExists bool
+	AsQuery     *SelectStmt // CREATE TABLE ... AS SELECT
+}
+
+// DropStmt drops an object.
+type DropStmt struct {
+	Kind     string // "TABLE", "VIEW", "SEQUENCE", "NICKNAME"
+	Name     string
+	IfExists bool
+}
+
+// TruncateStmt empties a table.
+type TruncateStmt struct{ Table string }
+
+// CreateViewStmt registers a view; the session dialect is recorded.
+type CreateViewStmt struct {
+	Name string
+	SQL  string // the view query's original text
+	Sub  *SelectStmt
+}
+
+// CreateSequenceStmt registers a sequence.
+type CreateSequenceStmt struct {
+	Name  string
+	Start int64
+	Incr  int64
+}
+
+// CreateAliasStmt is DB2 CREATE ALIAS name FOR target.
+type CreateAliasStmt struct{ Name, Target string }
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX. The engine's scan-centric
+// runtime makes secondary indexes unnecessary; per §II.B.7 only
+// uniqueness-enforcing indexes are accepted (as constraints), all others
+// are rejected.
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+// SetStmt is "SET name = value" (session variables, e.g. SQL_DIALECT).
+type SetStmt struct{ Name, Value string }
+
+// ExplainStmt wraps a statement for plan display.
+type ExplainStmt struct{ Target Statement }
+
+// ValuesStmt is DB2's standalone VALUES expression statement.
+type ValuesStmt struct{ Rows [][]Expr }
+
+// CallStmt is CALL proc(args) — used for the Spark stored-procedure
+// interface (§II.D: SQL Stored Procedure interfaces to submit or cancel
+// Spark applications).
+type CallStmt struct {
+	Proc string
+	Args []Expr
+}
+
+// BeginBlockStmt is an Oracle anonymous PL/SQL block: BEGIN ... END. The
+// body statements execute sequentially.
+type BeginBlockStmt struct{ Body []Statement }
+
+func (*SelectStmt) stmt()         {}
+func (*InsertStmt) stmt()         {}
+func (*UpdateStmt) stmt()         {}
+func (*DeleteStmt) stmt()         {}
+func (*CreateTableStmt) stmt()    {}
+func (*DropStmt) stmt()           {}
+func (*TruncateStmt) stmt()       {}
+func (*CreateViewStmt) stmt()     {}
+func (*CreateSequenceStmt) stmt() {}
+func (*CreateAliasStmt) stmt()    {}
+func (*CreateIndexStmt) stmt()    {}
+func (*SetStmt) stmt()            {}
+func (*ExplainStmt) stmt()        {}
+func (*ValuesStmt) stmt()         {}
+func (*CallStmt) stmt()           {}
+func (*BeginBlockStmt) stmt()     {}

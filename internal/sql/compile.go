@@ -1,0 +1,973 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"dashdb/internal/catalog"
+	"dashdb/internal/columnar"
+	"dashdb/internal/encoding"
+	"dashdb/internal/exec"
+	"dashdb/internal/types"
+)
+
+// Compiler binds ASTs to a catalog and produces executor plans. One
+// Compiler serves one session (it carries the session dialect and clock).
+type Compiler struct {
+	Cat     *catalog.Catalog
+	Dialect Dialect
+	Env     *EvalEnv
+
+	ctes      map[string]*cteData
+	viewDepth int
+	usage     *colUsage
+	// UDX resolves user-defined functions before the built-in library.
+	UDX *FuncRegistry
+	// Params binds positional ? markers for this execution.
+	Params []types.Value
+}
+
+type cteData struct {
+	schema types.Schema
+	rows   []types.Row
+}
+
+// NewCompiler creates a compiler for the given catalog and dialect.
+func NewCompiler(cat *catalog.Catalog, d Dialect, env *EvalEnv) *Compiler {
+	return &Compiler{Cat: cat, Dialect: d, Env: env, ctes: make(map[string]*cteData)}
+}
+
+// scopeCol is one resolvable column: its source alias and name.
+type scopeCol struct {
+	table string // alias, lowercased
+	name  string // column name, lowercased
+	kind  types.Kind
+}
+
+// scope maps qualified names to ordinals in the current row layout.
+type scope struct {
+	cols []scopeCol
+}
+
+func (s *scope) add(table, name string, kind types.Kind) {
+	s.cols = append(s.cols, scopeCol{table: strings.ToLower(table), name: strings.ToLower(name), kind: kind})
+}
+
+// resolve finds the ordinal of table.column ("" table = unqualified).
+func (s *scope) resolve(table, column string) (int, error) {
+	t, c := strings.ToLower(table), strings.ToLower(column)
+	found := -1
+	for i, col := range s.cols {
+		if col.name != c {
+			continue
+		}
+		if t != "" && col.table != t {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: column reference %q is ambiguous", column)
+		}
+		found = i
+	}
+	if found < 0 {
+		if table != "" {
+			return 0, fmt.Errorf("sql: column %s.%s not found", table, column)
+		}
+		return 0, fmt.Errorf("sql: column %s not found", column)
+	}
+	return found, nil
+}
+
+// schema converts the scope to an output schema with unqualified names.
+func (s *scope) schema() types.Schema {
+	out := make(types.Schema, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = types.Column{Name: c.name, Kind: c.kind, Nullable: true}
+	}
+	return out
+}
+
+// merge concatenates two scopes (join output).
+func (s *scope) merge(other *scope) *scope {
+	m := &scope{}
+	m.cols = append(append([]scopeCol{}, s.cols...), other.cols...)
+	return m
+}
+
+// compiled is an operator plus its name scope.
+type compiled struct {
+	op    exec.Operator
+	scope *scope
+}
+
+// CompileSelect compiles a query to an operator tree.
+func (c *Compiler) CompileSelect(sel *SelectStmt) (exec.Operator, error) {
+	cpl, err := c.compileSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	return cpl.op, nil
+}
+
+func (c *Compiler) compileSelect(sel *SelectStmt) (*compiled, error) {
+	// Materialize CTEs first; they shadow catalog tables for this query.
+	saved := make(map[string]*cteData)
+	for _, cte := range sel.With {
+		k := strings.ToLower(cte.Name)
+		saved[k] = c.ctes[k]
+		sub, err := c.compileSelect(cte.Sub)
+		if err != nil {
+			return nil, fmt.Errorf("sql: CTE %s: %w", cte.Name, err)
+		}
+		rows, err := exec.Drain(sub.op)
+		if err != nil {
+			return nil, fmt.Errorf("sql: CTE %s: %w", cte.Name, err)
+		}
+		c.ctes[k] = &cteData{schema: sub.op.Schema(), rows: rows}
+	}
+	defer func() {
+		for _, cte := range sel.With {
+			k := strings.ToLower(cte.Name)
+			if saved[k] == nil {
+				delete(c.ctes, k)
+			} else {
+				c.ctes[k] = saved[k]
+			}
+		}
+	}()
+
+	cpl, err := c.compileSelectCore(sel)
+	if err != nil {
+		return nil, err
+	}
+	// Set operations.
+	if sel.Union != nil {
+		right, err := c.compileSelect(sel.Union)
+		if err != nil {
+			return nil, err
+		}
+		if len(right.op.Schema()) != len(cpl.op.Schema()) {
+			return nil, fmt.Errorf("sql: UNION operands have different arity")
+		}
+		var op exec.Operator = &exec.UnionAllOp{Children: []exec.Operator{cpl.op, right.op}}
+		if !sel.UnionAll {
+			op = &exec.DistinctOp{Child: op}
+		}
+		return &compiled{op: op, scope: cpl.scope}, nil
+	}
+	return cpl, nil
+}
+
+// compileSelectCore compiles one SELECT block (no set ops).
+func (c *Compiler) compileSelectCore(sel *SelectStmt) (*compiled, error) {
+	// Projection pruning: record every column the statement touches so
+	// base-table scans fetch only the columns of active interest
+	// (§II.B.3). Nested SELECTs recompute their own usage.
+	savedUsage := c.usage
+	usage := newColUsage()
+	collectUsage(sel, usage)
+	c.usage = usage
+	defer func() { c.usage = savedUsage }()
+
+	// --- FROM ---
+	var cur *compiled
+	var err error
+	if len(sel.From) == 0 {
+		// SELECT without FROM: a single empty row (like DUAL).
+		cur = &compiled{
+			op:    exec.NewValues(types.Schema{}, []types.Row{{}}),
+			scope: &scope{},
+		}
+	}
+
+	// Split WHERE into conjuncts for pushdown and join detection.
+	conjuncts := splitConjuncts(sel.Where)
+	// Oracle ROWNUM <= n in WHERE becomes a limit.
+	rownumLimit := int64(-1)
+	conjuncts, rownumLimit = extractRownumLimit(conjuncts)
+
+	for i, fi := range sel.From {
+		item, err2 := c.compileFromItem(fi, &conjuncts)
+		if err2 != nil {
+			return nil, err2
+		}
+		if i == 0 && cur == nil {
+			cur = item
+			continue
+		}
+		cur, err = c.combineComma(cur, item, &conjuncts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Residual WHERE.
+	if len(conjuncts) > 0 {
+		pred, err := c.compileConjuncts(conjuncts, cur.scope)
+		if err != nil {
+			return nil, err
+		}
+		cur = &compiled{op: &exec.FilterOp{Child: cur.op, Pred: pred}, scope: cur.scope}
+	}
+	if rownumLimit >= 0 {
+		cur = &compiled{op: &exec.LimitOp{Child: cur.op, Limit: rownumLimit}, scope: cur.scope}
+	}
+
+	// Expand stars in the select list.
+	items, err := c.expandStars(sel.Items, cur.scope)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- aggregation ---
+	hasAgg := len(sel.GroupBy) > 0 || sel.Having != nil
+	for _, it := range items {
+		if containsAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	var outOp exec.Operator
+	var outSchema types.Schema
+	hiddenSort := 0 // extra projected sort-key columns, dropped after Sort
+	var sortKeys []exec.SortKey
+	if hasAgg {
+		outOp, outSchema, sortKeys, err = c.compileAggregateWithOrder(sel, items, cur)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		exprs := make([]exec.Expr, len(items))
+		outSchema = make(types.Schema, len(items))
+		for i, it := range items {
+			e, err := c.compileExpr(it.Expr, cur.scope)
+			if err != nil {
+				return nil, err
+			}
+			exprs[i] = e
+			outSchema[i] = types.Column{Name: c.itemName(it, i), Kind: types.KindNull, Nullable: true}
+		}
+		// ORDER BY resolution: output ordinal → output alias/name →
+		// input column (projected as a hidden sort key).
+		outScope := &scope{}
+		for _, col := range outSchema {
+			outScope.add("", col.Name, col.Kind)
+		}
+		for _, oi := range sel.OrderBy {
+			var e exec.Expr
+			switch {
+			case oi.Ordinal > 0:
+				if oi.Ordinal > len(items) {
+					return nil, fmt.Errorf("sql: ORDER BY ordinal %d out of range", oi.Ordinal)
+				}
+				e = exec.ColRef(oi.Ordinal - 1)
+			default:
+				// Try the output schema first (qualifier stripped: the
+				// projection renames columns unqualified).
+				probe := oi.Expr
+				if ref, ok := probe.(*ColumnRef); ok && ref.Table != "" {
+					if _, err := outScope.resolve("", ref.Column); err == nil {
+						probe = &ColumnRef{Column: ref.Column}
+					}
+				}
+				var cerr error
+				e, cerr = c.compileExpr(probe, outScope)
+				if cerr != nil {
+					// Fall back to the input scope with a hidden column.
+					ie, ierr := c.compileExpr(oi.Expr, cur.scope)
+					if ierr != nil {
+						return nil, cerr
+					}
+					exprs = append(exprs, ie)
+					name := fmt.Sprintf("__sort%d", hiddenSort)
+					outSchema = append(outSchema, types.Column{Name: name, Kind: types.KindNull, Nullable: true})
+					e = exec.ColRef(len(exprs) - 1)
+					hiddenSort++
+				}
+			}
+			sortKeys = append(sortKeys, exec.SortKey{Expr: e, Desc: oi.Desc})
+		}
+		outOp = &exec.ProjectOp{Child: cur.op, Exprs: exprs, Out: outSchema}
+	}
+
+	if sel.Distinct {
+		if hiddenSort > 0 {
+			return nil, fmt.Errorf("sql: ORDER BY over non-selected columns cannot combine with DISTINCT")
+		}
+		outOp = &exec.DistinctOp{Child: outOp}
+	}
+
+	if len(sortKeys) > 0 {
+		outOp = &exec.SortOp{Child: outOp, Keys: sortKeys}
+	}
+	if hiddenSort > 0 {
+		visible := len(outSchema) - hiddenSort
+		exprs := make([]exec.Expr, visible)
+		for i := range exprs {
+			exprs[i] = exec.ColRef(i)
+		}
+		outSchema = outSchema[:visible]
+		outOp = &exec.ProjectOp{Child: outOp, Exprs: exprs, Out: outSchema}
+	}
+
+	if sel.Limit >= 0 || sel.Offset > 0 {
+		limit := sel.Limit
+		if limit < 0 {
+			limit = -1
+		}
+		outOp = &exec.LimitOp{Child: outOp, Offset: sel.Offset, Limit: limit}
+	}
+
+	outScope := &scope{}
+	for _, col := range outSchema {
+		outScope.add("", col.Name, col.Kind)
+	}
+	return &compiled{op: outOp, scope: outScope}, nil
+}
+
+// itemName derives an output column name.
+func (c *Compiler) itemName(it SelectItem, i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if ref, ok := it.Expr.(*ColumnRef); ok {
+		return ref.Column
+	}
+	if fc, ok := it.Expr.(*FuncCall); ok {
+		return fc.Name
+	}
+	return fmt.Sprintf("COL%d", i+1)
+}
+
+// expandStars replaces * and t.* with explicit column references.
+func (c *Compiler) expandStars(items []SelectItem, sc *scope) ([]SelectItem, error) {
+	var out []SelectItem
+	for _, it := range items {
+		star, ok := it.Expr.(*Star)
+		if !ok {
+			out = append(out, it)
+			continue
+		}
+		matched := false
+		for _, col := range sc.cols {
+			if star.Table != "" && col.table != strings.ToLower(star.Table) {
+				continue
+			}
+			out = append(out, SelectItem{Expr: &ColumnRef{Table: col.table, Column: col.name}})
+			matched = true
+		}
+		if !matched {
+			return nil, fmt.Errorf("sql: %s.* matches no columns", star.Table)
+		}
+	}
+	return out, nil
+}
+
+// --- FROM compilation -------------------------------------------------------
+
+// compileFromItem builds one FROM entry, pushing pushable conjuncts into
+// base-table scans.
+func (c *Compiler) compileFromItem(fi FromItem, conjuncts *[]Expr) (*compiled, error) {
+	switch f := fi.(type) {
+	case *TableRef:
+		return c.compileTableRef(f, conjuncts)
+	case *SubqueryRef:
+		sub, err := c.compileSelect(f.Sub)
+		if err != nil {
+			return nil, err
+		}
+		alias := f.Alias
+		sc := &scope{}
+		for _, col := range sub.op.Schema() {
+			sc.add(alias, col.Name, col.Kind)
+		}
+		return &compiled{op: sub.op, scope: sc}, nil
+	case *JoinRef:
+		return c.compileJoin(f, conjuncts)
+	}
+	return nil, fmt.Errorf("sql: unsupported FROM item %T", fi)
+}
+
+func (c *Compiler) compileTableRef(f *TableRef, conjuncts *[]Expr) (*compiled, error) {
+	alias := f.Alias
+	if alias == "" {
+		alias = f.Name
+	}
+	lname := strings.ToLower(f.Name)
+
+	// DUAL (Oracle).
+	if lname == "dual" {
+		sc := &scope{}
+		sc.add(alias, "dummy", types.KindString)
+		return &compiled{
+			op:    exec.NewValues(types.Schema{{Name: "DUMMY", Kind: types.KindString}}, []types.Row{{types.NewString("X")}}),
+			scope: sc,
+		}, nil
+	}
+	// CTE reference.
+	if cte, ok := c.ctes[lname]; ok {
+		sc := &scope{}
+		for _, col := range cte.schema {
+			sc.add(alias, col.Name, col.Kind)
+		}
+		return &compiled{op: exec.NewValues(cte.schema, cte.rows), scope: sc}, nil
+	}
+	// Base table: push applicable conjuncts into the compressed scan and
+	// prune the projection to the referenced columns.
+	if tbl, ok := c.Cat.Table(f.Name); ok {
+		schema := tbl.Schema()
+		preds := c.extractScanPreds(conjuncts, alias, schema)
+		var projection []int
+		if c.usage != nil && !c.usage.wantsAll(alias) {
+			for i, col := range schema {
+				if c.usage.uses(alias, col.Name) {
+					projection = append(projection, i)
+				}
+			}
+			if len(projection) == 0 {
+				projection = []int{0} // row-count-only queries still need a lane
+			}
+			if len(projection) == len(schema) {
+				projection = nil
+			}
+		}
+		sc := &scope{}
+		if projection == nil {
+			for _, col := range schema {
+				sc.add(alias, col.Name, col.Kind)
+			}
+		} else {
+			for _, ci := range projection {
+				sc.add(alias, schema[ci].Name, schema[ci].Kind)
+			}
+		}
+		return &compiled{op: exec.NewScan(tbl, preds, projection), scope: sc}, nil
+	}
+	// View: compile its stored query under its creation dialect.
+	if view, ok := c.Cat.View(f.Name); ok {
+		if c.viewDepth > 16 {
+			return nil, fmt.Errorf("sql: view nesting too deep at %s", f.Name)
+		}
+		vd, err := ParseDialect(view.Dialect)
+		if err != nil {
+			vd = DialectANSI
+		}
+		sub, err := Parse(view.SQL, vd)
+		if err != nil {
+			return nil, fmt.Errorf("sql: view %s: %w", f.Name, err)
+		}
+		selStmt, ok := sub.(*SelectStmt)
+		if !ok {
+			return nil, fmt.Errorf("sql: view %s does not contain a query", f.Name)
+		}
+		vc := NewCompiler(c.Cat, vd, c.Env)
+		vc.viewDepth = c.viewDepth + 1
+		cpl, err := vc.compileSelect(selStmt)
+		if err != nil {
+			return nil, fmt.Errorf("sql: view %s: %w", f.Name, err)
+		}
+		sc := &scope{}
+		for _, col := range cpl.op.Schema() {
+			sc.add(alias, col.Name, col.Kind)
+		}
+		return &compiled{op: cpl.op, scope: sc}, nil
+	}
+	// Nickname (remote table via Fluid Query).
+	if nick, ok := c.Cat.Nickname(f.Name); ok {
+		rows, err := nick.Source.ScanAll()
+		if err != nil {
+			return nil, fmt.Errorf("sql: nickname %s: %w", f.Name, err)
+		}
+		sch := nick.Source.Schema()
+		sc := &scope{}
+		for _, col := range sch {
+			sc.add(alias, col.Name, col.Kind)
+		}
+		return &compiled{op: exec.NewValues(sch, rows), scope: sc}, nil
+	}
+	return nil, fmt.Errorf("sql: table or view %s does not exist", f.Name)
+}
+
+// extractScanPreds removes conjuncts of the form <alias.col OP literal>
+// from the list and converts them into columnar scan predicates.
+func (c *Compiler) extractScanPreds(conjuncts *[]Expr, alias string, sch types.Schema) []columnar.Pred {
+	var preds []columnar.Pred
+	var rest []Expr
+	for _, cj := range *conjuncts {
+		if p, ok := c.asScanPred(cj, alias, sch); ok {
+			preds = append(preds, p...)
+			continue
+		}
+		rest = append(rest, cj)
+	}
+	*conjuncts = rest
+	return preds
+}
+
+// asScanPred recognizes pushable predicates: col OP literal, literal OP
+// col, and col BETWEEN l1 AND l2, where col belongs to the given alias.
+func (c *Compiler) asScanPred(e Expr, alias string, sch types.Schema) ([]columnar.Pred, bool) {
+	la := strings.ToLower(alias)
+	colOf := func(x Expr) (int, bool) {
+		ref, ok := x.(*ColumnRef)
+		if !ok || ref.OuterJoin {
+			return 0, false
+		}
+		if ref.Table != "" && strings.ToLower(ref.Table) != la {
+			return 0, false
+		}
+		ci := sch.ColumnIndex(ref.Column)
+		return ci, ci >= 0
+	}
+	litOf := func(x Expr) (types.Value, bool) {
+		l, ok := x.(*Literal)
+		if !ok {
+			return types.Null, false
+		}
+		return l.Val, true
+	}
+	switch ex := e.(type) {
+	case *BinaryOp:
+		op, ok := cmpOpFor(ex.Op)
+		if !ok {
+			return nil, false
+		}
+		if ci, ok := colOf(ex.Left); ok {
+			if v, ok := litOf(ex.Right); ok {
+				return []columnar.Pred{{Col: ci, Op: op, Val: v}}, true
+			}
+		}
+		if ci, ok := colOf(ex.Right); ok {
+			if v, ok := litOf(ex.Left); ok {
+				return []columnar.Pred{{Col: ci, Op: flipCmp(op), Val: v}}, true
+			}
+		}
+	case *BetweenExpr:
+		if ex.Not {
+			return nil, false
+		}
+		ci, ok := colOf(ex.Expr)
+		if !ok {
+			return nil, false
+		}
+		lo, ok1 := litOf(ex.Lo)
+		hi, ok2 := litOf(ex.Hi)
+		if ok1 && ok2 {
+			return []columnar.Pred{
+				{Col: ci, Op: encoding.OpGE, Val: lo},
+				{Col: ci, Op: encoding.OpLE, Val: hi},
+			}, true
+		}
+	}
+	return nil, false
+}
+
+func cmpOpFor(op string) (encoding.CmpOp, bool) {
+	switch op {
+	case "=":
+		return encoding.OpEQ, true
+	case "<>":
+		return encoding.OpNE, true
+	case "<":
+		return encoding.OpLT, true
+	case "<=":
+		return encoding.OpLE, true
+	case ">":
+		return encoding.OpGT, true
+	case ">=":
+		return encoding.OpGE, true
+	}
+	return 0, false
+}
+
+func flipCmp(op encoding.CmpOp) encoding.CmpOp {
+	switch op {
+	case encoding.OpLT:
+		return encoding.OpGT
+	case encoding.OpLE:
+		return encoding.OpGE
+	case encoding.OpGT:
+		return encoding.OpLT
+	case encoding.OpGE:
+		return encoding.OpLE
+	default:
+		return op
+	}
+}
+
+// compileJoin handles explicit JOIN ... ON / USING.
+func (c *Compiler) compileJoin(j *JoinRef, conjuncts *[]Expr) (*compiled, error) {
+	left, err := c.compileFromItem(j.Left, conjuncts)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.compileFromItem(j.Right, conjuncts)
+	if err != nil {
+		return nil, err
+	}
+	merged := left.scope.merge(right.scope)
+
+	if j.Type == "CROSS" {
+		return &compiled{
+			op:    &exec.NestedLoopJoinOp{Left: left.op, Right: right.op, Type: exec.InnerJoin},
+			scope: merged,
+		}, nil
+	}
+
+	// USING(cols) → equi-keys by shared column name.
+	var on Expr = j.On
+	if len(j.Using) > 0 {
+		for _, col := range j.Using {
+			eq := &BinaryOp{Op: "=",
+				Left:  &ColumnRef{Table: tableOfScope(left.scope, col), Column: col},
+				Right: &ColumnRef{Table: tableOfScope(right.scope, col), Column: col},
+			}
+			if on == nil {
+				on = eq
+			} else {
+				on = &BinaryOp{Op: "AND", Left: on, Right: eq}
+			}
+		}
+	}
+
+	jt := exec.InnerJoin
+	swap := false
+	switch j.Type {
+	case "LEFT":
+		jt = exec.LeftJoin
+	case "RIGHT":
+		jt = exec.LeftJoin
+		swap = true
+	}
+	if swap {
+		left, right = right, left
+	}
+
+	lk, rk, residual, err := c.extractEquiKeys(splitConjuncts(on), left.scope, right.scope)
+	if err != nil {
+		return nil, err
+	}
+
+	var op exec.Operator
+	if len(lk) > 0 {
+		op = &exec.HashJoinOp{Left: left.op, Right: right.op, LeftKeys: lk, RightKeys: rk, Type: jt}
+		if len(residual) > 0 {
+			pred, err := c.compileConjuncts(residual, left.scope.merge(right.scope))
+			if err != nil {
+				return nil, err
+			}
+			if jt == exec.LeftJoin {
+				return nil, fmt.Errorf("sql: non-equi residual on outer join is not supported")
+			}
+			op = &exec.FilterOp{Child: op, Pred: pred}
+		}
+	} else {
+		var pred exec.Expr
+		if on != nil {
+			pred, err = c.compileExpr(on, left.scope.merge(right.scope))
+			if err != nil {
+				return nil, err
+			}
+		}
+		op = &exec.NestedLoopJoinOp{Left: left.op, Right: right.op, Pred: pred, Type: jt}
+	}
+
+	if swap {
+		// Restore the user-visible column order (left-then-right of the
+		// original RIGHT JOIN text).
+		nl, nr := len(left.scope.cols), len(right.scope.cols)
+		exprs := make([]exec.Expr, 0, nl+nr)
+		for i := 0; i < nr; i++ {
+			exprs = append(exprs, exec.ColRef(nl+i))
+		}
+		for i := 0; i < nl; i++ {
+			exprs = append(exprs, exec.ColRef(i))
+		}
+		restored := right.scope.merge(left.scope)
+		op = &exec.ProjectOp{Child: op, Exprs: exprs, Out: restored.schema()}
+		return &compiled{op: op, scope: restored}, nil
+	}
+	return &compiled{op: op, scope: merged}, nil
+}
+
+// tableOfScope finds which alias exposes the column (for USING).
+func tableOfScope(s *scope, col string) string {
+	lc := strings.ToLower(col)
+	for _, c := range s.cols {
+		if c.name == lc {
+			return c.table
+		}
+	}
+	return ""
+}
+
+// extractEquiKeys pulls equality conjuncts joining left and right scopes;
+// remaining conjuncts are returned as residual. Oracle (+) markers are
+// tolerated here (join type was already decided).
+func (c *Compiler) extractEquiKeys(conjuncts []Expr, left, right *scope) (lk, rk []int, residual []Expr, err error) {
+	for _, cj := range conjuncts {
+		bo, ok := cj.(*BinaryOp)
+		if !ok || bo.Op != "=" {
+			residual = append(residual, cj)
+			continue
+		}
+		lref, lok := bo.Left.(*ColumnRef)
+		rref, rok := bo.Right.(*ColumnRef)
+		if !lok || !rok {
+			residual = append(residual, cj)
+			continue
+		}
+		li, lerr := left.resolve(lref.Table, lref.Column)
+		ri, rerr := right.resolve(rref.Table, rref.Column)
+		if lerr == nil && rerr == nil {
+			lk = append(lk, li)
+			rk = append(rk, ri)
+			continue
+		}
+		// Try swapped sides.
+		li2, lerr2 := left.resolve(rref.Table, rref.Column)
+		ri2, rerr2 := right.resolve(lref.Table, lref.Column)
+		if lerr2 == nil && rerr2 == nil {
+			lk = append(lk, li2)
+			rk = append(rk, ri2)
+			continue
+		}
+		residual = append(residual, cj)
+	}
+	return lk, rk, residual, nil
+}
+
+// combineComma joins two comma-separated FROM items, using WHERE
+// conjuncts as join predicates (including Oracle (+) outer joins).
+func (c *Compiler) combineComma(left, right *compiled, conjuncts *[]Expr) (*compiled, error) {
+	// Find join conjuncts connecting the two scopes; detect (+).
+	var joinCjs, rest []Expr
+	outerRight := false // (+) on right side → LEFT JOIN
+	outerLeft := false  // (+) on left side → RIGHT-style
+	for _, cj := range *conjuncts {
+		bo, ok := cj.(*BinaryOp)
+		if !ok || bo.Op != "=" {
+			rest = append(rest, cj)
+			continue
+		}
+		lref, lok := bo.Left.(*ColumnRef)
+		rref, rok := bo.Right.(*ColumnRef)
+		if !lok || !rok {
+			rest = append(rest, cj)
+			continue
+		}
+		connects := false
+		if _, err := left.scope.resolve(lref.Table, lref.Column); err == nil {
+			if _, err := right.scope.resolve(rref.Table, rref.Column); err == nil {
+				connects = true
+				if rref.OuterJoin {
+					outerRight = true
+				}
+				if lref.OuterJoin {
+					outerLeft = true
+				}
+			}
+		}
+		if !connects {
+			if _, err := left.scope.resolve(rref.Table, rref.Column); err == nil {
+				if _, err := right.scope.resolve(lref.Table, lref.Column); err == nil {
+					connects = true
+					if lref.OuterJoin {
+						outerRight = true
+					}
+					if rref.OuterJoin {
+						outerLeft = true
+					}
+				}
+			}
+		}
+		if connects {
+			joinCjs = append(joinCjs, cj)
+		} else {
+			rest = append(rest, cj)
+		}
+	}
+	*conjuncts = rest
+
+	merged := left.scope.merge(right.scope)
+	if len(joinCjs) == 0 {
+		// Pure cross join.
+		return &compiled{
+			op:    &exec.NestedLoopJoinOp{Left: left.op, Right: right.op, Type: exec.InnerJoin},
+			scope: merged,
+		}, nil
+	}
+	lk, rk, residual, err := c.extractEquiKeys(joinCjs, left.scope, right.scope)
+	if err != nil {
+		return nil, err
+	}
+	jt := exec.InnerJoin
+	if outerRight && !outerLeft {
+		jt = exec.LeftJoin
+	}
+	if outerLeft && !outerRight {
+		// (+) on the left side: preserve the right input. Swap, join
+		// LEFT, then restore order.
+		swapped := &exec.HashJoinOp{Left: right.op, Right: left.op, LeftKeys: rk, RightKeys: lk, Type: exec.LeftJoin}
+		nl, nr := len(left.scope.cols), len(right.scope.cols)
+		exprs := make([]exec.Expr, 0, nl+nr)
+		for i := 0; i < nl; i++ {
+			exprs = append(exprs, exec.ColRef(nr+i))
+		}
+		for i := 0; i < nr; i++ {
+			exprs = append(exprs, exec.ColRef(i))
+		}
+		op := &exec.ProjectOp{Child: swapped, Exprs: exprs, Out: merged.schema()}
+		return &compiled{op: op, scope: merged}, nil
+	}
+	var op exec.Operator = &exec.HashJoinOp{Left: left.op, Right: right.op, LeftKeys: lk, RightKeys: rk, Type: jt}
+	if len(residual) > 0 {
+		pred, err := c.compileConjuncts(residual, merged)
+		if err != nil {
+			return nil, err
+		}
+		op = &exec.FilterOp{Child: op, Pred: pred}
+	}
+	return &compiled{op: op, scope: merged}, nil
+}
+
+// --- helpers ----------------------------------------------------------------
+
+// splitConjuncts flattens nested ANDs.
+func splitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if bo, ok := e.(*BinaryOp); ok && bo.Op == "AND" {
+		return append(splitConjuncts(bo.Left), splitConjuncts(bo.Right)...)
+	}
+	return []Expr{e}
+}
+
+// extractRownumLimit strips "ROWNUM <= n" / "ROWNUM < n" conjuncts.
+func extractRownumLimit(conjuncts []Expr) ([]Expr, int64) {
+	limit := int64(-1)
+	var rest []Expr
+	for _, cj := range conjuncts {
+		bo, ok := cj.(*BinaryOp)
+		if ok {
+			if _, isRownum := bo.Left.(*RownumExpr); isRownum {
+				if lit, ok := bo.Right.(*Literal); ok {
+					if n, isInt := lit.Val.AsInt(); isInt {
+						switch bo.Op {
+						case "<=":
+							limit = n
+							continue
+						case "<":
+							limit = n - 1
+							continue
+						case "=":
+							if n == 1 {
+								limit = 1
+								continue
+							}
+						}
+					}
+				}
+			}
+		}
+		rest = append(rest, cj)
+	}
+	return rest, limit
+}
+
+// compileConjuncts ANDs compiled conjuncts into a single predicate.
+func (c *Compiler) compileConjuncts(conjuncts []Expr, sc *scope) (exec.Expr, error) {
+	var exprs []exec.Expr
+	for _, cj := range conjuncts {
+		e, err := c.compileExpr(cj, sc)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+	}
+	return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+		result := types.NewBool(true)
+		for _, e := range exprs {
+			v, err := e.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			result = and3(result, v)
+			if !result.IsNull() && !result.Bool() {
+				return result, nil
+			}
+		}
+		return result, nil
+	}), nil
+}
+
+// containsAggregate reports whether the expression tree contains an
+// aggregate function call.
+func containsAggregate(e Expr) bool {
+	switch ex := e.(type) {
+	case *FuncCall:
+		if _, ok := aggFuncFor(ex.Name); ok {
+			return true
+		}
+		for _, a := range ex.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryOp:
+		return containsAggregate(ex.Left) || containsAggregate(ex.Right)
+	case *UnaryOp:
+		return containsAggregate(ex.Expr)
+	case *CaseExpr:
+		if ex.Operand != nil && containsAggregate(ex.Operand) {
+			return true
+		}
+		for _, w := range ex.Whens {
+			if containsAggregate(w.When) || containsAggregate(w.Then) {
+				return true
+			}
+		}
+		if ex.Else != nil {
+			return containsAggregate(ex.Else)
+		}
+	case *CastExpr:
+		return containsAggregate(ex.Expr)
+	}
+	return false
+}
+
+// aggFuncFor maps SQL aggregate names (across dialects) to executor
+// aggregate kinds.
+func aggFuncFor(name string) (exec.AggFunc, bool) {
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		return exec.AggCount, true
+	case "SUM":
+		return exec.AggSum, true
+	case "AVG", "MEAN":
+		return exec.AggAvg, true
+	case "MIN":
+		return exec.AggMin, true
+	case "MAX":
+		return exec.AggMax, true
+	case "STDDEV", "STDDEV_POP":
+		return exec.AggStddevPop, true
+	case "STDDEV_SAMP":
+		return exec.AggStddevSamp, true
+	case "VARIANCE", "VAR_POP":
+		return exec.AggVarPop, true
+	case "VAR_SAMP", "VARIANCE_SAMP":
+		return exec.AggVarSamp, true
+	case "MEDIAN":
+		return exec.AggMedian, true
+	case "PERCENTILE_CONT":
+		return exec.AggPercentileCont, true
+	case "PERCENTILE_DISC":
+		return exec.AggPercentileDisc, true
+	case "COVAR_POP", "COVARIANCE":
+		return exec.AggCovarPop, true
+	case "COVAR_SAMP", "COVARIANCE_SAMP":
+		return exec.AggCovarSamp, true
+	}
+	return 0, false
+}

@@ -1,0 +1,81 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dialect selects the SQL language variant a session compiles under
+// (paper §II.C.1–2). The parser accepts a superset of all variants;
+// dialect-specific constructs are validated against the active dialect,
+// and a few semantic incompatibilities (for example Oracle's empty-string-
+// is-NULL VARCHAR2 rule) change behaviour rather than syntax.
+type Dialect uint8
+
+const (
+	// DialectANSI is the standard-conforming core compiler.
+	DialectANSI Dialect = iota
+	// DialectOracle enables (+) outer joins, ROWNUM, DUAL,
+	// seq.NEXTVAL/CURRVAL, DECODE/NVL, VARCHAR2 semantics.
+	DialectOracle
+	// DialectNetezza enables LIMIT/OFFSET, ::casts, ISNULL/NOTNULL,
+	// ISTRUE/ISFALSE, JOIN USING, GROUP BY output name, ORDER BY ordinal.
+	// It also covers the PostgreSQL surface.
+	DialectNetezza
+	// DialectDB2 enables VALUES statements, NEXT VALUE FOR, DECFLOAT
+	// functions and DECLARE GLOBAL TEMPORARY TABLE.
+	DialectDB2
+)
+
+// String returns the dialect's configuration name.
+func (d Dialect) String() string {
+	switch d {
+	case DialectANSI:
+		return "ANSI"
+	case DialectOracle:
+		return "ORACLE"
+	case DialectNetezza:
+		return "NETEZZA"
+	case DialectDB2:
+		return "DB2"
+	default:
+		return fmt.Sprintf("Dialect(%d)", uint8(d))
+	}
+}
+
+// ParseDialect resolves a dialect name (SET SQL_DIALECT = '<name>').
+// "NPS" and "POSTGRESQL" map to the Netezza surface.
+func ParseDialect(name string) (Dialect, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "ANSI", "":
+		return DialectANSI, nil
+	case "ORACLE", "PLSQL":
+		return DialectOracle, nil
+	case "NETEZZA", "NPS", "POSTGRESQL", "POSTGRES", "PG":
+		return DialectNetezza, nil
+	case "DB2", "SQLPL":
+		return DialectDB2, nil
+	default:
+		return DialectANSI, fmt.Errorf("sql: unknown dialect %q", name)
+	}
+}
+
+// EmptyStringIsNull reports the VARCHAR2 semantic: under Oracle
+// compatibility, the empty string literal denotes NULL (§II.C.2's example
+// of a semantic incompatibility requiring consistent treatment).
+func (d Dialect) EmptyStringIsNull() bool { return d == DialectOracle }
+
+// allows reports whether the dialect permits a gated construct; the
+// parser consults it for colliding syntaxes.
+func (d Dialect) allows(feature string) bool {
+	switch feature {
+	case "oracle-outer-join", "rownum", "dual", "seq-postfix", "anonymous-block":
+		return d == DialectOracle
+	case "limit-offset", "cast-colon", "isnull-postfix", "istrue", "group-by-alias":
+		return d == DialectNetezza || d == DialectANSI // ANSI core stays permissive for LIMIT
+	case "values-statement", "next-value-for", "declare-temp":
+		return d == DialectDB2 || d == DialectANSI
+	default:
+		return true
+	}
+}

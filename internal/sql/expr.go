@@ -1,0 +1,673 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dashdb/internal/exec"
+	"dashdb/internal/types"
+)
+
+// and3 / or3 implement SQL three-valued logic over BOOLEAN values where
+// NULL stands for UNKNOWN.
+func and3(a, b types.Value) types.Value {
+	af, bf := !a.IsNull() && !a.Bool(), !b.IsNull() && !b.Bool()
+	if af || bf {
+		return types.NewBool(false)
+	}
+	if a.IsNull() || b.IsNull() {
+		return types.Null
+	}
+	return types.NewBool(true)
+}
+
+func or3(a, b types.Value) types.Value {
+	at, bt := !a.IsNull() && a.Bool(), !b.IsNull() && b.Bool()
+	if at || bt {
+		return types.NewBool(true)
+	}
+	if a.IsNull() || b.IsNull() {
+		return types.Null
+	}
+	return types.NewBool(false)
+}
+
+func not3(a types.Value) types.Value {
+	if a.IsNull() {
+		return types.Null
+	}
+	return types.NewBool(!a.Bool())
+}
+
+// TypeKindFor maps a SQL type name (any dialect) to the engine kind.
+func TypeKindFor(name string) (types.Kind, error) {
+	switch strings.ToUpper(name) {
+	case "VARCHAR", "VARCHAR2", "CHAR", "CHARACTER", "BPCHAR", "TEXT", "GRAPHIC", "VARGRAPHIC", "CLOB", "STRING", "NVARCHAR":
+		return types.KindString, nil
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "TINYINT", "INT2", "INT4", "INT8", "BYTEINT":
+		return types.KindInt, nil
+	case "FLOAT", "FLOAT4", "FLOAT8", "DOUBLE", "REAL", "DECFLOAT", "DECIMAL", "NUMERIC", "NUMBER", "MONEY":
+		return types.KindFloat, nil
+	case "DATE":
+		return types.KindDate, nil
+	case "TIMESTAMP", "DATETIME":
+		return types.KindTimestamp, nil
+	case "BOOLEAN", "BOOL":
+		return types.KindBool, nil
+	default:
+		return types.KindNull, fmt.Errorf("sql: unsupported type %s", name)
+	}
+}
+
+// compileExpr lowers an AST expression to an executor expression bound to
+// the given scope.
+func (c *Compiler) compileExpr(e Expr, sc *scope) (exec.Expr, error) {
+	switch ex := e.(type) {
+	case *Literal:
+		return exec.Const{V: ex.Val}, nil
+
+	case *ColumnRef:
+		i, err := sc.resolve(ex.Table, ex.Column)
+		if err != nil {
+			return nil, err
+		}
+		return exec.ColRef(i), nil
+
+	case *BinaryOp:
+		return c.compileBinary(ex, sc)
+
+	case *UnaryOp:
+		inner, err := c.compileExpr(ex.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case "NOT":
+			return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+				v, err := inner.Eval(row)
+				if err != nil {
+					return types.Null, err
+				}
+				return not3(v), nil
+			}), nil
+		case "-":
+			return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+				v, err := inner.Eval(row)
+				if err != nil || v.IsNull() {
+					return types.Null, err
+				}
+				if v.Kind() == types.KindInt {
+					return types.NewInt(-v.Int()), nil
+				}
+				f, ok := v.AsFloat()
+				if !ok {
+					return types.Null, fmt.Errorf("sql: cannot negate %v", v)
+				}
+				return types.NewFloat(-f), nil
+			}), nil
+		}
+		return nil, fmt.Errorf("sql: unsupported unary operator %q", ex.Op)
+
+	case *FuncCall:
+		if _, isAgg := aggFuncFor(ex.Name); isAgg {
+			return nil, fmt.Errorf("sql: aggregate %s is not allowed here", ex.Name)
+		}
+		return c.compileScalarCall(ex, sc)
+
+	case *CaseExpr:
+		return c.compileCase(ex, sc)
+
+	case *CastExpr:
+		kind, err := TypeKindFor(ex.Type)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := c.compileExpr(ex.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+			v, err := inner.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.Coerce(v, kind)
+		}), nil
+
+	case *IsNullExpr:
+		inner, err := c.compileExpr(ex.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		not := ex.Not
+		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+			v, err := inner.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewBool(v.IsNull() != not), nil
+		}), nil
+
+	case *IsBoolExpr:
+		inner, err := c.compileExpr(ex.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		want, not := ex.Want, ex.Not
+		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+			v, err := inner.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			res := !v.IsNull() && v.Bool() == want
+			return types.NewBool(res != not), nil
+		}), nil
+
+	case *BetweenExpr:
+		val, err := c.compileExpr(ex.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := c.compileExpr(ex.Lo, sc)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := c.compileExpr(ex.Hi, sc)
+		if err != nil {
+			return nil, err
+		}
+		not := ex.Not
+		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+			v, err := val.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			l, err := lo.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			h, err := hi.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if v.IsNull() || l.IsNull() || h.IsNull() {
+				return types.Null, nil
+			}
+			in := types.Compare(v, l) >= 0 && types.Compare(v, h) <= 0
+			return types.NewBool(in != not), nil
+		}), nil
+
+	case *InExpr:
+		return c.compileIn(ex, sc)
+
+	case *ExistsExpr:
+		rowsFn := c.lazySubquery(ex.Sub)
+		not := ex.Not
+		return exec.FuncExpr(func(types.Row) (types.Value, error) {
+			rows, _, err := rowsFn()
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewBool((len(rows) > 0) != not), nil
+		}), nil
+
+	case *SubqueryExpr:
+		rowsFn := c.lazySubquery(ex.Sub)
+		return exec.FuncExpr(func(types.Row) (types.Value, error) {
+			rows, _, err := rowsFn()
+			if err != nil {
+				return types.Null, err
+			}
+			if len(rows) == 0 {
+				return types.Null, nil
+			}
+			if len(rows) > 1 {
+				return types.Null, fmt.Errorf("sql: scalar subquery returned %d rows", len(rows))
+			}
+			if len(rows[0]) != 1 {
+				return types.Null, fmt.Errorf("sql: scalar subquery must return one column")
+			}
+			return rows[0][0], nil
+		}), nil
+
+	case *SeqValExpr:
+		seq, ok := c.Cat.Sequence(ex.Seq)
+		if !ok {
+			return nil, fmt.Errorf("sql: sequence %s does not exist", ex.Seq)
+		}
+		next := ex.Next
+		return exec.FuncExpr(func(types.Row) (types.Value, error) {
+			if next {
+				return types.NewInt(seq.NextVal()), nil
+			}
+			v, err := seq.CurrVal()
+			if err != nil {
+				return types.Null, err
+			}
+			return types.NewInt(v), nil
+		}), nil
+
+	case *ParamExpr:
+		idx := ex.Index
+		params := c.Params
+		if idx >= len(params) {
+			return nil, fmt.Errorf("sql: statement has parameter ?%d but only %d values bound", idx+1, len(params))
+		}
+		return exec.Const{V: params[idx]}, nil
+
+	case *RownumExpr:
+		// ROWNUM as an expression: a per-plan running counter.
+		n := new(int64)
+		return exec.FuncExpr(func(types.Row) (types.Value, error) {
+			*n++
+			return types.NewInt(*n), nil
+		}), nil
+
+	case *OverlapsExpr:
+		args := make([]exec.Expr, 4)
+		for i, sub := range []Expr{ex.S1, ex.E1, ex.S2, ex.E2} {
+			ce, err := c.compileExpr(sub, sc)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ce
+		}
+		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+			vals := make([]types.Value, 4)
+			for i, a := range args {
+				v, err := a.Eval(row)
+				if err != nil {
+					return types.Null, err
+				}
+				if v.IsNull() {
+					return types.Null, nil
+				}
+				vals[i] = v
+			}
+			s1, e1, s2, e2 := vals[0], vals[1], vals[2], vals[3]
+			if types.Compare(s1, e1) > 0 {
+				s1, e1 = e1, s1
+			}
+			if types.Compare(s2, e2) > 0 {
+				s2, e2 = e2, s2
+			}
+			// SQL standard: (s1,e1) OVERLAPS (s2,e2) ⇔ s1 < e2 AND s2 < e1.
+			return types.NewBool(types.Compare(s1, e2) < 0 && types.Compare(s2, e1) < 0), nil
+		}), nil
+
+	case *Star:
+		return nil, fmt.Errorf("sql: * is only allowed in the select list")
+	}
+	return nil, fmt.Errorf("sql: unsupported expression %T", e)
+}
+
+func (c *Compiler) compileBinary(ex *BinaryOp, sc *scope) (exec.Expr, error) {
+	left, err := c.compileExpr(ex.Left, sc)
+	if err != nil {
+		return nil, err
+	}
+	right, err := c.compileExpr(ex.Right, sc)
+	if err != nil {
+		return nil, err
+	}
+	op := ex.Op
+	switch op {
+	case "AND":
+		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+			a, err := left.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if !a.IsNull() && !a.Bool() {
+				return types.NewBool(false), nil
+			}
+			b, err := right.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			return and3(a, b), nil
+		}), nil
+	case "OR":
+		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+			a, err := left.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if !a.IsNull() && a.Bool() {
+				return types.NewBool(true), nil
+			}
+			b, err := right.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			return or3(a, b), nil
+		}), nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		cmp, _ := cmpOpFor(op)
+		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+			a, err := left.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			b, err := right.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if a.IsNull() || b.IsNull() {
+				return types.Null, nil
+			}
+			return types.NewBool(cmp.Eval(a, b)), nil
+		}), nil
+	case "LIKE":
+		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+			a, err := left.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			b, err := right.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if a.IsNull() || b.IsNull() {
+				return types.Null, nil
+			}
+			return types.NewBool(LikeMatch(a.String(), b.String())), nil
+		}), nil
+	case "||":
+		oracle := c.Dialect == DialectOracle
+		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+			a, err := left.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			b, err := right.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			// Oracle treats NULL as '' in concatenation; ANSI yields NULL.
+			if !oracle && (a.IsNull() || b.IsNull()) {
+				return types.Null, nil
+			}
+			as, bs := "", ""
+			if !a.IsNull() {
+				as = a.String()
+			}
+			if !b.IsNull() {
+				bs = b.String()
+			}
+			return types.NewString(as + bs), nil
+		}), nil
+	case "+", "-", "*", "/", "%":
+		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+			a, err := left.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			b, err := right.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			return arith(op, a, b)
+		}), nil
+	}
+	return nil, fmt.Errorf("sql: unsupported binary operator %q", op)
+}
+
+// arith evaluates arithmetic with SQL numeric promotion; date ± int is
+// day arithmetic.
+func arith(op string, a, b types.Value) (types.Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return types.Null, nil
+	}
+	// Date arithmetic.
+	if a.Kind() == types.KindDate && b.Kind() == types.KindInt {
+		switch op {
+		case "+":
+			return types.NewDate(a.Int() + b.Int()), nil
+		case "-":
+			return types.NewDate(a.Int() - b.Int()), nil
+		}
+	}
+	if a.Kind() == types.KindDate && b.Kind() == types.KindDate && op == "-" {
+		return types.NewInt(a.Int() - b.Int()), nil
+	}
+	bothInt := a.Kind() == types.KindInt && b.Kind() == types.KindInt
+	if bothInt {
+		x, y := a.Int(), b.Int()
+		switch op {
+		case "+":
+			return types.NewInt(x + y), nil
+		case "-":
+			return types.NewInt(x - y), nil
+		case "*":
+			return types.NewInt(x * y), nil
+		case "/":
+			if y == 0 {
+				return types.Null, fmt.Errorf("sql: division by zero")
+			}
+			return types.NewInt(x / y), nil
+		case "%":
+			if y == 0 {
+				return types.Null, fmt.Errorf("sql: division by zero")
+			}
+			return types.NewInt(x % y), nil
+		}
+	}
+	x, ok1 := a.AsFloat()
+	y, ok2 := b.AsFloat()
+	if !ok1 || !ok2 {
+		return types.Null, fmt.Errorf("sql: cannot apply %s to %v and %v", op, a, b)
+	}
+	switch op {
+	case "+":
+		return types.NewFloat(x + y), nil
+	case "-":
+		return types.NewFloat(x - y), nil
+	case "*":
+		return types.NewFloat(x * y), nil
+	case "/":
+		if y == 0 {
+			return types.Null, fmt.Errorf("sql: division by zero")
+		}
+		return types.NewFloat(x / y), nil
+	case "%":
+		if y == 0 {
+			return types.Null, fmt.Errorf("sql: division by zero")
+		}
+		return types.NewFloat(float64(int64(x) % int64(y))), nil
+	}
+	return types.Null, fmt.Errorf("sql: unsupported arithmetic %q", op)
+}
+
+func (c *Compiler) compileScalarCall(ex *FuncCall, sc *scope) (exec.Expr, error) {
+	fn, ok := c.UDX.Lookup(ex.Name)
+	if !ok {
+		var err error
+		fn, err = LookupFunc(ex.Name, c.Dialect)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(ex.Args) < fn.MinArgs || (fn.MaxArgs >= 0 && len(ex.Args) > fn.MaxArgs) {
+		return nil, fmt.Errorf("sql: %s expects %d..%d arguments, got %d", fn.Name, fn.MinArgs, fn.MaxArgs, len(ex.Args))
+	}
+	args := make([]exec.Expr, len(ex.Args))
+	for i, a := range ex.Args {
+		ce, err := c.compileExpr(a, sc)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ce
+	}
+	env := c.Env
+	return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+		vals := make([]types.Value, len(args))
+		for i, a := range args {
+			v, err := a.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			vals[i] = v
+		}
+		return fn.Fn(env, vals)
+	}), nil
+}
+
+func (c *Compiler) compileCase(ex *CaseExpr, sc *scope) (exec.Expr, error) {
+	var operand exec.Expr
+	var err error
+	if ex.Operand != nil {
+		operand, err = c.compileExpr(ex.Operand, sc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	type arm struct{ when, then exec.Expr }
+	arms := make([]arm, len(ex.Whens))
+	for i, w := range ex.Whens {
+		we, err := c.compileExpr(w.When, sc)
+		if err != nil {
+			return nil, err
+		}
+		te, err := c.compileExpr(w.Then, sc)
+		if err != nil {
+			return nil, err
+		}
+		arms[i] = arm{when: we, then: te}
+	}
+	var elseE exec.Expr
+	if ex.Else != nil {
+		elseE, err = c.compileExpr(ex.Else, sc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+		var opv types.Value
+		if operand != nil {
+			var err error
+			opv, err = operand.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+		}
+		for _, a := range arms {
+			w, err := a.when.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			hit := false
+			if operand != nil {
+				hit = types.Equal(opv, w)
+			} else {
+				hit = !w.IsNull() && w.Kind() == types.KindBool && w.Bool()
+			}
+			if hit {
+				return a.then.Eval(row)
+			}
+		}
+		if elseE != nil {
+			return elseE.Eval(row)
+		}
+		return types.Null, nil
+	}), nil
+}
+
+func (c *Compiler) compileIn(ex *InExpr, sc *scope) (exec.Expr, error) {
+	val, err := c.compileExpr(ex.Expr, sc)
+	if err != nil {
+		return nil, err
+	}
+	not := ex.Not
+	if ex.Sub != nil {
+		rowsFn := c.lazySubquery(ex.Sub)
+		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+			v, err := val.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if v.IsNull() {
+				return types.Null, nil
+			}
+			rows, _, err := rowsFn()
+			if err != nil {
+				return types.Null, err
+			}
+			sawNull := false
+			for _, r := range rows {
+				if len(r) != 1 {
+					return types.Null, fmt.Errorf("sql: IN subquery must return one column")
+				}
+				if r[0].IsNull() {
+					sawNull = true
+					continue
+				}
+				if types.Equal(v, r[0]) {
+					return types.NewBool(!not), nil
+				}
+			}
+			if sawNull {
+				return types.Null, nil
+			}
+			return types.NewBool(not), nil
+		}), nil
+	}
+	list := make([]exec.Expr, len(ex.List))
+	for i, le := range ex.List {
+		ce, err := c.compileExpr(le, sc)
+		if err != nil {
+			return nil, err
+		}
+		list[i] = ce
+	}
+	return exec.FuncExpr(func(row types.Row) (types.Value, error) {
+		v, err := val.Eval(row)
+		if err != nil {
+			return types.Null, err
+		}
+		if v.IsNull() {
+			return types.Null, nil
+		}
+		sawNull := false
+		for _, le := range list {
+			lv, err := le.Eval(row)
+			if err != nil {
+				return types.Null, err
+			}
+			if lv.IsNull() {
+				sawNull = true
+				continue
+			}
+			if types.Equal(v, lv) {
+				return types.NewBool(!not), nil
+			}
+		}
+		if sawNull {
+			return types.Null, nil
+		}
+		return types.NewBool(not), nil
+	}), nil
+}
+
+// lazySubquery compiles an uncorrelated subquery now and materializes it
+// at most once, on first evaluation.
+func (c *Compiler) lazySubquery(sub *SelectStmt) func() ([]types.Row, types.Schema, error) {
+	var (
+		once sync.Once
+		rows []types.Row
+		sch  types.Schema
+		err  error
+	)
+	cpl, cerr := c.compileSelect(sub)
+	return func() ([]types.Row, types.Schema, error) {
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		once.Do(func() {
+			rows, err = exec.Drain(cpl.op)
+			sch = cpl.op.Schema()
+		})
+		return rows, sch, err
+	}
+}

@@ -1,0 +1,128 @@
+package sql
+
+import (
+	"fmt"
+
+	"dashdb/internal/geo"
+	"dashdb/internal/types"
+)
+
+// Geospatial function surface per SQL/MM (§II.C.5). Geometries travel as
+// WKT strings, so any VARCHAR column can hold location data; functions
+// parse on use. Available in every dialect (the paper ships them with the
+// base engine).
+
+func geomArg(v types.Value) (*geo.Geometry, error) {
+	if v.Kind() != types.KindString {
+		return nil, fmt.Errorf("sql: expected WKT geometry text, got %s", v.Kind())
+	}
+	return geo.ParseWKT(v.Str())
+}
+
+// geoFn wraps a unary geometry function.
+func geoFn(f func(g *geo.Geometry) (types.Value, error)) func(*EvalEnv, []types.Value) (types.Value, error) {
+	return strict(func(_ *EvalEnv, a []types.Value) (types.Value, error) {
+		g, err := geomArg(a[0])
+		if err != nil {
+			return types.Null, err
+		}
+		return f(g)
+	})
+}
+
+// geoFn2 wraps a binary geometry function.
+func geoFn2(f func(g1, g2 *geo.Geometry) (types.Value, error)) func(*EvalEnv, []types.Value) (types.Value, error) {
+	return strict(func(_ *EvalEnv, a []types.Value) (types.Value, error) {
+		g1, err := geomArg(a[0])
+		if err != nil {
+			return types.Null, err
+		}
+		g2, err := geomArg(a[1])
+		if err != nil {
+			return types.Null, err
+		}
+		return f(g1, g2)
+	})
+}
+
+func init() {
+	register(&ScalarFunc{Name: "ST_POINT", MinArgs: 2, MaxArgs: 2, Fn: strict(func(_ *EvalEnv, a []types.Value) (types.Value, error) {
+		x, ok1 := a[0].AsFloat()
+		y, ok2 := a[1].AsFloat()
+		if !ok1 || !ok2 {
+			return types.Null, fmt.Errorf("sql: ST_POINT expects numeric coordinates")
+		}
+		g := &geo.Geometry{Kind: geo.KindPoint, Pts: []geo.XY{{X: x, Y: y}}}
+		return types.NewString(g.WKT()), nil
+	})})
+	register(&ScalarFunc{Name: "ST_GEOMFROMTEXT", MinArgs: 1, MaxArgs: 2, Fn: strict(func(_ *EvalEnv, a []types.Value) (types.Value, error) {
+		g, err := geomArg(a[0]) // optional SRID argument accepted, ignored
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewString(g.WKT()), nil
+	})})
+	alias("ST_GEOMETRYFROMTEXT", "ST_GEOMFROMTEXT")
+	register(&ScalarFunc{Name: "ST_ASTEXT", MinArgs: 1, MaxArgs: 1, Fn: geoFn(func(g *geo.Geometry) (types.Value, error) {
+		return types.NewString(g.WKT()), nil
+	})})
+	register(&ScalarFunc{Name: "ST_GEOMETRYTYPE", MinArgs: 1, MaxArgs: 1, Fn: geoFn(func(g *geo.Geometry) (types.Value, error) {
+		return types.NewString("ST_" + g.Kind.String()), nil
+	})})
+	register(&ScalarFunc{Name: "ST_X", MinArgs: 1, MaxArgs: 1, Fn: geoFn(func(g *geo.Geometry) (types.Value, error) {
+		if g.Kind != geo.KindPoint {
+			return types.Null, fmt.Errorf("sql: ST_X expects a POINT")
+		}
+		return types.NewFloat(g.Pts[0].X), nil
+	})})
+	register(&ScalarFunc{Name: "ST_Y", MinArgs: 1, MaxArgs: 1, Fn: geoFn(func(g *geo.Geometry) (types.Value, error) {
+		if g.Kind != geo.KindPoint {
+			return types.Null, fmt.Errorf("sql: ST_Y expects a POINT")
+		}
+		return types.NewFloat(g.Pts[0].Y), nil
+	})})
+	register(&ScalarFunc{Name: "ST_DISTANCE", MinArgs: 2, MaxArgs: 2, Fn: geoFn2(func(g1, g2 *geo.Geometry) (types.Value, error) {
+		return types.NewFloat(g1.Distance(g2)), nil
+	})})
+	register(&ScalarFunc{Name: "ST_CONTAINS", MinArgs: 2, MaxArgs: 2, Fn: geoFn2(func(g1, g2 *geo.Geometry) (types.Value, error) {
+		return types.NewBool(g1.Contains(g2)), nil
+	})})
+	register(&ScalarFunc{Name: "ST_WITHIN", MinArgs: 2, MaxArgs: 2, Fn: geoFn2(func(g1, g2 *geo.Geometry) (types.Value, error) {
+		return types.NewBool(g1.Within(g2)), nil
+	})})
+	register(&ScalarFunc{Name: "ST_INTERSECTS", MinArgs: 2, MaxArgs: 2, Fn: geoFn2(func(g1, g2 *geo.Geometry) (types.Value, error) {
+		return types.NewBool(g1.Intersects(g2)), nil
+	})})
+	register(&ScalarFunc{Name: "ST_AREA", MinArgs: 1, MaxArgs: 1, Fn: geoFn(func(g *geo.Geometry) (types.Value, error) {
+		return types.NewFloat(g.Area()), nil
+	})})
+	register(&ScalarFunc{Name: "ST_LENGTH", MinArgs: 1, MaxArgs: 1, Fn: geoFn(func(g *geo.Geometry) (types.Value, error) {
+		return types.NewFloat(g.Length()), nil
+	})})
+	register(&ScalarFunc{Name: "ST_NUMPOINTS", MinArgs: 1, MaxArgs: 1, Fn: geoFn(func(g *geo.Geometry) (types.Value, error) {
+		return types.NewInt(int64(g.NumPoints())), nil
+	})})
+	register(&ScalarFunc{Name: "ST_CENTROID", MinArgs: 1, MaxArgs: 1, Fn: geoFn(func(g *geo.Geometry) (types.Value, error) {
+		c := g.Centroid()
+		p := &geo.Geometry{Kind: geo.KindPoint, Pts: []geo.XY{c}}
+		return types.NewString(p.WKT()), nil
+	})})
+	register(&ScalarFunc{Name: "ST_ENVELOPE", MinArgs: 1, MaxArgs: 1, Fn: geoFn(func(g *geo.Geometry) (types.Value, error) {
+		return types.NewString(g.Envelope().WKT()), nil
+	})})
+	register(&ScalarFunc{Name: "ST_BUFFER", MinArgs: 2, MaxArgs: 2, Fn: strict(func(_ *EvalEnv, a []types.Value) (types.Value, error) {
+		g, err := geomArg(a[0])
+		if err != nil {
+			return types.Null, err
+		}
+		r, ok := a[1].AsFloat()
+		if !ok {
+			return types.Null, fmt.Errorf("sql: ST_BUFFER expects a numeric radius")
+		}
+		buf, err := g.Buffer(r, 32)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewString(buf.WKT()), nil
+	})})
+}

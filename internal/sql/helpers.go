@@ -1,0 +1,56 @@
+package sql
+
+import (
+	"dashdb/internal/columnar"
+	"dashdb/internal/exec"
+	"dashdb/internal/types"
+)
+
+// CompileConstExpr compiles an expression with no input columns (VALUES
+// rows, CALL arguments, DEFAULT expressions). Sequence references and
+// scalar subqueries are allowed.
+func (c *Compiler) CompileConstExpr(e Expr) (exec.Expr, error) {
+	return c.compileExpr(e, &scope{})
+}
+
+// CompileRowExpr compiles an expression against a single table's schema
+// (UPDATE SET clauses, CHECK-style predicates).
+func (c *Compiler) CompileRowExpr(e Expr, sch types.Schema) (exec.Expr, error) {
+	sc := &scope{}
+	for _, col := range sch {
+		sc.add("", col.Name, col.Kind)
+	}
+	return c.compileExpr(e, sc)
+}
+
+// CompileTablePredicate splits a WHERE clause for direct table DML into
+// pushable columnar scan predicates and a residual row filter (nil when
+// everything pushed down). The same split the query compiler applies to
+// base-table scans.
+func (c *Compiler) CompileTablePredicate(where Expr, sch types.Schema) ([]columnar.Pred, exec.Expr, error) {
+	if where == nil {
+		return nil, nil, nil
+	}
+	conjuncts := splitConjuncts(where)
+	var preds []columnar.Pred
+	var rest []Expr
+	for _, cj := range conjuncts {
+		if p, ok := c.asScanPred(cj, "", sch); ok {
+			preds = append(preds, p...)
+			continue
+		}
+		rest = append(rest, cj)
+	}
+	if len(rest) == 0 {
+		return preds, nil, nil
+	}
+	sc := &scope{}
+	for _, col := range sch {
+		sc.add("", col.Name, col.Kind)
+	}
+	residual, err := c.compileConjuncts(rest, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return preds, residual, nil
+}

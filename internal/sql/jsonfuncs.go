@@ -1,0 +1,120 @@
+package sql
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"dashdb/internal/jsonpath"
+	"dashdb/internal/types"
+)
+
+// JSON analytics surface (paper §VI future work: "Support for Big Data
+// Analytics on JSON data"): JSON documents travel as VARCHAR; JSON_VALUE
+// extracts scalars by dotted path with [n] array indexes, and
+// JSON_EXISTS / JSON_TYPE probe structure. Available in every dialect.
+
+func init() {
+	register(&ScalarFunc{Name: "JSON_VALUE", MinArgs: 2, MaxArgs: 2, Fn: strict(func(_ *EvalEnv, a []types.Value) (types.Value, error) {
+		doc, err := decodeJSON(a[0])
+		if err != nil {
+			return types.Null, err
+		}
+		v, ok := jsonpath.Extract(doc, a[1].Str())
+		if !ok || v == nil {
+			return types.Null, nil
+		}
+		switch n := v.(type) {
+		case float64:
+			if n == float64(int64(n)) {
+				return types.NewInt(int64(n)), nil
+			}
+			return types.NewFloat(n), nil
+		case bool:
+			return types.NewBool(n), nil
+		case string:
+			return types.NewString(n), nil
+		default:
+			raw, err := json.Marshal(v)
+			if err != nil {
+				return types.Null, nil
+			}
+			return types.NewString(string(raw)), nil
+		}
+	})})
+	register(&ScalarFunc{Name: "JSON_EXISTS", MinArgs: 2, MaxArgs: 2, Fn: strict(func(_ *EvalEnv, a []types.Value) (types.Value, error) {
+		doc, err := decodeJSON(a[0])
+		if err != nil {
+			return types.Null, err
+		}
+		_, ok := jsonpath.Extract(doc, a[1].Str())
+		return types.NewBool(ok), nil
+	})})
+	register(&ScalarFunc{Name: "JSON_TYPE", MinArgs: 1, MaxArgs: 2, Fn: strict(func(_ *EvalEnv, a []types.Value) (types.Value, error) {
+		doc, err := decodeJSON(a[0])
+		if err != nil {
+			return types.Null, err
+		}
+		if len(a) == 2 {
+			v, ok := jsonpath.Extract(doc, a[1].Str())
+			if !ok {
+				return types.Null, nil
+			}
+			doc = v
+		}
+		return types.NewString(jsonTypeName(doc)), nil
+	})})
+	register(&ScalarFunc{Name: "JSON_ARRAY_LENGTH", MinArgs: 1, MaxArgs: 2, Fn: strict(func(_ *EvalEnv, a []types.Value) (types.Value, error) {
+		doc, err := decodeJSON(a[0])
+		if err != nil {
+			return types.Null, err
+		}
+		if len(a) == 2 {
+			v, ok := jsonpath.Extract(doc, a[1].Str())
+			if !ok {
+				return types.Null, nil
+			}
+			doc = v
+		}
+		arr, ok := doc.([]interface{})
+		if !ok {
+			return types.Null, fmt.Errorf("sql: JSON_ARRAY_LENGTH target is %s", jsonTypeName(doc))
+		}
+		return types.NewInt(int64(len(arr))), nil
+	})})
+}
+
+func decodeJSON(v types.Value) (interface{}, error) {
+	if v.Kind() != types.KindString {
+		return nil, fmt.Errorf("sql: expected JSON text, got %s", v.Kind())
+	}
+	var doc interface{}
+	if err := json.Unmarshal([]byte(v.Str()), &doc); err != nil {
+		return nil, fmt.Errorf("sql: invalid JSON %s: %v", strconv.Quote(truncateStr(v.Str(), 40)), err)
+	}
+	return doc, nil
+}
+
+func truncateStr(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func jsonTypeName(v interface{}) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case []interface{}:
+		return "array"
+	default:
+		return "object"
+	}
+}

@@ -1,0 +1,218 @@
+// Package sql is the polyglot SQL front end (paper §II.C): an ANSI
+// compiler extended with Oracle, Netezza/PostgreSQL and DB2 dialect
+// syntax, a dialect-tagged scalar/aggregate function library, per-session
+// dialect selection, and a compiler from the AST to the executor's
+// operator tree with predicate pushdown into the compressed columnar scan.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexer tokens.
+type TokKind uint8
+
+const (
+	// TokEOF terminates the token stream.
+	TokEOF TokKind = iota
+	// TokIdent is an identifier or unreserved keyword.
+	TokIdent
+	// TokQuotedIdent is a "double quoted" identifier.
+	TokQuotedIdent
+	// TokNumber is a numeric literal.
+	TokNumber
+	// TokString is a 'single quoted' string literal.
+	TokString
+	// TokOp is an operator or punctuation.
+	TokOp
+)
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokKind
+	Text string // identifiers are uppercased; quoted identifiers verbatim
+	Pos  int    // byte offset in the input
+}
+
+// lexer turns SQL text into tokens. It understands -- and /* */ comments,
+// ” escapes inside strings, PostgreSQL's :: cast operator and Oracle's
+// (+) outer-join marker (emitted as a single "(+)" operator token).
+type lexer struct {
+	src  string
+	pos  int
+	toks []Token
+}
+
+// Lex tokenizes src, returning a slice ending with a TokEOF token.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src}
+	if err := l.run(); err != nil {
+		return nil, err
+	}
+	return l.toks, nil
+}
+
+func (l *lexer) run() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.peek(1) == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek(1) == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return fmt.Errorf("sql: unterminated block comment at %d", l.pos)
+			}
+			l.pos += end + 4
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return err
+			}
+		case c == '"':
+			if err := l.lexQuotedIdent(); err != nil {
+				return err
+			}
+		case isDigit(c) || (c == '.' && isDigit(l.peek(1))):
+			l.lexNumber()
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			if err := l.lexOp(); err != nil {
+				return err
+			}
+		}
+	}
+	l.emit(TokEOF, "", l.pos)
+	return nil
+}
+
+func (l *lexer) peek(n int) byte {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) emit(k TokKind, text string, pos int) {
+	l.toks = append(l.toks, Token{Kind: k, Text: text, Pos: pos})
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.peek(1) == '\'' { // escaped quote
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(TokString, b.String(), start)
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at %d", start)
+}
+
+func (l *lexer) lexQuotedIdent() error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			if l.peek(1) == '"' {
+				b.WriteByte('"')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(TokQuotedIdent, b.String(), start)
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated quoted identifier at %d", start)
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			next := l.peek(1)
+			if isDigit(next) || ((next == '+' || next == '-') && isDigit(l.peek(2))) {
+				seenExp = true
+				l.pos++
+				if l.src[l.pos] == '+' || l.src[l.pos] == '-' {
+					l.pos++
+				}
+			} else {
+				l.emit(TokNumber, l.src[start:l.pos], start)
+				return
+			}
+		default:
+			l.emit(TokNumber, l.src[start:l.pos], start)
+			return
+		}
+	}
+	l.emit(TokNumber, l.src[start:l.pos], start)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	l.emit(TokIdent, strings.ToUpper(l.src[start:l.pos]), start)
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{"(+)", "::", "<=", ">=", "<>", "!=", "||"}
+
+func (l *lexer) lexOp() error {
+	for _, op := range multiOps {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.emit(TokOp, op, l.pos)
+			l.pos += len(op)
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '+', '-', '*', '/', '<', '>', '=', '.', ';', '%', ':', '?':
+		l.emit(TokOp, string(c), l.pos)
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at %d", rune(c), l.pos)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || c == '#' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || isDigit(c)
+}

@@ -1,0 +1,57 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dashdb/internal/types"
+)
+
+// FuncRegistry holds user-defined extensions (UDX, §II.C.4): custom
+// scalar functions registered per database that extend the built-in
+// library. User functions shadow nothing: a UDX name colliding with a
+// built-in is rejected at registration.
+type FuncRegistry struct {
+	mu    sync.RWMutex
+	funcs map[string]*ScalarFunc
+}
+
+// NewFuncRegistry returns an empty registry.
+func NewFuncRegistry() *FuncRegistry {
+	return &FuncRegistry{funcs: make(map[string]*ScalarFunc)}
+}
+
+// Register adds a user-defined scalar function. The name must not clash
+// with a built-in (in any dialect) or an existing UDX.
+func (r *FuncRegistry) Register(name string, minArgs, maxArgs int, fn func(args []types.Value) (types.Value, error)) error {
+	key := strings.ToUpper(name)
+	if _, exists := funcRegistry[key]; exists {
+		return fmt.Errorf("sql: %s is a built-in function", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.funcs[key]; exists {
+		return fmt.Errorf("sql: UDX %s already registered", name)
+	}
+	r.funcs[key] = &ScalarFunc{
+		Name:    key,
+		MinArgs: minArgs,
+		MaxArgs: maxArgs,
+		Fn: func(_ *EvalEnv, args []types.Value) (types.Value, error) {
+			return fn(args)
+		},
+	}
+	return nil
+}
+
+// Lookup resolves a UDX by name.
+func (r *FuncRegistry) Lookup(name string) (*ScalarFunc, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.funcs[strings.ToUpper(name)]
+	return f, ok
+}

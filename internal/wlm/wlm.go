@@ -1,0 +1,86 @@
+// Package wlm is the workload manager: admission control that caps
+// concurrent query execution at the level the auto-configuration derives
+// from the hardware (paper §II.A lists "workload management
+// infrastructure" among the knobs dashDB Local configures automatically).
+package wlm
+
+import "sync/atomic"
+
+// Manager gates query admission. A zero concurrency limit disables
+// gating entirely.
+type Manager struct {
+	sem      chan struct{}
+	admitted atomic.Uint64
+	queued   atomic.Uint64
+	peak     atomic.Int64
+	active   atomic.Int64
+}
+
+// New creates a manager admitting at most maxConcurrent queries at once
+// (0 = unlimited).
+func New(maxConcurrent int) *Manager {
+	m := &Manager{}
+	if maxConcurrent > 0 {
+		m.sem = make(chan struct{}, maxConcurrent)
+	}
+	return m
+}
+
+// Limit returns the concurrency cap (0 = unlimited).
+func (m *Manager) Limit() int {
+	if m.sem == nil {
+		return 0
+	}
+	return cap(m.sem)
+}
+
+// Admit blocks until a slot is free and returns a release function.
+// Callers must invoke the release exactly once.
+func (m *Manager) Admit() func() {
+	m.admitted.Add(1)
+	if m.sem == nil {
+		m.track()
+		return m.untrack
+	}
+	select {
+	case m.sem <- struct{}{}:
+	default:
+		m.queued.Add(1)
+		m.sem <- struct{}{}
+	}
+	m.track()
+	return func() {
+		m.untrack()
+		<-m.sem
+	}
+}
+
+func (m *Manager) track() {
+	a := m.active.Add(1)
+	for {
+		p := m.peak.Load()
+		if a <= p || m.peak.CompareAndSwap(p, a) {
+			return
+		}
+	}
+}
+
+func (m *Manager) untrack() { m.active.Add(-1) }
+
+// Stats reports cumulative admission counters.
+type Stats struct {
+	Admitted uint64
+	Queued   uint64
+	Peak     int64
+	Active   int64
+}
+
+// Stats returns a snapshot.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Admitted: m.admitted.Load(),
+		Queued:   m.queued.Load(),
+		Peak:     m.peak.Load(),
+		Active:   m.active.Load(),
+	}
+}

@@ -1,0 +1,72 @@
+package wlm
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestUnlimitedManager(t *testing.T) {
+	m := New(0)
+	if m.Limit() != 0 {
+		t.Fatalf("limit %d", m.Limit())
+	}
+	release := m.Admit()
+	release()
+	st := m.Stats()
+	if st.Admitted != 1 || st.Active != 0 {
+		t.Fatalf("%+v", st)
+	}
+}
+
+func TestConcurrencyCapEnforced(t *testing.T) {
+	m := New(3)
+	var active, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release := m.Admit()
+			defer release()
+			a := active.Add(1)
+			for {
+				p := peak.Load()
+				if a <= p || peak.CompareAndSwap(p, a) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			active.Add(-1)
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > 3 {
+		t.Fatalf("observed concurrency %d > limit", peak.Load())
+	}
+	st := m.Stats()
+	if st.Admitted != 50 {
+		t.Fatalf("admitted %d", st.Admitted)
+	}
+	if st.Peak > 3 {
+		t.Fatalf("manager peak %d", st.Peak)
+	}
+	if st.Queued == 0 {
+		t.Fatal("expected queuing under contention")
+	}
+	if st.Active != 0 {
+		t.Fatalf("active after drain %d", st.Active)
+	}
+}
+
+func TestAdmitReleaseBalance(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 10; i++ {
+		release := m.Admit()
+		release()
+	}
+	if m.Stats().Active != 0 {
+		t.Fatal("unbalanced")
+	}
+}

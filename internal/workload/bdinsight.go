@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dashdb/internal/encoding"
+	"dashdb/internal/types"
+)
+
+// BDInsight generates the BD-Insight-like BI workload of Test 4: a retail
+// orders fact with a product dimension, driven as a 5-stream concurrent
+// throughput test measured in queries per hour against a cloud column
+// store on identical virtual hardware.
+type BDInsight struct {
+	// Scale is the orders row count.
+	Scale int
+	rng   *rand.Rand
+}
+
+// NewBDInsight creates a deterministic generator.
+func NewBDInsight(scale int, seed int64) *BDInsight {
+	return &BDInsight{Scale: scale, rng: rand.New(rand.NewSource(seed))}
+}
+
+var bdiChannels = []string{"web", "mobile", "store", "partner"}
+
+var bdiEpoch = func() int64 {
+	d, _ := types.ParseDate("2015-01-01")
+	return d.Int()
+}()
+
+const bdiDays = 2 * 365
+
+// Tables returns the retail schema.
+func (b *BDInsight) Tables() []TableDef {
+	return []TableDef{
+		{
+			Name: "product",
+			Schema: types.Schema{
+				{Name: "p_id", Kind: types.KindInt},
+				{Name: "p_line", Kind: types.KindString, Nullable: true},
+				{Name: "p_cost", Kind: types.KindFloat, Nullable: true},
+			},
+			Replicated: true,
+			Indexes:    []string{"p_id"},
+		},
+		{
+			Name: "orders",
+			Schema: types.Schema{
+				{Name: "o_id", Kind: types.KindInt},
+				{Name: "o_date", Kind: types.KindDate, Nullable: true},
+				{Name: "o_product", Kind: types.KindInt, Nullable: true},
+				{Name: "o_channel", Kind: types.KindString, Nullable: true},
+				{Name: "o_units", Kind: types.KindInt, Nullable: true},
+				{Name: "o_revenue", Kind: types.KindFloat, Nullable: true},
+			},
+			DistributeBy: "o_id",
+			Indexes:      []string{"o_id", "o_date"},
+		},
+	}
+}
+
+func (b *BDInsight) productCount() int { return maxi(b.Scale/200, 40) }
+
+// Products returns the dimension rows.
+func (b *BDInsight) Products() []types.Row {
+	n := b.productCount()
+	lines := []string{"basics", "premium", "clearance", "seasonal", "exclusive"}
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(lines[i%len(lines)]),
+			types.NewFloat(float64(b.rng.Intn(10000)) / 100),
+		}
+	}
+	return rows
+}
+
+// Orders returns the date-clustered fact rows.
+func (b *BDInsight) Orders() []types.Row {
+	n := b.productCount()
+	rows := make([]types.Row, b.Scale)
+	for i := 0; i < b.Scale; i++ {
+		rows[i] = types.Row{
+			types.NewInt(int64(i)),
+			types.NewDate(bdiEpoch + int64(i*bdiDays/b.Scale)),
+			types.NewInt(int64(b.rng.Intn(n))),
+			types.NewString(bdiChannels[b.rng.Intn(len(bdiChannels))]),
+			types.NewInt(int64(b.rng.Intn(10) + 1)),
+			types.NewFloat(float64(b.rng.Intn(30000)) / 100),
+		}
+	}
+	return rows
+}
+
+// StreamQueries returns the query set for one of the 5 streams; streams
+// interleave dashboard-style light probes with heavier rollups.
+func (b *BDInsight) StreamQueries(stream int) []QuerySpec {
+	rng := rand.New(rand.NewSource(int64(1000 + stream)))
+	date := func(daysBack int) types.Value {
+		return types.NewDate(bdiEpoch + bdiDays - int64(daysBack))
+	}
+	var qs []QuerySpec
+	for i := 0; i < 8; i++ {
+		switch i % 4 {
+		case 0: // daily dashboard: last week by channel
+			qs = append(qs, QuerySpec{
+				Name:    fmt.Sprintf("bdi_s%d_q%d_dashboard", stream, i),
+				Table:   "orders",
+				Preds:   []Pred{{Col: "o_date", Op: encoding.OpGE, Val: date(7)}},
+				GroupBy: []string{"o_channel"},
+				Aggs:    []Agg{{Func: "COUNT"}, {Func: "SUM", Col: "o_revenue"}},
+				OrderBy: []string{"o_channel"},
+			})
+		case 1: // product-line margin (join)
+			qs = append(qs, QuerySpec{
+				Name:  fmt.Sprintf("bdi_s%d_q%d_margin", stream, i),
+				Table: "orders",
+				Preds: []Pred{{Col: "o_date", Op: encoding.OpGE, Val: date(30 + rng.Intn(60))}},
+				Joins: []Join{{
+					Table: "product", LeftCol: "o_product", RightCol: "p_id",
+				}},
+				GroupBy: []string{"p_line"},
+				Aggs:    []Agg{{Func: "SUM", Col: "o_revenue"}, {Func: "AVG", Col: "o_units"}},
+				OrderBy: []string{"p_line"},
+			})
+		case 2: // big-order hunt
+			qs = append(qs, QuerySpec{
+				Name:    fmt.Sprintf("bdi_s%d_q%d_whales", stream, i),
+				Table:   "orders",
+				Preds:   []Pred{{Col: "o_revenue", Op: encoding.OpGT, Val: types.NewFloat(250)}},
+				GroupBy: []string{"o_channel"},
+				Aggs:    []Agg{{Func: "COUNT"}, {Func: "MAX", Col: "o_revenue"}},
+			})
+		default: // quarterly trend over full history
+			qs = append(qs, QuerySpec{
+				Name:    fmt.Sprintf("bdi_s%d_q%d_trend", stream, i),
+				Table:   "orders",
+				GroupBy: []string{"o_channel"},
+				Aggs:    []Agg{{Func: "COUNT"}, {Func: "SUM", Col: "o_revenue"}, {Func: "AVG", Col: "o_revenue"}},
+			})
+		}
+	}
+	return qs
+}

@@ -1,0 +1,233 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dashdb/internal/encoding"
+	"dashdb/internal/types"
+)
+
+// TPCDS generates the scaled-down TPC-DS-like workload of Test 3: a
+// store_sales fact with item/customer/store dimensions and twenty query
+// templates in the benchmark's characteristic shapes — date-restricted
+// star joins with grouped aggregation.
+type TPCDS struct {
+	// Scale is the store_sales row count.
+	Scale int
+	rng   *rand.Rand
+}
+
+// NewTPCDS creates a deterministic generator.
+func NewTPCDS(scale int, seed int64) *TPCDS {
+	return &TPCDS{Scale: scale, rng: rand.New(rand.NewSource(seed))}
+}
+
+var (
+	tpcdsCategories = []string{"Books", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports", "Toys", "Women"}
+	tpcdsBrands     = 50
+	tpcdsStates     = []string{"CA", "NY", "TX", "FL", "IL", "OH", "GA", "WA"}
+	tpcdsSegments   = []string{"consumer", "corporate", "hobbyist"}
+)
+
+var tpcdsEpoch = func() int64 {
+	d, _ := types.ParseDate("2014-01-01")
+	return d.Int()
+}()
+
+const tpcdsDays = 3 * 365
+
+// Tables returns the star schema.
+func (t *TPCDS) Tables() []TableDef {
+	return []TableDef{
+		{
+			Name: "item",
+			Schema: types.Schema{
+				{Name: "i_item_sk", Kind: types.KindInt},
+				{Name: "i_category", Kind: types.KindString, Nullable: true},
+				{Name: "i_brand_id", Kind: types.KindInt, Nullable: true},
+				{Name: "i_price", Kind: types.KindFloat, Nullable: true},
+			},
+			Replicated: true,
+			Indexes:    []string{"i_item_sk", "i_category"},
+		},
+		{
+			Name: "customer",
+			Schema: types.Schema{
+				{Name: "c_customer_sk", Kind: types.KindInt},
+				{Name: "c_state", Kind: types.KindString, Nullable: true},
+				{Name: "c_segment", Kind: types.KindString, Nullable: true},
+			},
+			Replicated: true,
+			Indexes:    []string{"c_customer_sk", "c_state"},
+		},
+		{
+			Name: "store",
+			Schema: types.Schema{
+				{Name: "s_store_sk", Kind: types.KindInt},
+				{Name: "s_state", Kind: types.KindString, Nullable: true},
+			},
+			Replicated: true,
+			Indexes:    []string{"s_store_sk"},
+		},
+		{
+			Name: "store_sales",
+			Schema: types.Schema{
+				{Name: "ss_id", Kind: types.KindInt},
+				{Name: "ss_sold_date", Kind: types.KindDate, Nullable: true},
+				{Name: "ss_item_sk", Kind: types.KindInt, Nullable: true},
+				{Name: "ss_customer_sk", Kind: types.KindInt, Nullable: true},
+				{Name: "ss_store_sk", Kind: types.KindInt, Nullable: true},
+				{Name: "ss_quantity", Kind: types.KindInt, Nullable: true},
+				{Name: "ss_net_paid", Kind: types.KindFloat, Nullable: true},
+			},
+			DistributeBy: "ss_id",
+			Indexes:      []string{"ss_id", "ss_sold_date", "ss_item_sk"},
+		},
+	}
+}
+
+func (t *TPCDS) itemCount() int     { return maxi(t.Scale/100, 50) }
+func (t *TPCDS) customerCount() int { return maxi(t.Scale/40, 100) }
+func (t *TPCDS) storeCount() int    { return maxi(t.Scale/5000, 8) }
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Items returns the item dimension.
+func (t *TPCDS) Items() []types.Row {
+	n := t.itemCount()
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(tpcdsCategories[i%len(tpcdsCategories)]),
+			types.NewInt(int64(i % tpcdsBrands)),
+			types.NewFloat(float64(t.rng.Intn(20000)) / 100),
+		}
+	}
+	return rows
+}
+
+// Customers returns the customer dimension.
+func (t *TPCDS) Customers() []types.Row {
+	n := t.customerCount()
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(tpcdsStates[i%len(tpcdsStates)]),
+			types.NewString(tpcdsSegments[i%len(tpcdsSegments)]),
+		}
+	}
+	return rows
+}
+
+// Stores returns the store dimension.
+func (t *TPCDS) Stores() []types.Row {
+	n := t.storeCount()
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = types.Row{
+			types.NewInt(int64(i)),
+			types.NewString(tpcdsStates[i%len(tpcdsStates)]),
+		}
+	}
+	return rows
+}
+
+// StoreSales returns the fact rows, date-clustered over three years.
+func (t *TPCDS) StoreSales() []types.Row {
+	rows := make([]types.Row, t.Scale)
+	nItem, nCust, nStore := t.itemCount(), t.customerCount(), t.storeCount()
+	for i := 0; i < t.Scale; i++ {
+		rows[i] = types.Row{
+			types.NewInt(int64(i)),
+			types.NewDate(tpcdsEpoch + int64(i*tpcdsDays/t.Scale)),
+			types.NewInt(int64(t.rng.Intn(nItem))),
+			types.NewInt(int64(t.rng.Intn(nCust))),
+			types.NewInt(int64(t.rng.Intn(nStore))),
+			types.NewInt(int64(t.rng.Intn(20) + 1)),
+			types.NewFloat(float64(t.rng.Intn(50000)) / 100),
+		}
+	}
+	return rows
+}
+
+// Queries returns the 20 representative query templates.
+func (t *TPCDS) Queries() []QuerySpec {
+	rng := rand.New(rand.NewSource(55))
+	date := func(monthsBack int) types.Value {
+		return types.NewDate(tpcdsEpoch + tpcdsDays - int64(monthsBack*30))
+	}
+	var qs []QuerySpec
+	for i := 0; i < 20; i++ {
+		switch i % 5 {
+		case 0: // quarterly category rollup (like Q3/Q7)
+			qs = append(qs, QuerySpec{
+				Name:  fmt.Sprintf("tpcds_q%02d_category_quarter", i+1),
+				Table: "store_sales",
+				Preds: []Pred{{Col: "ss_sold_date", Op: encoding.OpGE, Val: date(3 + rng.Intn(3))}},
+				Joins: []Join{{
+					Table: "item", LeftCol: "ss_item_sk", RightCol: "i_item_sk",
+				}},
+				GroupBy: []string{"i_category"},
+				Aggs:    []Agg{{Func: "COUNT"}, {Func: "SUM", Col: "ss_net_paid"}, {Func: "AVG", Col: "ss_quantity"}},
+				OrderBy: []string{"i_category"},
+			})
+		case 1: // state-segmented revenue (like Q6)
+			qs = append(qs, QuerySpec{
+				Name:  fmt.Sprintf("tpcds_q%02d_state_revenue", i+1),
+				Table: "store_sales",
+				Preds: []Pred{{Col: "ss_sold_date", Op: encoding.OpGE, Val: date(6)}},
+				Joins: []Join{{
+					Table: "customer", LeftCol: "ss_customer_sk", RightCol: "c_customer_sk",
+					Preds: []Pred{{Col: "c_segment", Op: encoding.OpEQ, Val: types.NewString(tpcdsSegments[rng.Intn(len(tpcdsSegments))])}},
+				}},
+				GroupBy: []string{"c_state"},
+				Aggs:    []Agg{{Func: "SUM", Col: "ss_net_paid"}, {Func: "COUNT"}},
+				OrderBy: []string{"c_state"},
+			})
+		case 2: // single-category deep dive (like Q42)
+			qs = append(qs, QuerySpec{
+				Name:  fmt.Sprintf("tpcds_q%02d_category_dive", i+1),
+				Table: "store_sales",
+				Preds: []Pred{{Col: "ss_sold_date", Op: encoding.OpGE, Val: date(1 + rng.Intn(2))}},
+				Joins: []Join{{
+					Table: "item", LeftCol: "ss_item_sk", RightCol: "i_item_sk",
+					Preds: []Pred{{Col: "i_category", Op: encoding.OpEQ, Val: types.NewString(tpcdsCategories[rng.Intn(len(tpcdsCategories))])}},
+				}},
+				GroupBy: []string{"i_brand_id"},
+				Aggs:    []Agg{{Func: "SUM", Col: "ss_net_paid"}},
+				OrderBy: []string{"i_brand_id"},
+				Limit:   10,
+			})
+		case 3: // big-basket hunt (selective numeric predicate)
+			qs = append(qs, QuerySpec{
+				Name:  fmt.Sprintf("tpcds_q%02d_big_baskets", i+1),
+				Table: "store_sales",
+				Preds: []Pred{
+					{Col: "ss_net_paid", Op: encoding.OpGT, Val: types.NewFloat(450)},
+					{Col: "ss_quantity", Op: encoding.OpGE, Val: types.NewInt(15)},
+				},
+				Aggs: []Agg{{Func: "COUNT"}, {Func: "MAX", Col: "ss_net_paid"}},
+			})
+		default: // full-history store report
+			qs = append(qs, QuerySpec{
+				Name:  fmt.Sprintf("tpcds_q%02d_store_report", i+1),
+				Table: "store_sales",
+				Joins: []Join{{
+					Table: "store", LeftCol: "ss_store_sk", RightCol: "s_store_sk",
+				}},
+				GroupBy: []string{"s_state"},
+				Aggs:    []Agg{{Func: "COUNT"}, {Func: "SUM", Col: "ss_net_paid"}, {Func: "AVG", Col: "ss_net_paid"}},
+				OrderBy: []string{"s_state"},
+			})
+		}
+	}
+	return qs
+}
