@@ -131,7 +131,7 @@ func Open(opts Options) *DB {
 	}
 	db := core.Open(core.Config{
 		BufferPoolBytes:      pool,
-		Parallelism:          cfg.Parallelism,
+		Parallelism:          cfg.QueryParallelism(),
 		MaxConcurrentQueries: cfg.MaxConcurrency,
 		CachePolicy:          opts.CachePolicy,
 	})

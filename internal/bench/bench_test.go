@@ -1,7 +1,15 @@
 package bench
 
 import (
+	"fmt"
+	"strings"
+	"sync/atomic"
 	"testing"
+
+	"dashdb/internal/columnar"
+	"dashdb/internal/encoding"
+	"dashdb/internal/exec"
+	"dashdb/internal/types"
 )
 
 // The experiment smoke tests run at small scale: they verify correctness
@@ -88,4 +96,73 @@ func TestFigureCShape(t *testing.T) {
 		t.Errorf("columnar vs row+index advantage too small: %.1fx", rep.AvgSpeedup())
 	}
 	t.Logf("FigureC (scaled): avg %.1fx (paper band 10-50x at full scale)", rep.AvgSpeedup())
+}
+
+func TestFigurePShape(t *testing.T) {
+	s, err := FigureP(20_000, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"F-P morsel-driven parallelism", "dop  1:", "dop  2:", "group-by"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("figure missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// BenchmarkParallelScan measures the morsel-driven scan at several dop
+// values against the serial baseline (dop=1 sub-benchmark). On a 4+ core
+// machine dop=4 should clear 2x; on fewer cores the parallel path should
+// at least not regress materially.
+func BenchmarkParallelScan(b *testing.B) {
+	tbl, err := parallelBenchTable(200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	preds := []columnar.Pred{{Col: 2, Op: encoding.OpGE, Val: types.NewFloat(64)}}
+	for _, dop := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if dop == 1 {
+					n := 0
+					if err := tbl.Scan(preds, func(bt *columnar.Batch) bool { n += bt.Len(); return true }); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					var n atomic.Int64
+					if err := tbl.ParallelScan(preds, dop, func(_ int, bt *columnar.Batch) bool {
+						n.Add(int64(bt.Len()))
+						return true
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelGroupBy measures the parallel partitioned aggregation
+// against the serial GroupByOp (dop=1 runs the serial operator).
+func BenchmarkParallelGroupBy(b *testing.B) {
+	tbl, err := parallelBenchTable(200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	preds := []columnar.Pred{{Col: 2, Op: encoding.OpGE, Val: types.NewFloat(64)}}
+	for _, dop := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var op exec.Operator
+				if dop == 1 {
+					op = serialGroupBy(tbl, preds)
+				} else {
+					op = parallelGroupBy(tbl, preds, dop)
+				}
+				if err := drainOp(op); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

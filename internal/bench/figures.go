@@ -3,7 +3,9 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dashdb/internal/bitpack"
@@ -12,6 +14,7 @@ import (
 	"dashdb/internal/columnar"
 	"dashdb/internal/deploy"
 	"dashdb/internal/encoding"
+	"dashdb/internal/exec"
 	"dashdb/internal/mpp"
 	"dashdb/internal/page"
 	"dashdb/internal/spark"
@@ -304,4 +307,120 @@ func FigureH(rowsPerNode int) (string, error) {
 			moved, int64(total), 100*(1-float64(moved)/float64(total)))
 	}
 	return b.String(), nil
+}
+
+// FigureP reports morsel-driven parallel speedups: the serial scan and
+// GROUP BY against their parallel counterparts at growing dop (§II.A's
+// auto-configured query parallelism put to work; stride = morsel). Ratios
+// above 1.0x mean the parallel path is faster. On a single-core runner
+// the ratios hover near 1.0x — the figure reports runtime.NumCPU so that
+// is visible in the output.
+func FigureP(rows int, dops []int) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "F-P morsel-driven parallelism (%d cores, %d rows)\n", runtime.NumCPU(), rows)
+	tbl, err := parallelBenchTable(rows)
+	if err != nil {
+		return "", err
+	}
+	preds := []columnar.Pred{{Col: 2, Op: encoding.OpGE, Val: types.NewFloat(64)}}
+
+	serialScan := timeIt(func() error {
+		n := 0
+		err := tbl.Scan(preds, func(bt *columnar.Batch) bool { n += bt.Len(); return true })
+		_ = n
+		return err
+	})
+	serialAgg := timeIt(func() error { return drainOp(serialGroupBy(tbl, preds)) })
+
+	for _, dop := range dops {
+		d := dop
+		parScan := timeIt(func() error {
+			var n atomic.Int64
+			return tbl.ParallelScan(preds, d, func(_ int, bt *columnar.Batch) bool {
+				n.Add(int64(bt.Len()))
+				return true
+			})
+		})
+		parAgg := timeIt(func() error { return drainOp(parallelGroupBy(tbl, preds, d)) })
+		fmt.Fprintf(&b, "  dop %2d: scan %8v vs %8v (%.2fx)   group-by %8v vs %8v (%.2fx)\n",
+			d, serialScan.Round(time.Microsecond), parScan.Round(time.Microsecond),
+			float64(serialScan)/float64(maxDuration(parScan, 1)),
+			serialAgg.Round(time.Microsecond), parAgg.Round(time.Microsecond),
+			float64(serialAgg)/float64(maxDuration(parAgg, 1)))
+	}
+	return b.String(), nil
+}
+
+// parallelBenchTable builds the synthetic scan/aggregation input: a
+// skewed group key, an integer measure and a float measure.
+func parallelBenchTable(rows int) (*columnar.Table, error) {
+	rng := rand.New(rand.NewSource(7))
+	schema := types.Schema{
+		{Name: "g", Kind: types.KindInt},
+		{Name: "v", Kind: types.KindInt},
+		{Name: "f", Kind: types.KindFloat},
+	}
+	tbl := columnar.NewTable(90, "par_bench", schema, columnar.Config{})
+	batch := make([]types.Row, 0, rows)
+	for i := 0; i < rows; i++ {
+		batch = append(batch, types.Row{
+			types.NewInt(int64(rng.Intn(97))),
+			types.NewInt(int64(rng.Intn(1_000_000))),
+			types.NewFloat(float64(rng.Intn(4096)) * 0.5),
+		})
+	}
+	if err := tbl.InsertBatch(batch); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+func figAggSpecs() []exec.AggSpec {
+	return []exec.AggSpec{
+		{Func: exec.AggCountStar, Name: "CNT"},
+		{Func: exec.AggSum, Arg: exec.ColRef(1), Name: "SUM_V"},
+		{Func: exec.AggMin, Arg: exec.ColRef(1), Name: "MIN_V"},
+		{Func: exec.AggMax, Arg: exec.ColRef(1), Name: "MAX_V"},
+		{Func: exec.AggAvg, Arg: exec.ColRef(2), Name: "AVG_F"},
+	}
+}
+
+func serialGroupBy(tbl *columnar.Table, preds []columnar.Pred) exec.Operator {
+	return &exec.GroupByOp{
+		Child:     exec.NewScan(tbl, preds, nil),
+		GroupBy:   []exec.Expr{exec.ColRef(0)},
+		GroupCols: types.Schema{{Name: "g", Kind: types.KindInt}},
+		Aggs:      figAggSpecs(),
+	}
+}
+
+func parallelGroupBy(tbl *columnar.Table, preds []columnar.Pred, dop int) exec.Operator {
+	return &exec.ParallelGroupByOp{
+		Table:     tbl,
+		Preds:     preds,
+		GroupBy:   []exec.Expr{exec.ColRef(0)},
+		GroupCols: types.Schema{{Name: "g", Kind: types.KindInt}},
+		Aggs:      figAggSpecs(),
+		Dop:       dop,
+	}
+}
+
+func drainOp(op exec.Operator) error {
+	_, err := exec.Drain(op)
+	return err
+}
+
+func timeIt(f func() error) time.Duration {
+	t0 := time.Now()
+	if err := f(); err != nil {
+		return time.Duration(1)
+	}
+	return time.Since(t0)
+}
+
+func maxDuration(d time.Duration, floor time.Duration) time.Duration {
+	if d < floor {
+		return floor
+	}
+	return d
 }

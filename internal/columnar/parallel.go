@@ -1,0 +1,151 @@
+package columnar
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dashdb/internal/encoding"
+	"dashdb/internal/synopsis"
+)
+
+// encPredicates is a predicate list translated to code space.
+type encPredicates []encoding.Predicate
+
+// ParallelScan is the morsel-driven variant of Scan (§II.B.7 strides ×
+// machine cores): sealed strides are morsels on a shared work queue, and
+// dop workers pull morsel indexes, run data skipping and SWAR predicate
+// evaluation independently, and deliver their batches to fn. The open
+// (unsealed) stride is one additional morsel, so the effective degree of
+// parallelism is capped at sealedStrides+1 — a table that is all open
+// stride degenerates to a serial scan.
+//
+// Contract: fn is invoked concurrently from up to dop goroutines. The
+// worker argument (0 <= worker < dop) identifies the calling worker so
+// callers can keep per-worker state without locking; one worker never
+// runs fn concurrently with itself. Every Batch is confined to the
+// delivering worker and owns a private lazy page map (see Batch), so
+// callbacks must not share a batch across goroutines, must not retain it
+// after returning, and must not mutate the table (the scan holds the
+// table read lock — mutating calls would deadlock). fn returning false
+// cancels the whole scan; in-flight workers stop at their next morsel
+// boundary. Batches arrive in no particular order across workers; within
+// one worker they arrive in ascending stride order.
+//
+// Storage failures in any worker (including lazy materialization inside
+// fn) abort the scan and are returned as an error.
+func (t *Table) ParallelScan(preds []Pred, dop int, fn func(worker int, b *Batch) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.rows == 0 {
+		return nil
+	}
+	t.ensureEncodersLocked()
+	for _, p := range preds {
+		if p.Col < 0 || p.Col >= len(t.cols) {
+			return fmt.Errorf("columnar: predicate on column %d of %d-column table %s", p.Col, len(t.cols), t.name)
+		}
+	}
+	trans, none := t.translatePredsLocked(preds)
+	if none {
+		return nil
+	}
+
+	sealed := t.sealedStrides()
+	morsels := sealed
+	if t.openLen() > 0 {
+		morsels++
+	}
+	if dop > morsels {
+		dop = morsels
+	}
+	if dop <= 1 {
+		// Serial fallback keeps row-id order (and is what a one-morsel
+		// table always gets).
+		var err error
+		func() {
+			defer recoverScanPanic(&err)
+			err = t.scanLocked(preds, func(b *Batch) bool { return fn(0, b) })
+		}()
+		return err
+	}
+
+	var (
+		next     atomic.Int64 // shared morsel queue head
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stop.Store(true)
+	}
+	for w := 0; w < dop; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// Page-load panics raised inside fn's lazy batch
+			// materialization surface as scan errors, as in Scan.
+			defer func() {
+				if r := recover(); r != nil {
+					fail(fmt.Errorf("columnar: scan aborted: %v", r))
+				}
+			}()
+			for !stop.Load() {
+				m := int(next.Add(1)) - 1
+				if m >= morsels {
+					return
+				}
+				if m == sealed {
+					// The open-stride morsel.
+					t.stats.stridesVisited.Add(1)
+					b := t.evalOpenStride(preds)
+					if b.Len() > 0 && !fn(worker, b) {
+						stop.Store(true)
+					}
+					continue
+				}
+				if t.skipStride(m, preds, trans) {
+					t.stats.stridesSkipped.Add(1)
+					continue
+				}
+				t.stats.stridesVisited.Add(1)
+				b, err := t.evalSealedStride(m, preds, trans)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if b.Len() > 0 && !fn(worker, b) {
+					stop.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// translatePredsLocked translates predicates to code space once per scan.
+// none is true when some conjunct can never match (empty result).
+func (t *Table) translatePredsLocked(preds []Pred) (encPredicates, bool) {
+	trans := make(encPredicates, len(preds))
+	for i, p := range preds {
+		trans[i] = t.cols[p.Col].enc.Translate(p.Op, p.Val)
+		if trans[i].None {
+			return nil, true
+		}
+	}
+	return trans, false
+}
+
+// skipStride applies data skipping: the stride can be skipped when any
+// conjunct is unsatisfiable in the stride's synopsis span.
+func (t *Table) skipStride(s int, preds []Pred, trans encPredicates) bool {
+	for i, p := range preds {
+		if !synopsis.MayMatch(trans[i], t.cols[p.Col].syn.Entry(s)) {
+			return true
+		}
+	}
+	return false
+}

@@ -6,7 +6,6 @@ import (
 	"dashdb/internal/bitpack"
 	"dashdb/internal/encoding"
 	"dashdb/internal/page"
-	"dashdb/internal/synopsis"
 	"dashdb/internal/types"
 )
 
@@ -20,6 +19,14 @@ type Pred struct {
 // Batch is one stride's worth of selected tuples handed to the scan
 // callback. A batch is only valid during the callback; it references
 // table-internal state guarded by the scan's read lock.
+//
+// Concurrency invariant: a Batch is confined to a single goroutine. Value
+// populates the batch's private pages map lazily and without locking, so
+// sharing one batch across goroutines would race. Scan delivers batches
+// sequentially; ParallelScan gives every worker its own batches (each
+// with its own page map, so buffer-pool loads don't serialize on shared
+// mutable state). Callbacks that want to keep data past the callback must
+// copy values out (Row/Column materialize copies).
 type Batch struct {
 	t      *Table
 	stride int   // stride index; -1 for the open stride
@@ -106,26 +113,16 @@ func (t *Table) scanLocked(preds []Pred, fn func(b *Batch) bool) error {
 		}
 	}
 	// Translate every predicate to code space once.
-	translated := make([]encoding.Predicate, len(preds))
-	for i, p := range preds {
-		translated[i] = t.cols[p.Col].enc.Translate(p.Op, p.Val)
-		if translated[i].None {
-			return nil // a false conjunct kills the whole scan
-		}
+	translated, none := t.translatePredsLocked(preds)
+	if none {
+		return nil // a false conjunct kills the whole scan
 	}
 
 	sealed := t.sealedStrides()
 	for s := 0; s < sealed; s++ {
 		// Data skipping: every conjunct must be satisfiable in this
 		// stride's code span.
-		skip := false
-		for i, p := range preds {
-			if !synopsis.MayMatch(translated[i], t.cols[p.Col].syn.Entry(s)) {
-				skip = true
-				break
-			}
-		}
-		if skip {
+		if t.skipStride(s, preds, translated) {
 			t.stats.stridesSkipped.Add(1)
 			continue
 		}

@@ -23,8 +23,10 @@ import (
 type Config struct {
 	// BufferPoolBytes is the page-cache budget. 0 selects a small default.
 	BufferPoolBytes int
-	// Parallelism is the target query parallelism (informational at the
-	// single-node level; the MPP layer uses it for shard fan-out).
+	// Parallelism is the default intra-query parallelism degree: scans
+	// and partitioned aggregation run this many morsel workers, subject
+	// to the WLM clamp and the per-session SET PARALLELISM override. The
+	// MPP layer also uses it for shard fan-out.
 	Parallelism int
 	// MaxConcurrentQueries gates admission (workload management). 0
 	// disables admission control.
@@ -152,6 +154,23 @@ type Session struct {
 	user    string
 	mu      sync.Mutex
 	params  []types.Value // positional bindings for the current statement
+	// parallelism is the per-session override of the auto-configured
+	// intra-query parallelism degree (SET PARALLELISM n); 0 = use the
+	// engine default from deploy auto-configuration.
+	parallelism int
+}
+
+// Parallelism returns the session's effective intra-query parallelism
+// degree: the per-session override if set, otherwise the engine default
+// derived by deploy auto-configuration — in both cases clamped by the
+// workload manager's admission limit so concurrent queries cannot
+// oversubscribe the cores the configuration budgeted per query.
+func (s *Session) Parallelism() int {
+	dop := s.parallelism
+	if dop <= 0 {
+		dop = s.db.cfg.Parallelism
+	}
+	return s.db.wlm.ClampParallelism(dop)
 }
 
 // SetUser names the session user (Spark per-user isolation keys off it).
@@ -231,6 +250,7 @@ func (s *Session) env() *sql.EvalEnv {
 func (s *Session) compiler() *sql.Compiler {
 	c := sql.NewCompiler(s.db.cat, s.dialect, s.env())
 	c.UDX = s.db.udx
+	c.Parallelism = s.Parallelism()
 	s.mu.Lock()
 	c.Params = s.params
 	s.mu.Unlock()

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"dashdb/internal/columnar"
@@ -383,6 +384,18 @@ func (s *Session) executeSet(stmt *sql.SetStmt) (*Result, error) {
 		}
 		s.dialect = d
 		return &Result{Message: "DIALECT " + d.String()}, nil
+	case "PARALLELISM", "DOP", "QUERY_PARALLELISM":
+		v := strings.ToUpper(strings.TrimSpace(stmt.Value))
+		if v == "DEFAULT" || v == "AUTO" || v == "0" {
+			s.parallelism = 0
+			return &Result{Message: fmt.Sprintf("PARALLELISM AUTO (%d)", s.Parallelism())}, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("core: SET %s expects a positive integer, AUTO or DEFAULT, got %q", name, stmt.Value)
+		}
+		s.parallelism = n
+		return &Result{Message: fmt.Sprintf("PARALLELISM %d", s.Parallelism())}, nil
 	}
 	// Other session variables are accepted and ignored (config surface).
 	return &Result{Message: "OK"}, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"dashdb/internal/columnar"
 	"dashdb/internal/exec"
 	"dashdb/internal/sql"
 	"dashdb/internal/types"
@@ -37,13 +38,16 @@ func describeOp(op exec.Operator, depth int, out *[]string) {
 	pad := strings.Repeat("  ", depth)
 	switch o := op.(type) {
 	case *exec.ScanOp:
-		desc := fmt.Sprintf("%sCOLUMNAR SCAN %s", pad, o.Table.Name())
+		kind := "COLUMNAR SCAN"
+		if o.Dop > 1 {
+			kind = "PARALLEL COLUMNAR SCAN"
+		}
+		desc := fmt.Sprintf("%s%s %s", pad, kind, o.Table.Name())
+		if o.Dop > 1 {
+			desc += fmt.Sprintf(" [dop=%d]", o.Dop)
+		}
 		if len(o.Preds) > 0 {
-			var ps []string
-			for _, p := range o.Preds {
-				ps = append(ps, fmt.Sprintf("%s %s %s", o.Table.Schema()[p.Col].Name, p.Op, p.Val))
-			}
-			desc += " [pushdown: " + strings.Join(ps, " AND ") + "]"
+			desc += " [pushdown: " + predString(o.Table, o.Preds) + "]"
 		}
 		*out = append(*out, desc)
 	case *exec.RowScanOp:
@@ -65,6 +69,13 @@ func describeOp(op exec.Operator, depth int, out *[]string) {
 	case *exec.GroupByOp:
 		*out = append(*out, fmt.Sprintf("%sGROUP BY [%d keys, %d aggregates]", pad, len(o.GroupBy), len(o.Aggs)))
 		describeOp(o.Child, depth+1, out)
+	case *exec.ParallelGroupByOp:
+		*out = append(*out, fmt.Sprintf("%sPARALLEL GROUP BY [dop=%d, %d keys, %d aggregates]", pad, o.Dop, len(o.GroupBy), len(o.Aggs)))
+		scan := fmt.Sprintf("%s  PARALLEL COLUMNAR SCAN %s [dop=%d]", pad, o.Table.Name(), o.Dop)
+		if len(o.Preds) > 0 {
+			scan += " [pushdown: " + predString(o.Table, o.Preds) + "]"
+		}
+		*out = append(*out, scan)
 	case *exec.SortOp:
 		*out = append(*out, fmt.Sprintf("%sSORT [%d keys]", pad, len(o.Keys)))
 		describeOp(o.Child, depth+1, out)
@@ -84,6 +95,15 @@ func describeOp(op exec.Operator, depth int, out *[]string) {
 	default:
 		*out = append(*out, fmt.Sprintf("%s%T", pad, op))
 	}
+}
+
+// predString renders pushed-down scan predicates for plan output.
+func predString(t *columnar.Table, preds []columnar.Pred) string {
+	var ps []string
+	for _, p := range preds {
+		ps = append(ps, fmt.Sprintf("%s %s %s", t.Schema()[p.Col].Name, p.Op, p.Val))
+	}
+	return strings.Join(ps, " AND ")
 }
 
 func joinName(t exec.JoinType) string {

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"dashdb/internal/types"
+)
+
+// planLines runs EXPLAIN and returns the plan as strings.
+func planLines(t *testing.T, s *Session, q string) []string {
+	t.Helper()
+	r := mustExec(t, s, "EXPLAIN "+q)
+	var lines []string
+	for _, row := range r.Rows {
+		lines = append(lines, row[0].Str())
+	}
+	return lines
+}
+
+func sortRowsByAll(rows []types.Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		for k := range a {
+			an, bn := a[k].IsNull(), b[k].IsNull()
+			if an != bn {
+				return an
+			}
+			if an {
+				continue
+			}
+			if c := types.Compare(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// TestSetParallelism covers the per-session override: SET PARALLELISM n,
+// the WLM clamp, AUTO reset, and rejection of bad values.
+func TestSetParallelism(t *testing.T) {
+	db := Open(Config{BufferPoolBytes: 16 << 20, Parallelism: 2, MaxConcurrentQueries: 4})
+	s := db.NewSession()
+
+	if got := s.Parallelism(); got != 2 {
+		t.Fatalf("default dop %d, want engine config 2", got)
+	}
+	r := mustExec(t, s, "SET PARALLELISM 3")
+	if r.Message != "PARALLELISM 3" || s.Parallelism() != 3 {
+		t.Fatalf("override failed: %q, dop %d", r.Message, s.Parallelism())
+	}
+	// Requests above the WLM admission limit clamp to it.
+	mustExec(t, s, "SET PARALLELISM 100")
+	if got := s.Parallelism(); got != 4 {
+		t.Fatalf("WLM clamp: dop %d, want 4", got)
+	}
+	// DOP is an accepted alias; AUTO restores the engine default.
+	mustExec(t, s, "SET DOP AUTO")
+	if got := s.Parallelism(); got != 2 {
+		t.Fatalf("AUTO reset: dop %d, want 2", got)
+	}
+	if _, err := s.Exec("SET PARALLELISM banana"); err == nil {
+		t.Fatal("non-integer degree must be rejected")
+	}
+	if _, err := s.Exec("SET PARALLELISM -2"); err == nil {
+		t.Fatal("negative degree must be rejected")
+	}
+	// Sessions are independent.
+	s2 := db.NewSession()
+	mustExec(t, s, "SET PARALLELISM 4")
+	if s2.Parallelism() != 2 {
+		t.Fatalf("override leaked across sessions: %d", s2.Parallelism())
+	}
+}
+
+// TestParallelPlanAndResults checks that a mergeable scan+aggregate query
+// compiles to the parallel operator (visible in EXPLAIN with the chosen
+// degree) and returns exactly the serial result set; non-mergeable
+// aggregates and residual filters stay on the serial plan.
+func TestParallelPlanAndResults(t *testing.T) {
+	db := Open(Config{BufferPoolBytes: 16 << 20, Parallelism: 1})
+	s := db.NewSession()
+	mustExec(t, s, `CREATE TABLE m (g BIGINT, v BIGINT, f DOUBLE)`)
+	var b strings.Builder
+	b.WriteString("INSERT INTO m VALUES ")
+	for i := 0; i < 5000; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "(%d, %d, %d.5)", i%7, i*31%1000, i%50)
+	}
+	mustExec(t, s, b.String())
+
+	q := `SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v), AVG(f) FROM m WHERE v >= 100 GROUP BY g`
+
+	serial := mustExec(t, s, q)
+	for _, line := range planLines(t, s, q) {
+		if strings.Contains(line, "PARALLEL") {
+			t.Fatalf("dop=1 plan must be serial: %q", line)
+		}
+	}
+
+	mustExec(t, s, "SET PARALLELISM 4")
+	plan := strings.Join(planLines(t, s, q), "\n")
+	if !strings.Contains(plan, "PARALLEL GROUP BY [dop=4") ||
+		!strings.Contains(plan, "PARALLEL COLUMNAR SCAN M [dop=4]") ||
+		!strings.Contains(plan, "pushdown: V >= 100") {
+		t.Fatalf("parallel plan missing fused operator:\n%s", plan)
+	}
+
+	par := mustExec(t, s, q)
+	sortRowsByAll(serial.Rows)
+	sortRowsByAll(par.Rows)
+	if !reflect.DeepEqual(serial.Rows, par.Rows) {
+		t.Fatalf("parallel result diverged\n got %v\nwant %v", par.Rows, serial.Rows)
+	}
+
+	// MEDIAN has no exact merge: the plan must stay serial even at dop=4.
+	mq := `SELECT g, MEDIAN(v) FROM m GROUP BY g`
+	mplan := strings.Join(planLines(t, s, mq), "\n")
+	if strings.Contains(mplan, "PARALLEL") {
+		t.Fatalf("MEDIAN must stay on the serial path:\n%s", mplan)
+	}
+	// A residual (non-pushable) filter under the aggregate also blocks fusion.
+	rq := `SELECT g, COUNT(*) FROM m WHERE v + f > 200 GROUP BY g`
+	rplan := strings.Join(planLines(t, s, rq), "\n")
+	if strings.Contains(rplan, "PARALLEL") {
+		t.Fatalf("residual filter must block parallel fusion:\n%s", rplan)
+	}
+	rser := mustExec(t, s, rq)
+	mustExec(t, s, "SET PARALLELISM AUTO")
+	rauto := mustExec(t, s, rq)
+	sortRowsByAll(rser.Rows)
+	sortRowsByAll(rauto.Rows)
+	if !reflect.DeepEqual(rser.Rows, rauto.Rows) {
+		t.Fatal("residual-filter query diverged across dop settings")
+	}
+}

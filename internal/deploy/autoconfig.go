@@ -77,6 +77,14 @@ const (
 	logBufferShare  = 0.03
 )
 
+// maxQueryParallelism caps the derived per-query parallelism degree. The
+// scan parallelizes over sealed 1,024-tuple strides, and the open
+// (unsealed) stride is a single morsel, so degrees beyond this bound buy
+// nothing on all but enormous tables while multiplying per-worker state;
+// very wide hosts (the paper's 72-way servers and up) spend the extra
+// cores on concurrent queries via MaxConcurrency instead.
+const maxQueryParallelism = 64
+
 // AutoConfigure derives the engine configuration from hardware. It is a
 // pure function: the same hardware always produces the same
 // configuration, which is what makes container redeployment reproducible.
@@ -95,11 +103,20 @@ func AutoConfigure(hw Hardware) EngineConfig {
 		HashHeapBytes:   int64(float64(ram) * hashHeapShare),
 		LockListBytes:   int64(float64(ram) * lockListShare),
 		LogBufferBytes:  int64(float64(ram) * logBufferShare),
-		Parallelism:     cores,
+		Parallelism:     clampInt(cores, 1, maxQueryParallelism),
 		MaxConcurrency:  maxInt(2, cores/2),
 		ShardsPerNode:   clampInt(cores/4, 1, 24),
 	}
 	return cfg
+}
+
+// QueryParallelism returns the intra-query parallelism degree the core
+// engine should run scans and partitioned aggregation at. It is the
+// getter the core layer consumes (plumbed through core.Config as a plain
+// int, so core never imports deploy): always at least 1 and never above
+// the morsel-parallelism cap, even for hand-edited configurations.
+func (c EngineConfig) QueryParallelism() int {
+	return clampInt(c.Parallelism, 1, maxQueryParallelism)
 }
 
 // TotalReserved returns the sum of all memory heaps; always strictly

@@ -200,3 +200,23 @@ func TestTimelineString(t *testing.T) {
 		t.Fatal("empty render")
 	}
 }
+
+func TestQueryParallelismGetter(t *testing.T) {
+	// Within the cap the derived degree tracks cores exactly.
+	cfg := AutoConfigure(Hardware{Cores: 20, RAMBytes: 256 << 30})
+	if cfg.QueryParallelism() != 20 {
+		t.Fatalf("dop %d, want 20", cfg.QueryParallelism())
+	}
+	// Very wide hosts cap at the morsel-parallelism bound.
+	wide := AutoConfigure(Hardware{Cores: 120, RAMBytes: 1 << 40})
+	if wide.Parallelism != 64 || wide.QueryParallelism() != 64 {
+		t.Fatalf("wide host dop %d/%d, want 64", wide.Parallelism, wide.QueryParallelism())
+	}
+	// Hand-edited degenerate configs still yield a usable degree.
+	if (EngineConfig{Parallelism: 0}).QueryParallelism() != 1 {
+		t.Fatal("zero parallelism must clamp to 1")
+	}
+	if (EngineConfig{Parallelism: 1 << 20}).QueryParallelism() != 64 {
+		t.Fatal("hand-edited parallelism must clamp to the cap")
+	}
+}

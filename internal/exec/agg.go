@@ -142,6 +142,55 @@ func (a *accumulator) add(spec AggSpec, row types.Row) error {
 	return nil
 }
 
+// merge folds another accumulator for the same (spec, group) into a.
+// COUNT, integer SUM (wraparound addition is associative), MIN and MAX
+// merge exactly; AVG and the moment-based STDDEV/VARIANCE/COVARIANCE
+// families merge by summing running moments (float sums reassociate, so
+// results are exact whenever the serial sums are); COUNT(DISTINCT)
+// merges by set union. Percentile/median state merges by concatenation,
+// which is exact but unbounded — the planner keeps those on the serial
+// path (see MergeableAggs).
+func (a *accumulator) merge(o *accumulator) {
+	a.count += o.count
+	a.intSum += o.intSum
+	a.floatSum += o.floatSum
+	a.isFloat = a.isFloat || o.isFloat
+	a.sumSq += o.sumSq
+	a.sumXY += o.sumXY
+	a.sumX += o.sumX
+	a.sumY += o.sumY
+	a.pairN += o.pairN
+	if !o.min.IsNull() && (a.min.IsNull() || types.Compare(o.min, a.min) < 0) {
+		a.min = o.min
+	}
+	if !o.max.IsNull() && (a.max.IsNull() || types.Compare(o.max, a.max) > 0) {
+		a.max = o.max
+	}
+	a.vals = append(a.vals, o.vals...)
+	if len(o.distinct) > 0 {
+		if a.distinct == nil {
+			a.distinct = make(map[types.Value]bool, len(o.distinct))
+		}
+		for v := range o.distinct {
+			a.distinct[v] = true
+		}
+	}
+}
+
+// MergeableAggs reports whether every aggregate in the list merges
+// exactly from thread-local partials. MEDIAN and PERCENTILE_* keep the
+// full value list per group, so the planner routes them to the serial
+// aggregation path instead of parallel partitioned aggregation.
+func MergeableAggs(specs []AggSpec) bool {
+	for _, s := range specs {
+		switch s.Func {
+		case AggMedian, AggPercentileCont, AggPercentileDisc:
+			return false
+		}
+	}
+	return true
+}
+
 func (a *accumulator) result(spec AggSpec) types.Value {
 	switch spec.Func {
 	case AggCountStar, AggCount:

@@ -1,0 +1,258 @@
+package exec
+
+// This file is the parallel partitioned hash aggregation path: the
+// morsel-driven GROUP BY (§II.B.7 strides as morsels × §II.A's
+// auto-configured parallelism degree). Scan workers build thread-local
+// partial hash tables over their morsel stream — no shared mutable
+// state, no locks on the hot path — then a partitioned merge phase
+// combines the partials. The group hash both buckets within a worker and
+// assigns the group to one of a fixed number of merge partitions, so the
+// merge itself also runs in parallel with no cross-partition
+// coordination.
+
+import (
+	"sort"
+	"sync"
+
+	"dashdb/internal/columnar"
+	"dashdb/internal/types"
+)
+
+// aggPartitions is the merge fan-out. A power of two so partition
+// assignment is a mask; 64 keeps per-partition merge maps small while
+// comfortably exceeding any realistic dop.
+const aggPartitions = 64
+
+// ParallelGroupByOp is GroupByOp fused with a morsel-driven parallel
+// table scan: predicates run over compressed codes in every worker, and
+// each worker aggregates its own morsel stream into thread-local partial
+// hash tables partitioned by group hash. Open blocks until the merge
+// completes. Results are emitted in group-key order (parallel arrival
+// order is nondeterministic, so the merge sorts to keep plans stable
+// across runs and dop values).
+//
+// The planner only chooses this operator when MergeableAggs(Aggs) holds;
+// MEDIAN/PERCENTILE queries stay on the serial GroupByOp.
+type ParallelGroupByOp struct {
+	Table      *columnar.Table
+	Preds      []columnar.Pred
+	Projection []int // scan projection, as in ScanOp; nil = all columns
+	GroupBy    []Expr
+	GroupCols  types.Schema
+	Aggs       []AggSpec
+	Dop        int // worker count; <=1 degenerates to a serial scan
+
+	out     types.Schema
+	results []types.Row
+	pos     int
+}
+
+// Schema implements Operator: group columns then aggregate columns
+// (identical to GroupByOp's output contract).
+func (g *ParallelGroupByOp) Schema() types.Schema {
+	if g.out == nil {
+		g.out = append(types.Schema{}, g.GroupCols...)
+		for _, a := range g.Aggs {
+			kind := types.KindFloat
+			switch a.Func {
+			case AggCount, AggCountStar, AggCountDistinct:
+				kind = types.KindInt
+			case AggMin, AggMax, AggSum:
+				kind = types.KindNull // depends on input; refined at runtime
+			}
+			g.out = append(g.out, types.Column{Name: a.Name, Kind: kind, Nullable: true})
+		}
+	}
+	return g.out
+}
+
+// aggWorker is one worker's thread-local partial state. Partitions are
+// allocated lazily: most workers touch only a few on small group counts.
+type aggWorker struct {
+	parts [aggPartitions]map[uint64][]*groupState
+	err   error
+}
+
+// absorb accumulates one row into the worker's partials.
+func (w *aggWorker) absorb(g *ParallelGroupByOp, row types.Row) error {
+	key := make(types.Row, len(g.GroupBy))
+	for i, e := range g.GroupBy {
+		v, err := e.Eval(row)
+		if err != nil {
+			return err
+		}
+		key[i] = v
+	}
+	h := key.Hash()
+	p := h & (aggPartitions - 1)
+	if w.parts[p] == nil {
+		w.parts[p] = make(map[uint64][]*groupState)
+	}
+	var st *groupState
+	for _, cand := range w.parts[p][h] {
+		if groupKeyEqual(cand.key, key) {
+			st = cand
+			break
+		}
+	}
+	if st == nil {
+		st = &groupState{key: key, accs: make([]accumulator, len(g.Aggs))}
+		w.parts[p][h] = append(w.parts[p][h], st)
+	}
+	for i := range g.Aggs {
+		if err := st.accs[i].add(g.Aggs[i], row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open implements Operator: it runs the parallel scan + build, merges
+// the partials partition-by-partition, and materializes the result rows.
+func (g *ParallelGroupByOp) Open() error {
+	dop := g.Dop
+	if dop < 1 {
+		dop = 1
+	}
+	workers := make([]*aggWorker, dop)
+	for i := range workers {
+		workers[i] = &aggWorker{}
+	}
+
+	// Build phase: dop scan workers, each feeding its own partials.
+	scanErr := g.Table.ParallelScan(g.Preds, dop, func(w int, b *columnar.Batch) bool {
+		ws := workers[w]
+		for i := 0; i < b.Len(); i++ {
+			var row types.Row
+			if g.Projection == nil {
+				row = b.Row(i)
+			} else {
+				row = make(types.Row, len(g.Projection))
+				for j, ci := range g.Projection {
+					row[j] = b.Value(ci, i)
+				}
+			}
+			if err := ws.absorb(g, row); err != nil {
+				ws.err = err
+				return false
+			}
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	for _, ws := range workers {
+		if ws.err != nil {
+			return ws.err
+		}
+	}
+
+	// Merge phase: partitions are independent, so merge them in parallel.
+	merged := make([][]*groupState, aggPartitions)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, dop)
+	for p := 0; p < aggPartitions; p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var buckets map[uint64][]*groupState
+			var order []*groupState
+			for _, ws := range workers {
+				for h, states := range ws.parts[p] {
+					for _, st := range states {
+						if buckets == nil {
+							buckets = make(map[uint64][]*groupState)
+						}
+						var into *groupState
+						for _, cand := range buckets[h] {
+							if groupKeyEqual(cand.key, st.key) {
+								into = cand
+								break
+							}
+						}
+						if into == nil {
+							buckets[h] = append(buckets[h], st)
+							order = append(order, st)
+							continue
+						}
+						for i := range into.accs {
+							into.accs[i].merge(&st.accs[i])
+						}
+					}
+				}
+			}
+			merged[p] = order
+		}(p)
+	}
+	wg.Wait()
+
+	var groups []*groupState
+	for _, part := range merged {
+		groups = append(groups, part...)
+	}
+	if len(groups) == 0 && len(g.GroupBy) == 0 {
+		// Global aggregate over empty input still yields one row, per SQL.
+		groups = append(groups, &groupState{accs: make([]accumulator, len(g.Aggs))})
+	}
+	// Deterministic output: sort by group key (NULLs first). The serial
+	// operator emits first-arrival order; parallel arrival order is a race,
+	// so key order is the stable choice.
+	sort.Slice(groups, func(i, j int) bool {
+		return groupKeyLess(groups[i].key, groups[j].key)
+	})
+
+	g.results = g.results[:0]
+	for _, st := range groups {
+		row := make(types.Row, 0, len(st.key)+len(g.Aggs))
+		row = append(row, st.key...)
+		for i := range g.Aggs {
+			row = append(row, st.accs[i].result(g.Aggs[i]))
+		}
+		g.results = append(g.results, row)
+	}
+	g.pos = 0
+	return nil
+}
+
+// groupKeyLess orders group keys column-by-column with NULLs first (the
+// deterministic emit order of the parallel aggregation).
+func groupKeyLess(a, b types.Row) bool {
+	for i := range a {
+		an, bn := a[i].IsNull(), b[i].IsNull()
+		switch {
+		case an && bn:
+			continue
+		case an:
+			return true
+		case bn:
+			return false
+		}
+		if c := types.Compare(a[i], b[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// Next implements Operator.
+func (g *ParallelGroupByOp) Next() (*Chunk, error) {
+	if g.pos >= len(g.results) {
+		return nil, nil
+	}
+	end := g.pos + ChunkSize
+	if end > len(g.results) {
+		end = len(g.results)
+	}
+	ch := &Chunk{Schema: g.Schema(), Rows: g.results[g.pos:end]}
+	g.pos = end
+	return ch, nil
+}
+
+// Close implements Operator.
+func (g *ParallelGroupByOp) Close() error {
+	g.results = nil
+	return nil
+}

@@ -1,0 +1,193 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"dashdb/internal/columnar"
+	"dashdb/internal/encoding"
+	"dashdb/internal/page"
+	"dashdb/internal/types"
+)
+
+// buildAggTable loads rows with a NULL-bearing group column, an
+// overflow-prone integer measure and an exactly-representable float
+// measure (halves, so partial float sums reassociate without rounding).
+func buildAggTable(t testing.TB, rng *rand.Rand, n int) *columnar.Table {
+	t.Helper()
+	schema := types.Schema{
+		{Name: "g", Kind: types.KindInt, Nullable: true},
+		{Name: "v", Kind: types.KindInt, Nullable: true},
+		{Name: "f", Kind: types.KindFloat},
+	}
+	tbl := columnar.NewTable(7, "agg_src", schema, columnar.Config{})
+	rows := make([]types.Row, 0, n)
+	for i := 0; i < n; i++ {
+		g := types.NewInt(int64(rng.Intn(11)))
+		if rng.Intn(9) == 0 {
+			g = types.Null // NULL groups collapse into one group, per SQL
+		}
+		v := types.NewInt((int64(1) << 62) + int64(rng.Intn(1_000_000))) // SUM overflows int64 quickly
+		if rng.Intn(7) == 0 {
+			v = types.Null
+		}
+		f := types.NewFloat(float64(rng.Intn(4096)) * 0.5)
+		rows = append(rows, types.Row{g, v, f})
+	}
+	if err := tbl.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func aggSpecs() []AggSpec {
+	return []AggSpec{
+		{Func: AggCountStar, Name: "CNT"},
+		{Func: AggCount, Arg: ColRef(1), Name: "CNT_V"},
+		{Func: AggCountDistinct, Arg: ColRef(0), Name: "CNT_DG"},
+		{Func: AggSum, Arg: ColRef(1), Name: "SUM_V"},
+		{Func: AggSum, Arg: ColRef(2), Name: "SUM_F"},
+		{Func: AggAvg, Arg: ColRef(2), Name: "AVG_F"},
+		{Func: AggMin, Arg: ColRef(1), Name: "MIN_V"},
+		{Func: AggMax, Arg: ColRef(1), Name: "MAX_V"},
+	}
+}
+
+// sortedRows canonicalizes a result set for order-insensitive comparison.
+func sortedRows(rows []types.Row) []types.Row {
+	out := append([]types.Row(nil), rows...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			an, bn := a[k].IsNull(), b[k].IsNull()
+			if an != bn {
+				return an
+			}
+			if an {
+				continue
+			}
+			if c := types.Compare(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// TestParallelGroupByMatchesSerial is the aggregate-merge correctness
+// property: for random data (NULL groups, overflow-prone SUMs) the
+// parallel partitioned aggregation must produce exactly the serial
+// GroupByOp's rows at every dop.
+func TestParallelGroupByMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2*page.StrideSize + rng.Intn(3*page.StrideSize) // sealed strides + open remainder
+		tbl := buildAggTable(t, rng, n)
+		groupBy := []Expr{ColRef(0)}
+		groupCols := types.Schema{{Name: "g", Kind: types.KindInt, Nullable: true}}
+		var preds []columnar.Pred
+		if seed%2 == 0 { // alternate: exercise predicate pushdown under parallel workers
+			preds = []columnar.Pred{{Col: 2, Op: encoding.OpGE, Val: types.NewFloat(100)}}
+		}
+
+		serial := &GroupByOp{
+			Child:     NewScan(tbl, preds, nil),
+			GroupBy:   groupBy,
+			GroupCols: groupCols,
+			Aggs:      aggSpecs(),
+		}
+		want, err := Drain(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = sortedRows(want)
+
+		for _, dop := range []int{1, 2, 8} {
+			par := &ParallelGroupByOp{
+				Table:     tbl,
+				Preds:     preds,
+				GroupBy:   groupBy,
+				GroupCols: groupCols,
+				Aggs:      aggSpecs(),
+				Dop:       dop,
+			}
+			got, err := Drain(par)
+			if err != nil {
+				t.Fatalf("seed %d dop %d: %v", seed, dop, err)
+			}
+			got = sortedRows(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d dop %d: parallel GROUP BY diverged\n got %v\nwant %v", seed, dop, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelGroupByGlobal covers the no-GROUP-BY global aggregate,
+// including the one-row-over-empty-input rule.
+func TestParallelGroupByGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tbl := buildAggTable(t, rng, 3*page.StrideSize+100)
+	for _, dop := range []int{1, 2, 8} {
+		serial := &GroupByOp{Child: NewScan(tbl, nil, nil), Aggs: aggSpecs()}
+		want, err := Drain(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := &ParallelGroupByOp{Table: tbl, Aggs: aggSpecs(), Dop: dop}
+		got, err := Drain(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("dop %d: global aggregate diverged\n got %v\nwant %v", dop, got, want)
+		}
+	}
+
+	empty := columnar.NewTable(8, "empty", types.Schema{{Name: "x", Kind: types.KindInt}}, columnar.Config{})
+	par := &ParallelGroupByOp{Table: empty, Aggs: []AggSpec{{Func: AggCountStar, Name: "CNT"}}, Dop: 4}
+	got, err := Drain(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][0].Int() != 0 {
+		t.Fatalf("empty global aggregate: %v", got)
+	}
+}
+
+// TestMergeableAggs pins the serial-fallback set.
+func TestMergeableAggs(t *testing.T) {
+	ok := aggSpecs()
+	if !MergeableAggs(ok) {
+		t.Fatal("count/sum/avg/min/max family must be mergeable")
+	}
+	for _, f := range []AggFunc{AggMedian, AggPercentileCont, AggPercentileDisc} {
+		if MergeableAggs([]AggSpec{{Func: f}}) {
+			t.Fatalf("agg func %d must fall back to the serial path", f)
+		}
+	}
+}
+
+// TestParallelScanOp checks the Dop>1 ScanOp produces the same multiset
+// of rows as the serial scan.
+func TestParallelScanOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tbl := buildAggTable(t, rng, 4*page.StrideSize+50)
+	preds := []columnar.Pred{{Col: 2, Op: encoding.OpLT, Val: types.NewFloat(1000)}}
+	want, err := Drain(NewScan(tbl, preds, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parScan := NewScan(tbl, preds, nil)
+	parScan.Dop = 4
+	got, err := Drain(parScan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sortedRows(got), sortedRows(want)) {
+		t.Fatalf("parallel ScanOp diverged: %d rows vs %d", len(got), len(want))
+	}
+}

@@ -9,10 +9,17 @@ import (
 // ScanOp streams a columnar table with predicates pushed into the
 // compressed scan (data skipping + SWAR) and optional projection.
 // Projection ordinals refer to the table schema; nil projects all columns.
+//
+// Dop > 1 switches to the morsel-driven ParallelScan: Dop workers pull
+// strides from a shared queue and chunks arrive in nondeterministic
+// order, so the planner only raises Dop under order-insensitive parents
+// (aggregation consumes the fused ParallelGroupByOp instead; this knob
+// serves library callers and benchmarks).
 type ScanOp struct {
 	Table      *columnar.Table
 	Preds      []columnar.Pred
 	Projection []int
+	Dop        int // 0/1 = serial, in row-id order
 
 	out    types.Schema
 	chunks chan *Chunk
@@ -38,33 +45,47 @@ func (s *ScanOp) Schema() types.Schema { return s.out }
 
 // Open implements Operator: the scan runs in a goroutine delivering one
 // chunk per stride; batches are materialized inside the scan callback
-// because a columnar.Batch is only valid during the callback.
+// because a columnar.Batch is only valid during the callback. With Dop >
+// 1 the producer goroutine drives ParallelScan and all workers feed the
+// same chunk channel.
 func (s *ScanOp) Open() error {
-	s.chunks = make(chan *Chunk, 2)
+	buf := 2
+	if s.Dop > buf {
+		buf = s.Dop
+	}
+	s.chunks = make(chan *Chunk, buf)
 	s.errc = make(chan error, 1)
 	s.stop = make(chan struct{})
+	deliver := func(b *columnar.Batch) bool {
+		rows := make([]types.Row, b.Len())
+		for i := 0; i < b.Len(); i++ {
+			if s.Projection == nil {
+				rows[i] = b.Row(i)
+			} else {
+				r := make(types.Row, len(s.Projection))
+				for j, ci := range s.Projection {
+					r[j] = b.Value(ci, i)
+				}
+				rows[i] = r
+			}
+		}
+		select {
+		case s.chunks <- &Chunk{Schema: s.out, Rows: rows}:
+			return true
+		case <-s.stop:
+			return false
+		}
+	}
 	go func() {
 		defer close(s.chunks)
-		err := s.Table.Scan(s.Preds, func(b *columnar.Batch) bool {
-			rows := make([]types.Row, b.Len())
-			for i := 0; i < b.Len(); i++ {
-				if s.Projection == nil {
-					rows[i] = b.Row(i)
-				} else {
-					r := make(types.Row, len(s.Projection))
-					for j, ci := range s.Projection {
-						r[j] = b.Value(ci, i)
-					}
-					rows[i] = r
-				}
-			}
-			select {
-			case s.chunks <- &Chunk{Schema: s.out, Rows: rows}:
-				return true
-			case <-s.stop:
-				return false
-			}
-		})
+		var err error
+		if s.Dop > 1 {
+			err = s.Table.ParallelScan(s.Preds, s.Dop, func(_ int, b *columnar.Batch) bool {
+				return deliver(b)
+			})
+		} else {
+			err = s.Table.Scan(s.Preds, deliver)
+		}
 		if err != nil {
 			s.errc <- err
 		}

@@ -25,6 +25,11 @@ type Compiler struct {
 	UDX *FuncRegistry
 	// Params binds positional ? markers for this execution.
 	Params []types.Value
+	// Parallelism is the session's effective intra-query parallelism
+	// degree (auto-configured, WLM-clamped, per-session overridable).
+	// Degrees above 1 let the compiler fuse scan+aggregate plans into the
+	// morsel-driven ParallelGroupByOp; 0/1 keeps every plan serial.
+	Parallelism int
 }
 
 type cteData struct {

@@ -240,6 +240,25 @@ func (c *Compiler) compileAggregate(sel *SelectStmt, items []SelectItem, cur *co
 
 	var op exec.Operator = g
 
+	// Parallel fusion: when the aggregation input is a bare columnar scan
+	// (all predicates pushed down, no residual filter or join) and every
+	// aggregate merges exactly, replace scan→group-by with the
+	// morsel-driven ParallelGroupByOp at the session's effective degree.
+	// MEDIAN/PERCENTILE keep the serial path (their state does not merge).
+	if c.Parallelism > 1 && exec.MergeableAggs(g.Aggs) {
+		if scan, ok := cur.op.(*exec.ScanOp); ok {
+			op = &exec.ParallelGroupByOp{
+				Table:      scan.Table,
+				Preds:      scan.Preds,
+				Projection: scan.Projection,
+				GroupBy:    g.GroupBy,
+				GroupCols:  g.GroupCols,
+				Aggs:       g.Aggs,
+				Dop:        c.Parallelism,
+			}
+		}
+	}
+
 	// HAVING, rewritten against the aggregated row.
 	if sel.Having != nil {
 		pred, err := c.compilePostAgg(sel.Having, mapping, inSc)

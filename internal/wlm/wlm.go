@@ -34,6 +34,21 @@ func (m *Manager) Limit() int {
 	return cap(m.sem)
 }
 
+// ClampParallelism caps a query's intra-query parallelism degree by the
+// admission limit: when up to L queries run concurrently, giving each of
+// them more than L workers would oversubscribe the cores the
+// auto-configuration budgeted per admitted query. Degenerate requests
+// clamp to 1; an unlimited manager passes the request through.
+func (m *Manager) ClampParallelism(dop int) int {
+	if dop < 1 {
+		return 1
+	}
+	if m.sem != nil && dop > cap(m.sem) {
+		return cap(m.sem)
+	}
+	return dop
+}
+
 // Admit blocks until a slot is free and returns a release function.
 // Callers must invoke the release exactly once.
 func (m *Manager) Admit() func() {

@@ -70,3 +70,21 @@ func TestAdmitReleaseBalance(t *testing.T) {
 		t.Fatal("unbalanced")
 	}
 }
+
+func TestClampParallelism(t *testing.T) {
+	limited := New(4)
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {-3, 1}, {1, 1}, {4, 4}, {16, 4},
+	} {
+		if got := limited.ClampParallelism(tc.in); got != tc.want {
+			t.Fatalf("ClampParallelism(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	unlimited := New(0)
+	if got := unlimited.ClampParallelism(16); got != 16 {
+		t.Fatalf("unlimited manager must pass dop through, got %d", got)
+	}
+	if got := unlimited.ClampParallelism(0); got != 1 {
+		t.Fatalf("degenerate dop must clamp to 1, got %d", got)
+	}
+}
