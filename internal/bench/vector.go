@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dashdb/internal/encoding"
+	"dashdb/internal/exec"
+	"dashdb/internal/types"
+)
+
+// figVPred is a non-pushable predicate (arithmetic on the column keeps it
+// out of the compressed-scan pushdown), ~50% selective on par_bench.
+func figVPred() exec.Expr {
+	return &exec.CmpExpr{Op: encoding.OpLT,
+		L: &exec.ArithExpr{Op: "*", L: exec.ColRef(1), R: exec.Const{V: types.NewInt(2)}},
+		R: exec.Const{V: types.NewInt(1_000_000)}}
+}
+
+func figVProj() ([]exec.Expr, types.Schema) {
+	exprs := []exec.Expr{
+		&exec.ArithExpr{Op: "%", L: exec.ColRef(0), R: exec.Const{V: types.NewInt(7)}},
+		&exec.ArithExpr{Op: "+", L: exec.ColRef(1), R: exec.ColRef(2)},
+	}
+	out := types.Schema{
+		{Name: "g7", Kind: types.KindInt},
+		{Name: "vf", Kind: types.KindFloat},
+	}
+	return exprs, out
+}
+
+// drainVecCount exhausts a vectorized pipeline, touching only selection
+// vectors — the natural contract for a block-at-a-time consumer.
+func drainVecCount(op exec.VecOperator) error {
+	if err := op.Open(); err != nil {
+		return err
+	}
+	defer op.Close()
+	n := 0
+	for {
+		vb, err := op.NextVec()
+		if err != nil {
+			return err
+		}
+		if vb == nil {
+			break
+		}
+		n += len(vb.Idx())
+	}
+	_ = n
+	return nil
+}
+
+// bestOf reports the fastest of three runs, damping scheduler noise.
+func bestOf(f func() error) time.Duration {
+	best := timeIt(f)
+	for i := 0; i < 2; i++ {
+		if d := timeIt(f); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// FigureV compares the row-at-a-time operators against the vectorized
+// pipeline (typed vectors + selection vectors, MonetDB/X100-style
+// block-at-a-time execution over the BLU strides of §II.B.7) on the same
+// filter→project and filter→group-by plans. Ratios above 1.0x mean the
+// vectorized engine is faster.
+func FigureV(rows int) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "F-V vectorized execution (%d rows)\n", rows)
+	tbl, err := parallelBenchTable(rows)
+	if err != nil {
+		return "", err
+	}
+
+	// Filter + project.
+	rowFP := bestOf(func() error {
+		exprs, out := figVProj()
+		return drainOp(&exec.ProjectOp{
+			Child: &exec.FilterOp{Child: exec.NewScan(tbl, nil, nil), Pred: figVPred()},
+			Exprs: exprs, Out: out,
+		})
+	})
+	vecFP := bestOf(func() error {
+		exprs, out := figVProj()
+		return drainVecCount(&exec.VecProjectOp{
+			Child: &exec.VecFilterOp{Child: exec.NewVecScan(tbl, nil, nil, 1), Pred: figVPred()},
+			Exprs: exprs, Out: out,
+		})
+	})
+	fpRatio := float64(rowFP) / float64(maxDuration(vecFP, 1))
+	fmt.Fprintf(&b, "  filter+project : row %10v  vec %10v  (%.2fx, %.1f Mrows/s vec)\n",
+		rowFP.Round(time.Microsecond), vecFP.Round(time.Microsecond), fpRatio,
+		float64(rows)/maxDuration(vecFP, 1).Seconds()/1e6)
+
+	// Filter + group-by aggregation (vector-ingesting GroupBy).
+	mkGroup := func() *exec.GroupByOp {
+		return &exec.GroupByOp{
+			Child:     &exec.FilterOp{Child: exec.NewScan(tbl, nil, nil), Pred: figVPred()},
+			GroupBy:   []exec.Expr{exec.ColRef(0)},
+			GroupCols: types.Schema{{Name: "g", Kind: types.KindInt}},
+			Aggs:      figAggSpecs(),
+		}
+	}
+	rowAgg := bestOf(func() error { return drainOp(mkGroup()) })
+	vecAgg := bestOf(func() error { return drainOp(exec.Vectorize(mkGroup())) })
+	aggRatio := float64(rowAgg) / float64(maxDuration(vecAgg, 1))
+	fmt.Fprintf(&b, "  filter+agg     : row %10v  vec %10v  (%.2fx)\n",
+		rowAgg.Round(time.Microsecond), vecAgg.Round(time.Microsecond), aggRatio)
+	fmt.Fprintf(&b, "  (row path materializes a types.Row per tuple; the vectorized path\n")
+	fmt.Fprintf(&b, "   keeps typed columns and narrows a selection vector instead)\n")
+	return b.String(), nil
+}

@@ -34,9 +34,14 @@ func (s *Session) executeExplain(stmt *sql.ExplainStmt) (*Result, error) {
 }
 
 // describeOp walks the operator tree producing indented plan lines.
+// Vectorized segments (reached through a RowAdapter) are tagged
+// [vectorized]; row-at-a-time operators that could in principle vectorize
+// are tagged [row] so fallbacks (UDFs, MEDIAN, funcs) stay visible.
 func describeOp(op exec.Operator, depth int, out *[]string) {
 	pad := strings.Repeat("  ", depth)
 	switch o := op.(type) {
+	case *exec.RowAdapter:
+		describeVecOp(o.Inner, depth, out)
 	case *exec.ScanOp:
 		kind := "COLUMNAR SCAN"
 		if o.Dop > 1 {
@@ -46,6 +51,7 @@ func describeOp(op exec.Operator, depth int, out *[]string) {
 		if o.Dop > 1 {
 			desc += fmt.Sprintf(" [dop=%d]", o.Dop)
 		}
+		desc += " [row]"
 		if len(o.Preds) > 0 {
 			desc += " [pushdown: " + predString(o.Table, o.Preds) + "]"
 		}
@@ -53,10 +59,10 @@ func describeOp(op exec.Operator, depth int, out *[]string) {
 	case *exec.RowScanOp:
 		*out = append(*out, fmt.Sprintf("%sROW SCAN %s", pad, o.Table.Name()))
 	case *exec.FilterOp:
-		*out = append(*out, pad+"FILTER")
+		*out = append(*out, pad+"FILTER [row]")
 		describeOp(o.Child, depth+1, out)
 	case *exec.ProjectOp:
-		*out = append(*out, fmt.Sprintf("%sPROJECT %s", pad, strings.Join(o.Out.Names(), ", ")))
+		*out = append(*out, fmt.Sprintf("%sPROJECT %s [row]", pad, strings.Join(o.Out.Names(), ", ")))
 		describeOp(o.Child, depth+1, out)
 	case *exec.HashJoinOp:
 		*out = append(*out, fmt.Sprintf("%sHASH JOIN (%s)", pad, joinName(o.Type)))
@@ -67,7 +73,11 @@ func describeOp(op exec.Operator, depth int, out *[]string) {
 		describeOp(o.Left, depth+1, out)
 		describeOp(o.Right, depth+1, out)
 	case *exec.GroupByOp:
-		*out = append(*out, fmt.Sprintf("%sGROUP BY [%d keys, %d aggregates]", pad, len(o.GroupBy), len(o.Aggs)))
+		tag := " [row]"
+		if o.VecIngest() {
+			tag = " [vectorized]"
+		}
+		*out = append(*out, fmt.Sprintf("%sGROUP BY [%d keys, %d aggregates]%s", pad, len(o.GroupBy), len(o.Aggs), tag))
 		describeOp(o.Child, depth+1, out)
 	case *exec.ParallelGroupByOp:
 		*out = append(*out, fmt.Sprintf("%sPARALLEL GROUP BY [dop=%d, %d keys, %d aggregates]", pad, o.Dop, len(o.GroupBy), len(o.Aggs)))
@@ -77,13 +87,13 @@ func describeOp(op exec.Operator, depth int, out *[]string) {
 		}
 		*out = append(*out, scan)
 	case *exec.SortOp:
-		*out = append(*out, fmt.Sprintf("%sSORT [%d keys]", pad, len(o.Keys)))
+		*out = append(*out, fmt.Sprintf("%sSORT [%d keys] [row]", pad, len(o.Keys)))
 		describeOp(o.Child, depth+1, out)
 	case *exec.LimitOp:
-		*out = append(*out, fmt.Sprintf("%sLIMIT %d OFFSET %d", pad, o.Limit, o.Offset))
+		*out = append(*out, fmt.Sprintf("%sLIMIT %d OFFSET %d [row]", pad, o.Limit, o.Offset))
 		describeOp(o.Child, depth+1, out)
 	case *exec.DistinctOp:
-		*out = append(*out, pad+"DISTINCT")
+		*out = append(*out, pad+"DISTINCT [row]")
 		describeOp(o.Child, depth+1, out)
 	case *exec.UnionAllOp:
 		*out = append(*out, pad+"UNION ALL")
@@ -94,6 +104,43 @@ func describeOp(op exec.Operator, depth int, out *[]string) {
 		*out = append(*out, fmt.Sprintf("%sVALUES [%d rows]", pad, len(o.Data)))
 	default:
 		*out = append(*out, fmt.Sprintf("%s%T", pad, op))
+	}
+}
+
+// describeVecOp renders the vectorized segment of a plan. Every node gets a
+// [vectorized] tag; the scan line keeps the same shape as the row scan so
+// plan-reading tools (and tests) match on "COLUMNAR SCAN <name>".
+func describeVecOp(op exec.VecOperator, depth int, out *[]string) {
+	pad := strings.Repeat("  ", depth)
+	switch o := op.(type) {
+	case *exec.VecScanOp:
+		kind := "COLUMNAR SCAN"
+		if o.Dop > 1 {
+			kind = "PARALLEL COLUMNAR SCAN"
+		}
+		desc := fmt.Sprintf("%s%s %s", pad, kind, o.Table.Name())
+		if o.Dop > 1 {
+			desc += fmt.Sprintf(" [dop=%d]", o.Dop)
+		}
+		desc += " [vectorized]"
+		if len(o.Preds) > 0 {
+			desc += " [pushdown: " + predString(o.Table, o.Preds) + "]"
+		}
+		*out = append(*out, desc)
+	case *exec.VecFilterOp:
+		*out = append(*out, pad+"FILTER [vectorized]")
+		describeVecOp(o.Child, depth+1, out)
+	case *exec.VecProjectOp:
+		*out = append(*out, fmt.Sprintf("%sPROJECT %s [vectorized]", pad, strings.Join(o.Out.Names(), ", ")))
+		describeVecOp(o.Child, depth+1, out)
+	case *exec.VecLimitOp:
+		*out = append(*out, fmt.Sprintf("%sLIMIT %d OFFSET %d [vectorized]", pad, o.Limit, o.Offset))
+		describeVecOp(o.Child, depth+1, out)
+	case *exec.RowsToVecOp:
+		// Row source boxed into vectors: describe the row subtree directly.
+		describeOp(o.Child, depth, out)
+	default:
+		*out = append(*out, fmt.Sprintf("%s%T [vectorized]", pad, op))
 	}
 }
 

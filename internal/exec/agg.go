@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"dashdb/internal/types"
+	"dashdb/internal/vec"
 )
 
 // AggFunc enumerates the aggregate functions, covering ANSI plus the
@@ -74,6 +75,7 @@ type accumulator struct {
 	distinct map[types.Value]bool // for COUNT(DISTINCT)
 }
 
+// add evaluates the aggregate's arguments against a row and accumulates.
 func (a *accumulator) add(spec AggSpec, row types.Row) error {
 	if spec.Func == AggCountStar {
 		a.count++
@@ -83,12 +85,23 @@ func (a *accumulator) add(spec AggSpec, row types.Row) error {
 	if err != nil {
 		return err
 	}
-	switch spec.Func {
-	case AggCovarPop, AggCovarSamp:
-		v2, err := spec.Arg2.Eval(row)
-		if err != nil {
+	var v2 types.Value
+	if spec.Func == AggCovarPop || spec.Func == AggCovarSamp {
+		if v2, err = spec.Arg2.Eval(row); err != nil {
 			return err
 		}
+	}
+	return a.addVals(spec, v, v2)
+}
+
+// addVals accumulates already-evaluated argument values; the vectorized
+// ingestion path evaluates arguments batch-at-a-time and feeds them here.
+func (a *accumulator) addVals(spec AggSpec, v, v2 types.Value) error {
+	switch spec.Func {
+	case AggCountStar:
+		a.count++
+		return nil
+	case AggCovarPop, AggCovarSamp:
 		if v.IsNull() || v2.IsNull() {
 			return nil
 		}
@@ -323,6 +336,11 @@ type groupState struct {
 }
 
 // Open implements Operator: it consumes the whole child and aggregates.
+// When the child is a RowAdapter over a vectorized subtree and every
+// grouping expression and aggregate argument has a vector kernel, the
+// aggregation ingests vector batches directly — keys and arguments are
+// evaluated column-at-a-time and only the group keys are materialized as
+// rows, never the input tuples.
 func (g *GroupByOp) Open() error {
 	if err := g.Child.Open(); err != nil {
 		return err
@@ -330,42 +348,14 @@ func (g *GroupByOp) Open() error {
 	defer g.Child.Close()
 	groups := make(map[uint64][]*groupState)
 	var order []*groupState
-	for {
-		ch, err := g.Child.Next()
-		if err != nil {
-			return err
-		}
-		if ch == nil {
-			break
-		}
-		for _, row := range ch.Rows {
-			key := make(types.Row, len(g.GroupBy))
-			for i, e := range g.GroupBy {
-				v, err := e.Eval(row)
-				if err != nil {
-					return err
-				}
-				key[i] = v
-			}
-			h := key.Hash()
-			var st *groupState
-			for _, cand := range groups[h] {
-				if groupKeyEqual(cand.key, key) {
-					st = cand
-					break
-				}
-			}
-			if st == nil {
-				st = &groupState{key: key, accs: make([]accumulator, len(g.Aggs))}
-				groups[h] = append(groups[h], st)
-				order = append(order, st)
-			}
-			for i := range g.Aggs {
-				if err := st.accs[i].add(g.Aggs[i], row); err != nil {
-					return err
-				}
-			}
-		}
+	var err error
+	if ra, ok := g.Child.(*RowAdapter); ok && g.vecIngestable() {
+		err = g.consumeVec(ra.Inner, groups, &order)
+	} else {
+		err = g.consumeRows(groups, &order)
+	}
+	if err != nil {
+		return err
 	}
 	if len(order) == 0 && len(g.GroupBy) == 0 {
 		order = append(order, &groupState{accs: make([]accumulator, len(g.Aggs))})
@@ -381,6 +371,138 @@ func (g *GroupByOp) Open() error {
 	}
 	g.pos = 0
 	return nil
+}
+
+// lookupGroup finds or creates the state for a group key.
+func lookupGroup(groups map[uint64][]*groupState, order *[]*groupState, key types.Row, naggs int) *groupState {
+	h := key.Hash()
+	for _, cand := range groups[h] {
+		if groupKeyEqual(cand.key, key) {
+			return cand
+		}
+	}
+	st := &groupState{key: key, accs: make([]accumulator, naggs)}
+	groups[h] = append(groups[h], st)
+	*order = append(*order, st)
+	return st
+}
+
+// consumeRows is the row-at-a-time aggregation loop.
+func (g *GroupByOp) consumeRows(groups map[uint64][]*groupState, order *[]*groupState) error {
+	for {
+		ch, err := g.Child.Next()
+		if err != nil {
+			return err
+		}
+		if ch == nil {
+			return nil
+		}
+		for _, row := range ch.Rows {
+			key := make(types.Row, len(g.GroupBy))
+			for i, e := range g.GroupBy {
+				v, err := e.Eval(row)
+				if err != nil {
+					return err
+				}
+				key[i] = v
+			}
+			st := lookupGroup(groups, order, key, len(g.Aggs))
+			for i := range g.Aggs {
+				if err := st.accs[i].add(g.Aggs[i], row); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// VecIngest reports whether Open will consume vector batches directly
+// (vectorized child and all expressions kernel-evaluable). EXPLAIN uses it
+// to label the node.
+func (g *GroupByOp) VecIngest() bool {
+	_, ok := g.Child.(*RowAdapter)
+	return ok && g.vecIngestable()
+}
+
+// vecIngestable reports whether every grouping expression and aggregate
+// argument can be evaluated through vector kernels.
+func (g *GroupByOp) vecIngestable() bool {
+	for _, e := range g.GroupBy {
+		if !Vectorizable(e) {
+			return false
+		}
+	}
+	for _, a := range g.Aggs {
+		switch a.Func {
+		case AggMedian, AggPercentileCont, AggPercentileDisc:
+			// Holistic aggregates buffer every input value, so vector
+			// ingestion buys nothing; keep them on the row path.
+			return false
+		}
+		if a.Arg != nil && !Vectorizable(a.Arg) {
+			return false
+		}
+		if a.Arg2 != nil && !Vectorizable(a.Arg2) {
+			return false
+		}
+	}
+	return true
+}
+
+// consumeVec aggregates straight from vector batches: group keys and
+// aggregate arguments are computed one column at a time over each batch,
+// then accumulated per selected position.
+func (g *GroupByOp) consumeVec(inner VecOperator, groups map[uint64][]*groupState, order *[]*groupState) error {
+	for {
+		vb, err := inner.NextVec()
+		if err != nil {
+			return err
+		}
+		if vb == nil {
+			return nil
+		}
+		keyVecs := make([]*vec.Vector, len(g.GroupBy))
+		for i, e := range g.GroupBy {
+			if keyVecs[i], err = evalVec(e, vb); err != nil {
+				return err
+			}
+		}
+		argVecs := make([]*vec.Vector, len(g.Aggs))
+		arg2Vecs := make([]*vec.Vector, len(g.Aggs))
+		for ai, spec := range g.Aggs {
+			if spec.Arg != nil {
+				if argVecs[ai], err = evalVec(spec.Arg, vb); err != nil {
+					return err
+				}
+			}
+			if spec.Arg2 != nil {
+				if arg2Vecs[ai], err = evalVec(spec.Arg2, vb); err != nil {
+					return err
+				}
+			}
+		}
+		for _, i := range vb.Idx() {
+			key := make(types.Row, len(keyVecs))
+			for k, kv := range keyVecs {
+				key[k] = kv.Get(i)
+			}
+			st := lookupGroup(groups, order, key, len(g.Aggs))
+			for ai := range g.Aggs {
+				if g.Aggs[ai].Func == AggCountStar {
+					st.accs[ai].count++
+					continue
+				}
+				v := argVecs[ai].Get(i)
+				var v2 types.Value
+				if arg2Vecs[ai] != nil {
+					v2 = arg2Vecs[ai].Get(i)
+				}
+				if err := st.accs[ai].addVals(g.Aggs[ai], v, v2); err != nil {
+					return err
+				}
+			}
+		}
+	}
 }
 
 // groupKeyEqual compares group keys with NULL == NULL (SQL GROUP BY puts

@@ -17,6 +17,14 @@ import (
 const ChunkSize = 1024
 
 // Chunk is a batch of rows sharing a schema.
+//
+// Ownership invariant: once Next returns a chunk, the Rows slice and the
+// Row values it references belong to the consumer. A producer must not
+// rewrite previously returned rows or recycle their backing arrays on
+// later Next calls; consumers (Drain, buffering operators, clients) rely
+// on this to retain rows without deep-copying. Operators that reuse
+// internal buffers — in particular the vector-batch RowAdapter — must
+// materialize fresh rows before handing them out.
 type Chunk struct {
 	Schema types.Schema
 	Rows   []types.Row
@@ -61,7 +69,10 @@ type FuncExpr func(row types.Row) (types.Value, error)
 // Eval implements Expr.
 func (f FuncExpr) Eval(row types.Row) (types.Value, error) { return f(row) }
 
-// Drain runs an operator tree to completion and returns all rows.
+// Drain runs an operator tree to completion and returns all rows. It
+// copies each chunk's row headers into its own slice, which — together
+// with the Chunk ownership invariant (producers never rewrite returned
+// rows) — makes the result safe to hold after the operator is closed.
 func Drain(op Operator) ([]types.Row, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
@@ -116,43 +127,67 @@ func (v *ValuesOp) Next() (*Chunk, error) {
 func (v *ValuesOp) Close() error { return nil }
 
 // FilterOp drops rows whose predicate does not evaluate to TRUE
-// (three-valued logic: NULL and false both drop the row).
+// (three-valued logic: NULL and false both drop the row). Survivors are
+// re-chunked toward ChunkSize so a selective predicate does not starve
+// downstream operators with degenerate tiny chunks.
 type FilterOp struct {
 	Child Operator
 	Pred  Expr
+
+	buf []types.Row
+	eos bool
 }
 
 // Schema implements Operator.
 func (f *FilterOp) Schema() types.Schema { return f.Child.Schema() }
 
 // Open implements Operator.
-func (f *FilterOp) Open() error { return f.Child.Open() }
+func (f *FilterOp) Open() error {
+	f.buf, f.eos = nil, false
+	return f.Child.Open()
+}
 
 // Next implements Operator.
 func (f *FilterOp) Next() (*Chunk, error) {
 	for {
+		if len(f.buf) >= ChunkSize {
+			rows := f.buf[:ChunkSize:ChunkSize]
+			f.buf = f.buf[ChunkSize:]
+			return &Chunk{Schema: f.Child.Schema(), Rows: rows}, nil
+		}
+		if f.eos {
+			if len(f.buf) > 0 {
+				rows := f.buf
+				f.buf = nil
+				return &Chunk{Schema: f.Child.Schema(), Rows: rows}, nil
+			}
+			return nil, nil
+		}
 		ch, err := f.Child.Next()
-		if err != nil || ch == nil {
+		if err != nil {
 			return nil, err
 		}
-		kept := ch.Rows[:0:0]
+		if ch == nil {
+			f.eos = true
+			continue
+		}
 		for _, row := range ch.Rows {
 			v, err := f.Pred.Eval(row)
 			if err != nil {
 				return nil, err
 			}
 			if !v.IsNull() && v.Kind() == types.KindBool && v.Bool() {
-				kept = append(kept, row)
+				f.buf = append(f.buf, row)
 			}
-		}
-		if len(kept) > 0 {
-			return &Chunk{Schema: ch.Schema, Rows: kept}, nil
 		}
 	}
 }
 
 // Close implements Operator.
-func (f *FilterOp) Close() error { return f.Child.Close() }
+func (f *FilterOp) Close() error {
+	f.buf = nil
+	return f.Child.Close()
+}
 
 // ProjectOp computes output expressions per row.
 type ProjectOp struct {
@@ -192,12 +227,16 @@ func (p *ProjectOp) Next() (*Chunk, error) {
 func (p *ProjectOp) Close() error { return p.Child.Close() }
 
 // LimitOp implements LIMIT/OFFSET (and Oracle ROWNUM, Netezza LIMIT).
+// Output is re-chunked toward ChunkSize: offset trimming never produces
+// a degenerate sliver chunk followed by full ones.
 type LimitOp struct {
 	Child   Operator
 	Offset  int64
 	Limit   int64 // -1 = unlimited
 	skipped int64
 	sent    int64
+	buf     []types.Row
+	eos     bool
 }
 
 // Schema implements Operator.
@@ -206,18 +245,37 @@ func (l *LimitOp) Schema() types.Schema { return l.Child.Schema() }
 // Open implements Operator.
 func (l *LimitOp) Open() error {
 	l.skipped, l.sent = 0, 0
+	l.buf, l.eos = nil, false
 	return l.Child.Open()
 }
 
 // Next implements Operator.
 func (l *LimitOp) Next() (*Chunk, error) {
 	for {
-		if l.Limit >= 0 && l.sent >= l.Limit {
+		if len(l.buf) >= ChunkSize {
+			rows := l.buf[:ChunkSize:ChunkSize]
+			l.buf = l.buf[ChunkSize:]
+			return &Chunk{Schema: l.Child.Schema(), Rows: rows}, nil
+		}
+		if l.eos {
+			if len(l.buf) > 0 {
+				rows := l.buf
+				l.buf = nil
+				return &Chunk{Schema: l.Child.Schema(), Rows: rows}, nil
+			}
 			return nil, nil
 		}
+		if l.Limit >= 0 && l.sent >= l.Limit {
+			l.eos = true
+			continue
+		}
 		ch, err := l.Child.Next()
-		if err != nil || ch == nil {
+		if err != nil {
 			return nil, err
+		}
+		if ch == nil {
+			l.eos = true
+			continue
 		}
 		rows := ch.Rows
 		if l.skipped < l.Offset {
@@ -235,16 +293,16 @@ func (l *LimitOp) Next() (*Chunk, error) {
 				rows = rows[:remain]
 			}
 		}
-		if len(rows) == 0 {
-			continue
-		}
 		l.sent += int64(len(rows))
-		return &Chunk{Schema: ch.Schema, Rows: rows}, nil
+		l.buf = append(l.buf, rows...)
 	}
 }
 
 // Close implements Operator.
-func (l *LimitOp) Close() error { return l.Child.Close() }
+func (l *LimitOp) Close() error {
+	l.buf = nil
+	return l.Child.Close()
+}
 
 // UnionAllOp concatenates children with identical arity.
 type UnionAllOp struct {

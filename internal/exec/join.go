@@ -69,7 +69,15 @@ func (j *HashJoinOp) Open() error {
 	if len(j.LeftKeys) != len(j.RightKeys) || len(j.LeftKeys) == 0 {
 		return fmt.Errorf("exec: hash join needs matching non-empty key lists")
 	}
-	build, err := Drain(j.Right) // Drain opens and closes the build side
+	var build []types.Row
+	var err error
+	if ra, ok := j.Right.(*RowAdapter); ok {
+		// Vectorized build side: drop NULL-key rows while the data is
+		// still columnar, so they are never materialized at all.
+		build, err = drainVecBuild(ra, j.RightKeys)
+	} else {
+		build, err = Drain(j.Right) // Drain opens and closes the build side
+	}
 	if err != nil {
 		return err
 	}
@@ -102,6 +110,35 @@ func (j *HashJoinOp) Open() error {
 		}
 	}
 	return j.Left.Open()
+}
+
+// drainVecBuild drains a vectorized build side into rows, skipping rows
+// whose join keys contain NULL (they can never match) before any row is
+// materialized.
+func drainVecBuild(ra *RowAdapter, keys []int) ([]types.Row, error) {
+	if err := ra.Open(); err != nil {
+		return nil, err
+	}
+	defer ra.Close()
+	var out []types.Row
+	for {
+		vb, err := ra.Inner.NextVec()
+		if err != nil {
+			return nil, err
+		}
+		if vb == nil {
+			return out, nil
+		}
+	scan:
+		for _, i := range vb.Idx() {
+			for _, k := range keys {
+				if vb.Cols[k].IsNull(i) {
+					continue scan
+				}
+			}
+			out = append(out, vb.Row(i))
+		}
+	}
 }
 
 // keyHash hashes the join key columns; ok is false when any key is NULL.

@@ -1,0 +1,674 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dashdb/internal/encoding"
+	"dashdb/internal/types"
+	"dashdb/internal/vec"
+)
+
+// VecExpr is an Expr that can also evaluate itself over a whole vector
+// batch at once. Every structured expression node implements both
+// interfaces, so the row path stays the correctness oracle for the
+// vectorized kernels.
+type VecExpr interface {
+	Expr
+	EvalVec(b *vec.Batch) (*vec.Vector, error)
+}
+
+// evalVec dispatches to the vectorized kernel of e.
+func evalVec(e Expr, b *vec.Batch) (*vec.Vector, error) {
+	ve, ok := e.(VecExpr)
+	if !ok {
+		return nil, fmt.Errorf("exec: expression %T is not vectorizable", e)
+	}
+	return ve.EvalVec(b)
+}
+
+// Vectorizable reports whether the expression tree evaluates entirely
+// through vector kernels. Opaque FuncExprs (scalar functions, UDFs,
+// subqueries, CASE, ...) force the enclosing operator onto the row path.
+func Vectorizable(e Expr) bool {
+	switch x := e.(type) {
+	case ColRef, Const:
+		return true
+	case *CmpExpr:
+		return Vectorizable(x.L) && Vectorizable(x.R)
+	case *ArithExpr:
+		return Vectorizable(x.L) && Vectorizable(x.R)
+	case *AndExpr:
+		return Vectorizable(x.L) && Vectorizable(x.R)
+	case *OrExpr:
+		return Vectorizable(x.L) && Vectorizable(x.R)
+	case *NotExpr:
+		return Vectorizable(x.E)
+	case *NegExpr:
+		return Vectorizable(x.E)
+	}
+	return false
+}
+
+// EvalVec implements VecExpr: a column reference is just the batch vector.
+func (c ColRef) EvalVec(b *vec.Batch) (*vec.Vector, error) {
+	if int(c) < 0 || int(c) >= len(b.Cols) {
+		return nil, fmt.Errorf("exec: column %d out of range", int(c))
+	}
+	return b.Cols[c], nil
+}
+
+// EvalVec implements VecExpr: a literal broadcasts as a Const vector.
+func (c Const) EvalVec(*vec.Batch) (*vec.Vector, error) {
+	return vec.NewConst(c.V), nil
+}
+
+// boolAt reads batch position i of a predicate result vector with the
+// row path's truthiness rules (Value.Bool: the integer payload != 0).
+func boolAt(v *vec.Vector, i int) (val, null bool) {
+	if v.IsNull(i) {
+		return false, true
+	}
+	switch {
+	case v.I64 != nil:
+		return v.I64[v.Ix(i)] != 0, false
+	case v.Any != nil:
+		return v.Any[v.Ix(i)].Bool(), false
+	default:
+		// Float/string payloads carry a zero integer payload.
+		return false, false
+	}
+}
+
+// numAt reads a numeric vector position as float64 (int promoted).
+func numAt(v *vec.Vector, i int) float64 {
+	if v.F64 != nil {
+		return v.F64[v.Ix(i)]
+	}
+	return float64(v.I64[v.Ix(i)])
+}
+
+// cmpHolds converts a three-way comparison result into the operator's
+// boolean outcome.
+func cmpHolds(op encoding.CmpOp, c int) bool {
+	switch op {
+	case encoding.OpEQ:
+		return c == 0
+	case encoding.OpNE:
+		return c != 0
+	case encoding.OpLT:
+		return c < 0
+	case encoding.OpLE:
+		return c <= 0
+	case encoding.OpGT:
+		return c > 0
+	default: // OpGE
+		return c >= 0
+	}
+}
+
+// cmpFloat64 mirrors types.Compare's float ordering, including NaN
+// sorting high, so the typed kernel agrees with the row path exactly.
+func cmpFloat64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	case math.IsNaN(a) && math.IsNaN(b):
+		return 0
+	case math.IsNaN(a):
+		return 1
+	default:
+		return -1
+	}
+}
+
+// CmpExpr is a structured comparison ("a op b", SQL three-valued: NULL
+// operands yield NULL).
+type CmpExpr struct {
+	Op   encoding.CmpOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (e *CmpExpr) Eval(row types.Row) (types.Value, error) {
+	a, err := e.L.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	b, err := e.R.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if a.IsNull() || b.IsNull() {
+		return types.Null, nil
+	}
+	return types.NewBool(e.Op.Eval(a, b)), nil
+}
+
+// EvalVec implements VecExpr with typed fast paths matching
+// types.Compare's promotion rules; mixed or boxed operands fall back to a
+// per-element generic loop with identical semantics.
+func (e *CmpExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
+	lv, err := evalVec(e.L, b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := evalVec(e.R, b)
+	if err != nil {
+		return nil, err
+	}
+	out := vec.New(types.KindBool, b.N)
+	op := e.Op
+	idx := b.Idx()
+	lk, rk := lv.Kind, rv.Kind
+	switch {
+	case lk == types.KindInt && rk == types.KindInt,
+		lk == rk && (lk == types.KindBool || lk == types.KindDate || lk == types.KindTimestamp):
+		for _, i := range idx {
+			if lv.IsNull(i) || rv.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			x, y := lv.I64[lv.Ix(i)], rv.I64[rv.Ix(i)]
+			c := 0
+			if x < y {
+				c = -1
+			} else if x > y {
+				c = 1
+			}
+			if cmpHolds(op, c) {
+				out.I64[i] = 1
+			}
+		}
+	case lk.Numeric() && rk.Numeric():
+		// At least one float: compare in float space like types.Compare.
+		for _, i := range idx {
+			if lv.IsNull(i) || rv.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			if cmpHolds(op, cmpFloat64(numAt(lv, i), numAt(rv, i))) {
+				out.I64[i] = 1
+			}
+		}
+	case lk == types.KindString && rk == types.KindString:
+		for _, i := range idx {
+			if lv.IsNull(i) || rv.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			if cmpHolds(op, strings.Compare(lv.Str[lv.Ix(i)], rv.Str[rv.Ix(i)])) {
+				out.I64[i] = 1
+			}
+		}
+	default:
+		for _, i := range idx {
+			a, bv := lv.Get(i), rv.Get(i)
+			if a.IsNull() || bv.IsNull() {
+				out.SetNull(i)
+				continue
+			}
+			if op.Eval(a, bv) {
+				out.I64[i] = 1
+			}
+		}
+	}
+	return out, nil
+}
+
+// ArithExpr is structured arithmetic ("a op b" for + - * / %) with SQL
+// numeric promotion and date ± int day arithmetic.
+type ArithExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (e *ArithExpr) Eval(row types.Row) (types.Value, error) {
+	a, err := e.L.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	b, err := e.R.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	return ArithValue(e.Op, a, b)
+}
+
+// ArithValue evaluates arithmetic with SQL numeric promotion; date ± int
+// is day arithmetic. It is the scalar reference the vector kernels must
+// agree with.
+func ArithValue(op string, a, b types.Value) (types.Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return types.Null, nil
+	}
+	// Date arithmetic.
+	if a.Kind() == types.KindDate && b.Kind() == types.KindInt {
+		switch op {
+		case "+":
+			return types.NewDate(a.Int() + b.Int()), nil
+		case "-":
+			return types.NewDate(a.Int() - b.Int()), nil
+		}
+	}
+	if a.Kind() == types.KindDate && b.Kind() == types.KindDate && op == "-" {
+		return types.NewInt(a.Int() - b.Int()), nil
+	}
+	if a.Kind() == types.KindInt && b.Kind() == types.KindInt {
+		x, y := a.Int(), b.Int()
+		switch op {
+		case "+":
+			return types.NewInt(x + y), nil
+		case "-":
+			return types.NewInt(x - y), nil
+		case "*":
+			return types.NewInt(x * y), nil
+		case "/":
+			if y == 0 {
+				return types.Null, fmt.Errorf("sql: division by zero")
+			}
+			return types.NewInt(x / y), nil
+		case "%":
+			if y == 0 {
+				return types.Null, fmt.Errorf("sql: division by zero")
+			}
+			return types.NewInt(x % y), nil
+		}
+	}
+	x, ok1 := a.AsFloat()
+	y, ok2 := b.AsFloat()
+	if !ok1 || !ok2 {
+		return types.Null, fmt.Errorf("sql: cannot apply %s to %v and %v", op, a, b)
+	}
+	switch op {
+	case "+":
+		return types.NewFloat(x + y), nil
+	case "-":
+		return types.NewFloat(x - y), nil
+	case "*":
+		return types.NewFloat(x * y), nil
+	case "/":
+		if y == 0 {
+			return types.Null, fmt.Errorf("sql: division by zero")
+		}
+		return types.NewFloat(x / y), nil
+	case "%":
+		// Modulo runs in int64 space, so |y| < 1 would also divide by zero.
+		if int64(y) == 0 {
+			return types.Null, fmt.Errorf("sql: division by zero")
+		}
+		return types.NewFloat(float64(int64(x) % int64(y))), nil
+	}
+	return types.Null, fmt.Errorf("sql: unsupported arithmetic %q", op)
+}
+
+// EvalVec implements VecExpr.
+func (e *ArithExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
+	lv, err := evalVec(e.L, b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := evalVec(e.R, b)
+	if err != nil {
+		return nil, err
+	}
+	idx := b.Idx()
+	op := e.Op
+	lk, rk := lv.Kind, rv.Kind
+	switch {
+	case lk == types.KindInt && rk == types.KindInt:
+		out := vec.New(types.KindInt, b.N)
+		for _, i := range idx {
+			if lv.IsNull(i) || rv.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			x, y := lv.I64[lv.Ix(i)], rv.I64[rv.Ix(i)]
+			var r int64
+			switch op {
+			case "+":
+				r = x + y
+			case "-":
+				r = x - y
+			case "*":
+				r = x * y
+			case "/":
+				if y == 0 {
+					return nil, fmt.Errorf("sql: division by zero")
+				}
+				r = x / y
+			case "%":
+				if y == 0 {
+					return nil, fmt.Errorf("sql: division by zero")
+				}
+				r = x % y
+			default:
+				return nil, fmt.Errorf("sql: unsupported arithmetic %q", op)
+			}
+			out.I64[i] = r
+		}
+		return out, nil
+	case lk.Numeric() && rk.Numeric():
+		out := vec.New(types.KindFloat, b.N)
+		for _, i := range idx {
+			if lv.IsNull(i) || rv.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			x, y := numAt(lv, i), numAt(rv, i)
+			var r float64
+			switch op {
+			case "+":
+				r = x + y
+			case "-":
+				r = x - y
+			case "*":
+				r = x * y
+			case "/":
+				if y == 0 {
+					return nil, fmt.Errorf("sql: division by zero")
+				}
+				r = x / y
+			case "%":
+				if int64(y) == 0 {
+					return nil, fmt.Errorf("sql: division by zero")
+				}
+				r = float64(int64(x) % int64(y))
+			default:
+				return nil, fmt.Errorf("sql: unsupported arithmetic %q", op)
+			}
+			out.F64[i] = r
+		}
+		return out, nil
+	case lk == types.KindDate && rk == types.KindInt && (op == "+" || op == "-"):
+		out := vec.New(types.KindDate, b.N)
+		for _, i := range idx {
+			if lv.IsNull(i) || rv.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			x, y := lv.I64[lv.Ix(i)], rv.I64[rv.Ix(i)]
+			if op == "+" {
+				out.I64[i] = x + y
+			} else {
+				out.I64[i] = x - y
+			}
+		}
+		return out, nil
+	case lk == types.KindDate && rk == types.KindDate && op == "-":
+		out := vec.New(types.KindInt, b.N)
+		for _, i := range idx {
+			if lv.IsNull(i) || rv.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			out.I64[i] = lv.I64[lv.Ix(i)] - rv.I64[rv.Ix(i)]
+		}
+		return out, nil
+	default:
+		out := vec.New(types.KindNull, b.N)
+		for _, i := range idx {
+			v, err := ArithValue(op, lv.Get(i), rv.Get(i))
+			if err != nil {
+				return nil, err
+			}
+			out.Set(i, v)
+		}
+		return out, nil
+	}
+}
+
+// and3 / or3 / not3 implement SQL three-valued logic over BOOLEAN values
+// where NULL stands for UNKNOWN (truthiness via Value.Bool, matching the
+// SQL layer's closures).
+func and3(a, b types.Value) types.Value {
+	af, bf := !a.IsNull() && !a.Bool(), !b.IsNull() && !b.Bool()
+	if af || bf {
+		return types.NewBool(false)
+	}
+	if a.IsNull() || b.IsNull() {
+		return types.Null
+	}
+	return types.NewBool(true)
+}
+
+func or3(a, b types.Value) types.Value {
+	at, bt := !a.IsNull() && a.Bool(), !b.IsNull() && b.Bool()
+	if at || bt {
+		return types.NewBool(true)
+	}
+	if a.IsNull() || b.IsNull() {
+		return types.Null
+	}
+	return types.NewBool(false)
+}
+
+func not3(a types.Value) types.Value {
+	if a.IsNull() {
+		return types.Null
+	}
+	return types.NewBool(!a.Bool())
+}
+
+// AndExpr is SQL AND with short-circuit evaluation: when the left operand
+// is definite FALSE the right operand is not evaluated, so errors the row
+// path would never raise stay suppressed on the vector path too.
+type AndExpr struct{ L, R Expr }
+
+// Eval implements Expr.
+func (e *AndExpr) Eval(row types.Row) (types.Value, error) {
+	a, err := e.L.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if !a.IsNull() && !a.Bool() {
+		return types.NewBool(false), nil
+	}
+	b, err := e.R.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	return and3(a, b), nil
+}
+
+// EvalVec implements VecExpr: the right operand is evaluated over a
+// sub-selection restricted to rows the left side did not short-circuit.
+func (e *AndExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
+	lv, err := evalVec(e.L, b)
+	if err != nil {
+		return nil, err
+	}
+	idx := b.Idx()
+	out := vec.New(types.KindBool, b.N)
+	sub := make([]int, 0, len(idx))
+	for _, i := range idx {
+		val, null := boolAt(lv, i)
+		if null || val {
+			sub = append(sub, i)
+		}
+	}
+	if len(sub) == 0 {
+		return out, nil // every live row is definite FALSE
+	}
+	rv, err := evalVec(e.R, b.WithSel(sub))
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range sub {
+		// Left here is TRUE or NULL.
+		_, lnull := boolAt(lv, i)
+		rval, rnull := boolAt(rv, i)
+		switch {
+		case !rnull && !rval:
+			// FALSE: leave the zero value.
+		case lnull || rnull:
+			out.SetNull(i)
+		default:
+			out.I64[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// OrExpr is SQL OR with short-circuit evaluation (dual of AndExpr).
+type OrExpr struct{ L, R Expr }
+
+// Eval implements Expr.
+func (e *OrExpr) Eval(row types.Row) (types.Value, error) {
+	a, err := e.L.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if !a.IsNull() && a.Bool() {
+		return types.NewBool(true), nil
+	}
+	b, err := e.R.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	return or3(a, b), nil
+}
+
+// EvalVec implements VecExpr.
+func (e *OrExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
+	lv, err := evalVec(e.L, b)
+	if err != nil {
+		return nil, err
+	}
+	idx := b.Idx()
+	out := vec.New(types.KindBool, b.N)
+	sub := make([]int, 0, len(idx))
+	for _, i := range idx {
+		val, null := boolAt(lv, i)
+		if null || !val {
+			sub = append(sub, i)
+		} else {
+			out.I64[i] = 1 // definite TRUE short-circuits
+		}
+	}
+	if len(sub) == 0 {
+		return out, nil
+	}
+	rv, err := evalVec(e.R, b.WithSel(sub))
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range sub {
+		// Left here is FALSE or NULL.
+		_, lnull := boolAt(lv, i)
+		rval, rnull := boolAt(rv, i)
+		switch {
+		case !rnull && rval:
+			out.I64[i] = 1
+		case lnull || rnull:
+			out.SetNull(i)
+		default:
+			// FALSE: leave the zero value.
+		}
+	}
+	return out, nil
+}
+
+// NotExpr is SQL NOT under three-valued logic.
+type NotExpr struct{ E Expr }
+
+// Eval implements Expr.
+func (e *NotExpr) Eval(row types.Row) (types.Value, error) {
+	v, err := e.E.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	return not3(v), nil
+}
+
+// EvalVec implements VecExpr.
+func (e *NotExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
+	ev, err := evalVec(e.E, b)
+	if err != nil {
+		return nil, err
+	}
+	out := vec.New(types.KindBool, b.N)
+	for _, i := range b.Idx() {
+		val, null := boolAt(ev, i)
+		if null {
+			out.SetNull(i)
+		} else if !val {
+			out.I64[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// NegExpr is unary minus.
+type NegExpr struct{ E Expr }
+
+// negValue is the scalar reference for unary minus.
+func negValue(v types.Value) (types.Value, error) {
+	if v.IsNull() {
+		return types.Null, nil
+	}
+	if v.Kind() == types.KindInt {
+		return types.NewInt(-v.Int()), nil
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return types.Null, fmt.Errorf("sql: cannot negate %v", v)
+	}
+	return types.NewFloat(-f), nil
+}
+
+// Eval implements Expr.
+func (e *NegExpr) Eval(row types.Row) (types.Value, error) {
+	v, err := e.E.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	return negValue(v)
+}
+
+// EvalVec implements VecExpr.
+func (e *NegExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
+	ev, err := evalVec(e.E, b)
+	if err != nil {
+		return nil, err
+	}
+	idx := b.Idx()
+	switch {
+	case ev.Kind == types.KindInt:
+		out := vec.New(types.KindInt, b.N)
+		for _, i := range idx {
+			if ev.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			out.I64[i] = -ev.I64[ev.Ix(i)]
+		}
+		return out, nil
+	case ev.Kind == types.KindFloat:
+		out := vec.New(types.KindFloat, b.N)
+		for _, i := range idx {
+			if ev.IsNull(i) {
+				out.SetNull(i)
+				continue
+			}
+			out.F64[i] = -ev.F64[ev.Ix(i)]
+		}
+		return out, nil
+	default:
+		out := vec.New(types.KindNull, b.N)
+		for _, i := range idx {
+			v, err := negValue(ev.Get(i))
+			if err != nil {
+				return nil, err
+			}
+			out.Set(i, v)
+		}
+		return out, nil
+	}
+}

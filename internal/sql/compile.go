@@ -105,13 +105,16 @@ type compiled struct {
 	scope *scope
 }
 
-// CompileSelect compiles a query to an operator tree.
+// CompileSelect compiles a query to an operator tree and rewrites it for
+// vectorized execution: eligible scan/filter/project/limit segments run
+// on the columnar vector engine, everything else keeps the row contract
+// behind a RowAdapter (see exec.Vectorize).
 func (c *Compiler) CompileSelect(sel *SelectStmt) (exec.Operator, error) {
 	cpl, err := c.compileSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	return cpl.op, nil
+	return exec.Vectorize(cpl.op), nil
 }
 
 func (c *Compiler) compileSelect(sel *SelectStmt) (*compiled, error) {
@@ -880,30 +883,26 @@ func extractRownumLimit(conjuncts []Expr) ([]Expr, int64) {
 	return rest, limit
 }
 
-// compileConjuncts ANDs compiled conjuncts into a single predicate.
+// compileConjuncts ANDs compiled conjuncts into a single predicate as a
+// chain of structured AndExprs (short-circuiting, and vectorizable when
+// every conjunct is).
 func (c *Compiler) compileConjuncts(conjuncts []Expr, sc *scope) (exec.Expr, error) {
-	var exprs []exec.Expr
+	var pred exec.Expr
 	for _, cj := range conjuncts {
 		e, err := c.compileExpr(cj, sc)
 		if err != nil {
 			return nil, err
 		}
-		exprs = append(exprs, e)
-	}
-	return exec.FuncExpr(func(row types.Row) (types.Value, error) {
-		result := types.NewBool(true)
-		for _, e := range exprs {
-			v, err := e.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			result = and3(result, v)
-			if !result.IsNull() && !result.Bool() {
-				return result, nil
-			}
+		if pred == nil {
+			pred = e
+		} else {
+			pred = &exec.AndExpr{L: pred, R: e}
 		}
-		return result, nil
-	}), nil
+	}
+	if pred == nil {
+		pred = exec.Const{V: types.NewBool(true)}
+	}
+	return pred, nil
 }
 
 // containsAggregate reports whether the expression tree contains an

@@ -564,45 +564,12 @@ func (c *Compiler) compileBinaryPre(ex *BinaryOp, left, right exec.Expr) (exec.E
 	op := ex.Op
 	switch op {
 	case "AND":
-		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
-			a, err := left.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			b, err := right.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			return and3(a, b), nil
-		}), nil
+		return &exec.AndExpr{L: left, R: right}, nil
 	case "OR":
-		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
-			a, err := left.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			b, err := right.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			return or3(a, b), nil
-		}), nil
+		return &exec.OrExpr{L: left, R: right}, nil
 	case "=", "<>", "<", "<=", ">", ">=":
 		cmp, _ := cmpOpFor(op)
-		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
-			a, err := left.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			b, err := right.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			if a.IsNull() || b.IsNull() {
-				return types.Null, nil
-			}
-			return types.NewBool(cmp.Eval(a, b)), nil
-		}), nil
+		return &exec.CmpExpr{Op: cmp, L: left, R: right}, nil
 	case "||":
 		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
 			a, err := left.Eval(row)
@@ -619,16 +586,6 @@ func (c *Compiler) compileBinaryPre(ex *BinaryOp, left, right exec.Expr) (exec.E
 			return types.NewString(a.String() + b.String()), nil
 		}), nil
 	default:
-		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
-			a, err := left.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			b, err := right.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			return arith(op, a, b)
-		}), nil
+		return &exec.ArithExpr{Op: op, L: left, R: right}, nil
 	}
 }

@@ -84,28 +84,9 @@ func (c *Compiler) compileExpr(e Expr, sc *scope) (exec.Expr, error) {
 		}
 		switch ex.Op {
 		case "NOT":
-			return exec.FuncExpr(func(row types.Row) (types.Value, error) {
-				v, err := inner.Eval(row)
-				if err != nil {
-					return types.Null, err
-				}
-				return not3(v), nil
-			}), nil
+			return &exec.NotExpr{E: inner}, nil
 		case "-":
-			return exec.FuncExpr(func(row types.Row) (types.Value, error) {
-				v, err := inner.Eval(row)
-				if err != nil || v.IsNull() {
-					return types.Null, err
-				}
-				if v.Kind() == types.KindInt {
-					return types.NewInt(-v.Int()), nil
-				}
-				f, ok := v.AsFloat()
-				if !ok {
-					return types.Null, fmt.Errorf("sql: cannot negate %v", v)
-				}
-				return types.NewFloat(-f), nil
-			}), nil
+			return &exec.NegExpr{E: inner}, nil
 		}
 		return nil, fmt.Errorf("sql: unsupported unary operator %q", ex.Op)
 
@@ -314,51 +295,12 @@ func (c *Compiler) compileBinary(ex *BinaryOp, sc *scope) (exec.Expr, error) {
 	op := ex.Op
 	switch op {
 	case "AND":
-		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
-			a, err := left.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			if !a.IsNull() && !a.Bool() {
-				return types.NewBool(false), nil
-			}
-			b, err := right.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			return and3(a, b), nil
-		}), nil
+		return &exec.AndExpr{L: left, R: right}, nil
 	case "OR":
-		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
-			a, err := left.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			if !a.IsNull() && a.Bool() {
-				return types.NewBool(true), nil
-			}
-			b, err := right.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			return or3(a, b), nil
-		}), nil
+		return &exec.OrExpr{L: left, R: right}, nil
 	case "=", "<>", "<", "<=", ">", ">=":
 		cmp, _ := cmpOpFor(op)
-		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
-			a, err := left.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			b, err := right.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			if a.IsNull() || b.IsNull() {
-				return types.Null, nil
-			}
-			return types.NewBool(cmp.Eval(a, b)), nil
-		}), nil
+		return &exec.CmpExpr{Op: cmp, L: left, R: right}, nil
 	case "LIKE":
 		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
 			a, err := left.Eval(row)
@@ -399,85 +341,11 @@ func (c *Compiler) compileBinary(ex *BinaryOp, sc *scope) (exec.Expr, error) {
 			return types.NewString(as + bs), nil
 		}), nil
 	case "+", "-", "*", "/", "%":
-		return exec.FuncExpr(func(row types.Row) (types.Value, error) {
-			a, err := left.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			b, err := right.Eval(row)
-			if err != nil {
-				return types.Null, err
-			}
-			return arith(op, a, b)
-		}), nil
+		// Structured arithmetic nodes vectorize; exec.ArithValue is the
+		// scalar semantics (numeric promotion, date ± int day arithmetic).
+		return &exec.ArithExpr{Op: op, L: left, R: right}, nil
 	}
 	return nil, fmt.Errorf("sql: unsupported binary operator %q", op)
-}
-
-// arith evaluates arithmetic with SQL numeric promotion; date ± int is
-// day arithmetic.
-func arith(op string, a, b types.Value) (types.Value, error) {
-	if a.IsNull() || b.IsNull() {
-		return types.Null, nil
-	}
-	// Date arithmetic.
-	if a.Kind() == types.KindDate && b.Kind() == types.KindInt {
-		switch op {
-		case "+":
-			return types.NewDate(a.Int() + b.Int()), nil
-		case "-":
-			return types.NewDate(a.Int() - b.Int()), nil
-		}
-	}
-	if a.Kind() == types.KindDate && b.Kind() == types.KindDate && op == "-" {
-		return types.NewInt(a.Int() - b.Int()), nil
-	}
-	bothInt := a.Kind() == types.KindInt && b.Kind() == types.KindInt
-	if bothInt {
-		x, y := a.Int(), b.Int()
-		switch op {
-		case "+":
-			return types.NewInt(x + y), nil
-		case "-":
-			return types.NewInt(x - y), nil
-		case "*":
-			return types.NewInt(x * y), nil
-		case "/":
-			if y == 0 {
-				return types.Null, fmt.Errorf("sql: division by zero")
-			}
-			return types.NewInt(x / y), nil
-		case "%":
-			if y == 0 {
-				return types.Null, fmt.Errorf("sql: division by zero")
-			}
-			return types.NewInt(x % y), nil
-		}
-	}
-	x, ok1 := a.AsFloat()
-	y, ok2 := b.AsFloat()
-	if !ok1 || !ok2 {
-		return types.Null, fmt.Errorf("sql: cannot apply %s to %v and %v", op, a, b)
-	}
-	switch op {
-	case "+":
-		return types.NewFloat(x + y), nil
-	case "-":
-		return types.NewFloat(x - y), nil
-	case "*":
-		return types.NewFloat(x * y), nil
-	case "/":
-		if y == 0 {
-			return types.Null, fmt.Errorf("sql: division by zero")
-		}
-		return types.NewFloat(x / y), nil
-	case "%":
-		if y == 0 {
-			return types.Null, fmt.Errorf("sql: division by zero")
-		}
-		return types.NewFloat(float64(int64(x) % int64(y))), nil
-	}
-	return types.Null, fmt.Errorf("sql: unsupported arithmetic %q", op)
 }
 
 func (c *Compiler) compileScalarCall(ex *FuncCall, sc *scope) (exec.Expr, error) {

@@ -1,0 +1,208 @@
+// Package vec defines the columnar vector batch exchanged by the
+// vectorized executor: typed column vectors (int64/float64/string plus a
+// boxed escape hatch) with null bitmaps, grouped into batches that carry
+// a selection vector. Operators filter by shrinking the selection vector
+// instead of copying rows, and expression kernels run over a whole batch
+// in one tight typed loop (the block-at-a-time model of BLU's strides,
+// §II.B.7, and the MonetDB/X100 lineage).
+package vec
+
+import (
+	"dashdb/internal/bitpack"
+	"dashdb/internal/types"
+)
+
+// Vector is one column's values for a batch. Exactly one payload slice is
+// non-nil, chosen by Kind:
+//
+//	KindInt/KindBool/KindDate/KindTimestamp → I64 (bool as 0/1, date as
+//	  days, timestamp as µs — the same payloads types.Value uses)
+//	KindFloat  → F64
+//	KindString → Str
+//	KindNull   → Any (boxed values; used for untyped or mixed columns)
+//
+// Nulls is allocated lazily on the first NULL; a nil bitmap means no
+// NULLs have been set. A Const vector holds a single value at payload
+// index 0 broadcast to every row (literal operands).
+type Vector struct {
+	Kind  types.Kind
+	Const bool
+	I64   []int64
+	F64   []float64
+	Str   []string
+	Any   []types.Value
+	Nulls *bitpack.Bitmap
+}
+
+// New allocates a dense vector of n values of the given kind, all
+// initially zero / non-NULL. KindNull yields a boxed Any vector.
+func New(kind types.Kind, n int) *Vector {
+	v := &Vector{Kind: kind}
+	switch kind {
+	case types.KindInt, types.KindBool, types.KindDate, types.KindTimestamp:
+		v.I64 = make([]int64, n)
+	case types.KindFloat:
+		v.F64 = make([]float64, n)
+	case types.KindString:
+		v.Str = make([]string, n)
+	default:
+		v.Any = make([]types.Value, n)
+	}
+	return v
+}
+
+// NewConst returns a broadcast vector holding one value for every row.
+func NewConst(val types.Value) *Vector {
+	v := New(val.Kind(), 1)
+	v.Const = true
+	v.Set(0, val)
+	return v
+}
+
+// Len returns the payload length (1 for Const vectors).
+func (v *Vector) Len() int {
+	switch {
+	case v.I64 != nil:
+		return len(v.I64)
+	case v.F64 != nil:
+		return len(v.F64)
+	case v.Str != nil:
+		return len(v.Str)
+	default:
+		return len(v.Any)
+	}
+}
+
+// Ix maps a batch position to a payload index (0 for Const vectors).
+func (v *Vector) Ix(i int) int {
+	if v.Const {
+		return 0
+	}
+	return i
+}
+
+// IsNull reports whether the value at batch position i is NULL.
+func (v *Vector) IsNull(i int) bool {
+	i = v.Ix(i)
+	if v.Nulls != nil && v.Nulls.Get(i) {
+		return true
+	}
+	if v.Any != nil {
+		return v.Any[i].IsNull()
+	}
+	return false
+}
+
+// SetNull marks payload position i NULL. Callers writing through SetNull
+// and Set address payload positions directly; Const vectors are read-only
+// after construction.
+func (v *Vector) SetNull(i int) {
+	if v.Nulls == nil {
+		v.Nulls = bitpack.NewBitmap(v.Len())
+	}
+	v.Nulls.Set(i)
+	if v.Any != nil {
+		v.Any[i] = types.Null
+	}
+}
+
+// Set stores val at payload position i, converting to the vector's
+// payload representation. NULL values set the null bit.
+func (v *Vector) Set(i int, val types.Value) {
+	if val.IsNull() {
+		v.SetNull(i)
+		return
+	}
+	switch {
+	case v.I64 != nil:
+		x, _ := val.AsInt()
+		v.I64[i] = x
+	case v.F64 != nil:
+		f, _ := val.AsFloat()
+		v.F64[i] = f
+	case v.Str != nil:
+		v.Str[i] = val.Str()
+	default:
+		v.Any[i] = val
+	}
+}
+
+// Get boxes the value at batch position i back into a types.Value.
+func (v *Vector) Get(i int) types.Value {
+	i = v.Ix(i)
+	if v.Any != nil {
+		return v.Any[i]
+	}
+	if v.Nulls != nil && v.Nulls.Get(i) {
+		return types.NullOf(v.Kind)
+	}
+	switch v.Kind {
+	case types.KindBool:
+		return types.NewBool(v.I64[i] != 0)
+	case types.KindInt:
+		return types.NewInt(v.I64[i])
+	case types.KindFloat:
+		return types.NewFloat(v.F64[i])
+	case types.KindString:
+		return types.NewString(v.Str[i])
+	case types.KindDate:
+		return types.NewDate(v.I64[i])
+	case types.KindTimestamp:
+		return types.NewTimestamp(v.I64[i])
+	}
+	return types.Null
+}
+
+// Batch is the vectorized executor's unit of exchange: N aligned column
+// vectors plus a selection vector. Sel == nil means every position 0..N-1
+// is live; otherwise Sel lists the live positions in ascending order.
+// Filters narrow Sel; the column payloads are never compacted, so a batch
+// flows through a pipeline without copying.
+type Batch struct {
+	Schema types.Schema
+	Cols   []*Vector
+	N      int
+	Sel    []int
+
+	dense []int // cached 0..N-1 for Idx when Sel is nil
+}
+
+// Rows returns the number of live positions.
+func (b *Batch) Rows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}
+
+// Idx returns the live positions as a slice: Sel when set, else a cached
+// dense [0..N) index. Kernels range over it in a tight loop.
+func (b *Batch) Idx() []int {
+	if b.Sel != nil {
+		return b.Sel
+	}
+	if len(b.dense) != b.N {
+		b.dense = make([]int, b.N)
+		for i := range b.dense {
+			b.dense[i] = i
+		}
+	}
+	return b.dense
+}
+
+// WithSel returns a shallow copy of the batch restricted to sel. The
+// column vectors are shared; only the selection changes.
+func (b *Batch) WithSel(sel []int) *Batch {
+	nb := *b
+	nb.Sel = sel
+	return &nb
+}
+
+// Row materializes a fresh row for batch position i.
+func (b *Batch) Row(i int) types.Row {
+	row := make(types.Row, len(b.Cols))
+	for j, cv := range b.Cols {
+		row[j] = cv.Get(i)
+	}
+	return row
+}
