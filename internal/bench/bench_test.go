@@ -9,6 +9,7 @@ import (
 	"dashdb/internal/columnar"
 	"dashdb/internal/encoding"
 	"dashdb/internal/exec"
+	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
 )
 
@@ -161,6 +162,42 @@ func BenchmarkParallelGroupBy(b *testing.B) {
 				}
 				if err := drainOp(op); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInstrumentedScan is BenchmarkParallelScan with telemetry
+// attached: per-worker sharded stride/row counters. Compare sub-benchmark
+// to sub-benchmark against BenchmarkParallelScan; the acceptance budget
+// for the delta is 5%.
+func BenchmarkInstrumentedScan(b *testing.B) {
+	tbl, err := parallelBenchTable(200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	preds := []columnar.Pred{{Col: 2, Op: encoding.OpGE, Val: types.NewFloat(64)}}
+	for _, dop := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ss := telemetry.NewScanStats(dop)
+				if dop == 1 {
+					n := 0
+					if err := tbl.ScanWithStats(preds, ss, func(bt *columnar.Batch) bool { n += bt.Len(); return true }); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					var n atomic.Int64
+					if err := tbl.ParallelScanWithStats(preds, dop, ss, func(_ int, bt *columnar.Batch) bool {
+						n.Add(int64(bt.Len()))
+						return true
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if ss.RowsScanned() == 0 {
+					b.Fatal("instrumented scan recorded no rows")
 				}
 			}
 		})

@@ -253,3 +253,41 @@ func BenchmarkPoolGetHit(b *testing.B) {
 		pool.Get(pid(i%64), ld)
 	}
 }
+
+// TestConcurrentStats hammers one pool from many goroutines and checks the
+// counters add up exactly: every Get is either a hit or a miss, and under
+// -race this validates the stat accounting against concurrent eviction.
+func TestConcurrentStats(t *testing.T) {
+	one := makePage(pid(0), 512).MemSize()
+	pool := New(8*one, NewLRU()) // small enough to force eviction churn
+	ld := loaderFor(t, 512)
+	const goroutines, gets = 8, 500
+	done := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < gets; i++ {
+				if _, err := pool.Get(pid((g*7+i)%32), ld); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	s := pool.Stats()
+	if s.Hits+s.Misses != goroutines*gets {
+		t.Fatalf("hits %d + misses %d != %d gets", s.Hits, s.Misses, goroutines*gets)
+	}
+	if s.Misses < 32 {
+		t.Fatalf("misses %d, want at least one per distinct page", s.Misses)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("expected eviction churn with 8-page budget over 32 pages")
+	}
+	if pool.UsedBytes() > pool.Capacity() {
+		t.Fatalf("used %d over capacity %d", pool.UsedBytes(), pool.Capacity())
+	}
+}

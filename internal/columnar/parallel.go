@@ -7,6 +7,7 @@ import (
 
 	"dashdb/internal/encoding"
 	"dashdb/internal/synopsis"
+	"dashdb/internal/telemetry"
 )
 
 // encPredicates is a predicate list translated to code space.
@@ -35,6 +36,15 @@ type encPredicates []encoding.Predicate
 // Storage failures in any worker (including lazy materialization inside
 // fn) abort the scan and are returned as an error.
 func (t *Table) ParallelScan(preds []Pred, dop int, fn func(worker int, b *Batch) bool) error {
+	return t.ParallelScanWithStats(preds, dop, nil, fn)
+}
+
+// ParallelScanWithStats is ParallelScan with a per-query telemetry sink:
+// each worker records stride visits, synopsis skips and delivered rows into
+// its own ScanShard of ss with plain (non-atomic) increments — the scan's
+// WaitGroup provides the happens-before edge before anyone reads the sums.
+// ss may be nil, which makes this identical to ParallelScan.
+func (t *Table) ParallelScanWithStats(preds []Pred, dop int, ss *telemetry.ScanStats, fn func(worker int, b *Batch) bool) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.rows == 0 {
@@ -65,7 +75,7 @@ func (t *Table) ParallelScan(preds []Pred, dop int, fn func(worker int, b *Batch
 		var err error
 		func() {
 			defer recoverScanPanic(&err)
-			err = t.scanLocked(preds, func(b *Batch) bool { return fn(0, b) })
+			err = t.scanLocked(preds, ss.Shard(0), func(b *Batch) bool { return fn(0, b) })
 		}()
 		return err
 	}
@@ -92,6 +102,7 @@ func (t *Table) ParallelScan(preds []Pred, dop int, fn func(worker int, b *Batch
 					fail(fmt.Errorf("columnar: scan aborted: %v", r))
 				}
 			}()
+			sh := ss.Shard(worker)
 			for !stop.Load() {
 				m := int(next.Add(1)) - 1
 				if m >= morsels {
@@ -100,24 +111,33 @@ func (t *Table) ParallelScan(preds []Pred, dop int, fn func(worker int, b *Batch
 				if m == sealed {
 					// The open-stride morsel.
 					t.stats.stridesVisited.Add(1)
+					sh.Visit()
 					b := t.evalOpenStride(preds)
-					if b.Len() > 0 && !fn(worker, b) {
-						stop.Store(true)
+					if b.Len() > 0 {
+						sh.Rows(b.Len())
+						if !fn(worker, b) {
+							stop.Store(true)
+						}
 					}
 					continue
 				}
 				if t.skipStride(m, preds, trans) {
 					t.stats.stridesSkipped.Add(1)
+					sh.Skip()
 					continue
 				}
 				t.stats.stridesVisited.Add(1)
+				sh.Visit()
 				b, err := t.evalSealedStride(m, preds, trans)
 				if err != nil {
 					fail(err)
 					return
 				}
-				if b.Len() > 0 && !fn(worker, b) {
-					stop.Store(true)
+				if b.Len() > 0 {
+					sh.Rows(b.Len())
+					if !fn(worker, b) {
+						stop.Store(true)
+					}
 				}
 			}
 		}(w)

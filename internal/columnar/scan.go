@@ -6,6 +6,7 @@ import (
 	"dashdb/internal/bitpack"
 	"dashdb/internal/encoding"
 	"dashdb/internal/page"
+	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
 )
 
@@ -88,10 +89,18 @@ func (b *Batch) Row(i int) types.Row {
 // the batch. Storage failures during lazy batch materialization are
 // converted into a returned error.
 func (t *Table) Scan(preds []Pred, fn func(b *Batch) bool) (err error) {
+	return t.ScanWithStats(preds, nil, fn)
+}
+
+// ScanWithStats is Scan with a per-query telemetry sink: stride visits,
+// synopsis skips and delivered rows are additionally recorded into ss
+// (shard 0, since the serial scan is one worker). ss may be nil, which
+// makes this identical to Scan.
+func (t *Table) ScanWithStats(preds []Pred, ss *telemetry.ScanStats, fn func(b *Batch) bool) (err error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	defer recoverScanPanic(&err)
-	return t.scanLocked(preds, fn)
+	return t.scanLocked(preds, ss.Shard(0), fn)
 }
 
 // recoverScanPanic converts page-load panics raised inside batch
@@ -102,7 +111,7 @@ func recoverScanPanic(err *error) {
 	}
 }
 
-func (t *Table) scanLocked(preds []Pred, fn func(b *Batch) bool) error {
+func (t *Table) scanLocked(preds []Pred, sh *telemetry.ScanShard, fn func(b *Batch) bool) error {
 	if t.rows == 0 {
 		return nil
 	}
@@ -124,23 +133,32 @@ func (t *Table) scanLocked(preds []Pred, fn func(b *Batch) bool) error {
 		// stride's code span.
 		if t.skipStride(s, preds, translated) {
 			t.stats.stridesSkipped.Add(1)
+			sh.Skip()
 			continue
 		}
 		t.stats.stridesVisited.Add(1)
+		sh.Visit()
 		b, err := t.evalSealedStride(s, preds, translated)
 		if err != nil {
 			return err
 		}
-		if b.Len() > 0 && !fn(b) {
-			return nil
+		if b.Len() > 0 {
+			sh.Rows(b.Len())
+			if !fn(b) {
+				return nil
+			}
 		}
 	}
 	// Open stride: value-space evaluation over the unpacked buffers.
 	if n := t.openLen(); n > 0 {
 		t.stats.stridesVisited.Add(1)
+		sh.Visit()
 		b := t.evalOpenStride(preds)
-		if b.Len() > 0 && !fn(b) {
-			return nil
+		if b.Len() > 0 {
+			sh.Rows(b.Len())
+			if !fn(b) {
+				return nil
+			}
 		}
 	}
 	return nil

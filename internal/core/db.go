@@ -14,6 +14,7 @@ import (
 	"dashdb/internal/catalog"
 	"dashdb/internal/columnar"
 	"dashdb/internal/sql"
+	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
 	"dashdb/internal/wlm"
 )
@@ -37,6 +38,12 @@ type Config struct {
 	// CachePolicy names the buffer pool policy: "PROB" (default), "LRU",
 	// "CLOCK" — the ablation hook for experiment F-E.
 	CachePolicy string
+	// MaxQueuedQueries bounds the WLM admission queue: arrivals beyond the
+	// bound are rejected instead of queued. 0 = unbounded queue.
+	MaxQueuedQueries int
+	// QueryHistorySize bounds the MON_QUERY_HISTORY ring. 0 selects the
+	// telemetry default (256).
+	QueryHistorySize int
 }
 
 // Procedure is a stored procedure callable via SQL CALL (the Spark
@@ -50,6 +57,7 @@ type DB struct {
 	store columnar.PageStore
 	cfg   Config
 	wlm   *wlm.Manager
+	reg   *telemetry.Registry
 
 	mu    sync.RWMutex
 	procs map[string]Procedure
@@ -77,14 +85,22 @@ func Open(cfg Config) *DB {
 	if store == nil {
 		store = columnar.NewMemStore()
 	}
+	histSize := cfg.QueryHistorySize
+	if histSize <= 0 {
+		histSize = telemetry.DefaultHistorySize
+	}
 	db := &DB{
 		cat:   catalog.New(),
 		pool:  bufferpool.New(cfg.BufferPoolBytes, policy),
 		store: store,
 		cfg:   cfg,
 		wlm:   wlm.New(cfg.MaxConcurrentQueries),
+		reg:   telemetry.NewRegistry(histSize),
 		procs: make(map[string]Procedure),
 		udx:   sql.NewFuncRegistry(),
+	}
+	if cfg.MaxQueuedQueries > 0 {
+		db.wlm.SetMaxQueued(cfg.MaxQueuedQueries)
 	}
 	db.registerSystemViews()
 	return db
@@ -101,6 +117,10 @@ func (db *DB) Config() Config { return db.cfg }
 
 // WLM exposes the workload manager.
 func (db *DB) WLM() *wlm.Manager { return db.wlm }
+
+// Telemetry exposes the engine's query-history registry (MPP stat merging
+// and monitoring tools).
+func (db *DB) Telemetry() *telemetry.Registry { return db.reg }
 
 // RegisterFunction installs a user-defined scalar function (UDX,
 // §II.C.4), immediately callable from SQL in every session and dialect.
@@ -194,6 +214,10 @@ type Result struct {
 	Rows         []types.Row
 	RowsAffected int64
 	Message      string
+	// Stats carries the query's telemetry record when the statement was an
+	// instrumented query (SELECT or EXPLAIN ANALYZE). The MPP coordinator
+	// merges these across shards.
+	Stats *telemetry.QueryRecord
 }
 
 // Exec parses and executes one statement.

@@ -4,19 +4,24 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"dashdb/internal/columnar"
 	"dashdb/internal/exec"
 	"dashdb/internal/sql"
+	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
 )
 
 func (s *Session) execStmt(st sql.Statement, text string) (*Result, error) {
-	release := s.db.wlm.Admit()
+	release, err := s.db.wlm.Admit()
+	if err != nil {
+		return nil, err
+	}
 	defer release()
 	switch stmt := st.(type) {
 	case *sql.SelectStmt:
-		return s.executeSelect(stmt)
+		return s.executeSelect(stmt, text)
 	case *sql.InsertStmt:
 		return s.executeInsert(stmt)
 	case *sql.UpdateStmt:
@@ -56,7 +61,7 @@ func (s *Session) execStmt(st sql.Statement, text string) (*Result, error) {
 	case *sql.SetStmt:
 		return s.executeSet(stmt)
 	case *sql.ExplainStmt:
-		return s.executeExplain(stmt)
+		return s.executeExplain(stmt, text)
 	case *sql.ValuesStmt:
 		return s.executeValues(stmt)
 	case *sql.CallStmt:
@@ -78,16 +83,70 @@ func (s *Session) execStmt(st sql.Statement, text string) (*Result, error) {
 	return nil, fmt.Errorf("core: unsupported statement %T", st)
 }
 
-func (s *Session) executeSelect(stmt *sql.SelectStmt) (*Result, error) {
+func (s *Session) executeSelect(stmt *sql.SelectStmt, text string) (*Result, error) {
 	op, err := s.compiler().CompileSelect(stmt)
 	if err != nil {
+		s.recordQueryError(text, err)
 		return nil, err
 	}
+	// Weave telemetry through the compiled (post-Vectorize) tree: every
+	// known operator gets atomic row/batch/time counters and scans get
+	// per-worker sharded stride counters.
+	op = exec.Instrument(op)
+	start := time.Now()
 	rows, err := exec.Drain(op)
+	elapsed := time.Since(start)
+	rec := s.recordQueryPlan(text, op, start, elapsed, int64(len(rows)), err, false)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Columns: op.Schema().Names(), Rows: rows}, nil
+	return &Result{Columns: op.Schema().Names(), Rows: rows, Stats: rec}, nil
+}
+
+// recordQueryPlan freezes the instrumented plan into a
+// telemetry.QueryRecord, appends it to the engine's history ring, and
+// returns it. Slow queries (elapsed >= the registry threshold) carry the
+// full EXPLAIN ANALYZE plan text; forcePlan renders it unconditionally
+// (the EXPLAIN ANALYZE statement itself).
+func (s *Session) recordQueryPlan(text string, op exec.Operator, start time.Time, elapsed time.Duration, rows int64, execErr error, forcePlan bool) *telemetry.QueryRecord {
+	reg := s.db.reg
+	entries := collectPlan(op)
+	rec := &telemetry.QueryRecord{
+		ID:      reg.NextID(),
+		SQL:     text,
+		Start:   start,
+		Elapsed: elapsed,
+		Rows:    rows,
+		Dop:     s.Parallelism(),
+		Status:  "ok",
+		Ops:     freezeOps(entries),
+	}
+	if execErr != nil {
+		rec.Status = "error"
+		rec.Err = execErr.Error()
+	}
+	if elapsed >= reg.SlowThreshold() {
+		rec.Slow = true
+	}
+	if rec.Slow || forcePlan {
+		rec.Plan = strings.Join(renderPlan(entries, true), "\n")
+	}
+	reg.Record(*rec)
+	return rec
+}
+
+// recordQueryError appends a history entry for a query that never ran
+// (compile/bind failure): no plan, no counters, just the error.
+func (s *Session) recordQueryError(text string, err error) {
+	reg := s.db.reg
+	reg.Record(telemetry.QueryRecord{
+		ID:     reg.NextID(),
+		SQL:    text,
+		Start:  time.Now(),
+		Dop:    s.Parallelism(),
+		Status: "error",
+		Err:    err.Error(),
+	})
 }
 
 // evalConstExprs evaluates a list of expressions with no input row
@@ -396,6 +455,13 @@ func (s *Session) executeSet(stmt *sql.SetStmt) (*Result, error) {
 		}
 		s.parallelism = n
 		return &Result{Message: fmt.Sprintf("PARALLELISM %d", s.Parallelism())}, nil
+	case "SLOW_QUERY_THRESHOLD_MS":
+		ms, err := strconv.Atoi(strings.TrimSpace(stmt.Value))
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("core: SET %s expects a non-negative integer, got %q", name, stmt.Value)
+		}
+		s.db.reg.SetSlowThreshold(time.Duration(ms) * time.Millisecond)
+		return &Result{Message: fmt.Sprintf("SLOW_QUERY_THRESHOLD_MS %d", ms)}, nil
 	}
 	// Other session variables are accepted and ignored (config surface).
 	return &Result{Message: "OK"}, nil

@@ -3,16 +3,21 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"dashdb/internal/columnar"
 	"dashdb/internal/exec"
 	"dashdb/internal/sql"
+	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
 )
 
 // executeExplain renders the physical plan of the target statement. Only
-// queries have plans; other statements report their kind.
-func (s *Session) executeExplain(stmt *sql.ExplainStmt) (*Result, error) {
+// queries have plans; other statements report their kind. EXPLAIN ANALYZE
+// additionally executes the plan and annotates every node with actual row
+// counts, wall time and (for scans) synopsis skip ratios, and records the
+// run in the query history.
+func (s *Session) executeExplain(stmt *sql.ExplainStmt, text string) (*Result, error) {
 	sel, ok := stmt.Target.(*sql.SelectStmt)
 	if !ok {
 		return &Result{
@@ -24,30 +29,125 @@ func (s *Session) executeExplain(stmt *sql.ExplainStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var lines []string
-	describeOp(op, 0, &lines)
+	if !stmt.Analyze {
+		return planResult(renderPlan(collectPlan(op), false), nil), nil
+	}
+	// ANALYZE: instrument, run to completion (rows are discarded; the plan
+	// is the result), then annotate with the observed counters.
+	op = exec.Instrument(op)
+	start := time.Now()
+	rows, execErr := exec.Drain(op)
+	elapsed := time.Since(start)
+	rec := s.recordQueryPlan(text, op, start, elapsed, int64(len(rows)), execErr, true)
+	if execErr != nil {
+		return nil, execErr
+	}
+	lines := strings.Split(rec.Plan, "\n")
+	lines = append(lines, fmt.Sprintf("(total: rows=%d, time=%s)", len(rows), fmtDur(elapsed)))
+	return planResult(lines, rec), nil
+}
+
+// planResult boxes plan lines into a one-column result set.
+func planResult(lines []string, rec *telemetry.QueryRecord) *Result {
 	rows := make([]types.Row, len(lines))
 	for i, l := range lines {
 		rows[i] = types.Row{types.NewString(l)}
 	}
-	return &Result{Columns: []string{"PLAN"}, Rows: rows}, nil
+	return &Result{Columns: []string{"PLAN"}, Rows: rows, Stats: rec}
 }
 
-// describeOp walks the operator tree producing indented plan lines.
-// Vectorized segments (reached through a RowAdapter) are tagged
-// [vectorized]; row-at-a-time operators that could in principle vectorize
-// are tagged [row] so fallbacks (UDFs, MEDIAN, funcs) stay visible.
-func describeOp(op exec.Operator, depth int, out *[]string) {
-	pad := strings.Repeat("  ", depth)
+// planEntry is one line of a physical plan: the rendered text plus the
+// live telemetry counters attached to that operator (nil when the tree was
+// not instrumented).
+type planEntry struct {
+	depth int
+	text  string
+	stats *telemetry.OpStats
+	scan  *telemetry.ScanStats
+}
+
+// collectPlan flattens an operator tree (instrumented or not) into plan
+// entries, unwrapping StatsOp/VecStatsOp decorators transparently.
+func collectPlan(op exec.Operator) []planEntry {
+	var out []planEntry
+	collectOp(op, 0, nil, &out)
+	return out
+}
+
+// renderPlan turns entries into display lines. In analyze mode every
+// instrumented node gets an (actual rows=..) annotation and scan-backed
+// nodes report stride visit/skip counts with the synopsis skip ratio.
+func renderPlan(entries []planEntry, analyze bool) []string {
+	lines := make([]string, len(entries))
+	for i, e := range entries {
+		line := strings.Repeat("  ", e.depth) + e.text
+		if analyze {
+			if e.stats != nil {
+				line += fmt.Sprintf(" (actual rows=%d batches=%d time=%s)",
+					e.stats.Rows(), e.stats.Batches(), fmtDur(e.stats.Wall()))
+			} else if e.scan != nil {
+				line += fmt.Sprintf(" (actual rows=%d)", e.scan.RowsScanned())
+			}
+			if e.scan != nil {
+				line += fmt.Sprintf(" [strides: %d visited, %d skipped, skip=%.1f%%]",
+					e.scan.StridesVisited(), e.scan.StridesSkipped(), e.scan.SkipRatio()*100)
+			}
+		}
+		lines[i] = line
+	}
+	return lines
+}
+
+// fmtDur renders durations for plan annotations (microsecond granularity
+// keeps the lines short; tests normalize the value away).
+func fmtDur(d time.Duration) string { return d.Round(time.Microsecond).String() }
+
+// freezeOps snapshots live plan entries into immutable history records.
+func freezeOps(entries []planEntry) []telemetry.OpRecord {
+	out := make([]telemetry.OpRecord, len(entries))
+	for i, e := range entries {
+		r := telemetry.OpRecord{
+			Seq:     i,
+			Depth:   e.depth,
+			Name:    e.text,
+			Rows:    e.stats.Rows(),
+			Batches: e.stats.Batches(),
+			Wall:    e.stats.Wall(),
+		}
+		if e.scan != nil {
+			r.HasScan = true
+			r.StridesVisited = e.scan.StridesVisited()
+			r.StridesSkipped = e.scan.StridesSkipped()
+			if r.Rows == 0 {
+				r.Rows = e.scan.RowsScanned()
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// collectOp walks the row-operator tree producing plan entries. Vectorized
+// segments (reached through a RowAdapter) are tagged [vectorized];
+// row-at-a-time operators that could in principle vectorize are tagged
+// [row] so fallbacks (UDFs, MEDIAN, funcs) stay visible. st carries the
+// counters of the StatsOp decorator the walk just unwrapped, and lands on
+// the entry of the operator it decorates.
+func collectOp(op exec.Operator, depth int, st *telemetry.OpStats, out *[]planEntry) {
+	add := func(text string, scan *telemetry.ScanStats) {
+		*out = append(*out, planEntry{depth: depth, text: text, stats: st, scan: scan})
+	}
 	switch o := op.(type) {
+	case *exec.StatsOp:
+		collectOp(o.Child, depth, &o.S, out)
 	case *exec.RowAdapter:
-		describeVecOp(o.Inner, depth, out)
+		collectVec(o.Inner, depth, st, out)
 	case *exec.ScanOp:
 		kind := "COLUMNAR SCAN"
 		if o.Dop > 1 {
 			kind = "PARALLEL COLUMNAR SCAN"
 		}
-		desc := fmt.Sprintf("%s%s %s", pad, kind, o.Table.Name())
+		desc := fmt.Sprintf("%s %s", kind, o.Table.Name())
 		if o.Dop > 1 {
 			desc += fmt.Sprintf(" [dop=%d]", o.Dop)
 		}
@@ -55,70 +155,74 @@ func describeOp(op exec.Operator, depth int, out *[]string) {
 		if len(o.Preds) > 0 {
 			desc += " [pushdown: " + predString(o.Table, o.Preds) + "]"
 		}
-		*out = append(*out, desc)
+		add(desc, o.ScanStats)
 	case *exec.RowScanOp:
-		*out = append(*out, fmt.Sprintf("%sROW SCAN %s", pad, o.Table.Name()))
+		add(fmt.Sprintf("ROW SCAN %s", o.Table.Name()), nil)
 	case *exec.FilterOp:
-		*out = append(*out, pad+"FILTER [row]")
-		describeOp(o.Child, depth+1, out)
+		add("FILTER [row]", nil)
+		collectOp(o.Child, depth+1, nil, out)
 	case *exec.ProjectOp:
-		*out = append(*out, fmt.Sprintf("%sPROJECT %s [row]", pad, strings.Join(o.Out.Names(), ", ")))
-		describeOp(o.Child, depth+1, out)
+		add(fmt.Sprintf("PROJECT %s [row]", strings.Join(o.Out.Names(), ", ")), nil)
+		collectOp(o.Child, depth+1, nil, out)
 	case *exec.HashJoinOp:
-		*out = append(*out, fmt.Sprintf("%sHASH JOIN (%s)", pad, joinName(o.Type)))
-		describeOp(o.Left, depth+1, out)
-		describeOp(o.Right, depth+1, out)
+		add(fmt.Sprintf("HASH JOIN (%s)", joinName(o.Type)), nil)
+		collectOp(o.Left, depth+1, nil, out)
+		collectOp(o.Right, depth+1, nil, out)
 	case *exec.NestedLoopJoinOp:
-		*out = append(*out, fmt.Sprintf("%sNESTED LOOP JOIN (%s)", pad, joinName(o.Type)))
-		describeOp(o.Left, depth+1, out)
-		describeOp(o.Right, depth+1, out)
+		add(fmt.Sprintf("NESTED LOOP JOIN (%s)", joinName(o.Type)), nil)
+		collectOp(o.Left, depth+1, nil, out)
+		collectOp(o.Right, depth+1, nil, out)
 	case *exec.GroupByOp:
 		tag := " [row]"
 		if o.VecIngest() {
 			tag = " [vectorized]"
 		}
-		*out = append(*out, fmt.Sprintf("%sGROUP BY [%d keys, %d aggregates]%s", pad, len(o.GroupBy), len(o.Aggs), tag))
-		describeOp(o.Child, depth+1, out)
+		add(fmt.Sprintf("GROUP BY [%d keys, %d aggregates]%s", len(o.GroupBy), len(o.Aggs), tag), nil)
+		collectOp(o.Child, depth+1, nil, out)
 	case *exec.ParallelGroupByOp:
-		*out = append(*out, fmt.Sprintf("%sPARALLEL GROUP BY [dop=%d, %d keys, %d aggregates]", pad, o.Dop, len(o.GroupBy), len(o.Aggs)))
-		scan := fmt.Sprintf("%s  PARALLEL COLUMNAR SCAN %s [dop=%d]", pad, o.Table.Name(), o.Dop)
+		add(fmt.Sprintf("PARALLEL GROUP BY [dop=%d, %d keys, %d aggregates]", o.Dop, len(o.GroupBy), len(o.Aggs)), nil)
+		scan := fmt.Sprintf("PARALLEL COLUMNAR SCAN %s [dop=%d]", o.Table.Name(), o.Dop)
 		if len(o.Preds) > 0 {
 			scan += " [pushdown: " + predString(o.Table, o.Preds) + "]"
 		}
-		*out = append(*out, scan)
+		*out = append(*out, planEntry{depth: depth + 1, text: scan, scan: o.ScanStats})
 	case *exec.SortOp:
-		*out = append(*out, fmt.Sprintf("%sSORT [%d keys] [row]", pad, len(o.Keys)))
-		describeOp(o.Child, depth+1, out)
+		add(fmt.Sprintf("SORT [%d keys] [row]", len(o.Keys)), nil)
+		collectOp(o.Child, depth+1, nil, out)
 	case *exec.LimitOp:
-		*out = append(*out, fmt.Sprintf("%sLIMIT %d OFFSET %d [row]", pad, o.Limit, o.Offset))
-		describeOp(o.Child, depth+1, out)
+		add(fmt.Sprintf("LIMIT %d OFFSET %d [row]", o.Limit, o.Offset), nil)
+		collectOp(o.Child, depth+1, nil, out)
 	case *exec.DistinctOp:
-		*out = append(*out, pad+"DISTINCT [row]")
-		describeOp(o.Child, depth+1, out)
+		add("DISTINCT [row]", nil)
+		collectOp(o.Child, depth+1, nil, out)
 	case *exec.UnionAllOp:
-		*out = append(*out, pad+"UNION ALL")
+		add("UNION ALL", nil)
 		for _, c := range o.Children {
-			describeOp(c, depth+1, out)
+			collectOp(c, depth+1, nil, out)
 		}
 	case *exec.ValuesOp:
-		*out = append(*out, fmt.Sprintf("%sVALUES [%d rows]", pad, len(o.Data)))
+		add(fmt.Sprintf("VALUES [%d rows]", len(o.Data)), nil)
 	default:
-		*out = append(*out, fmt.Sprintf("%s%T", pad, op))
+		add(fmt.Sprintf("%T", op), nil)
 	}
 }
 
-// describeVecOp renders the vectorized segment of a plan. Every node gets a
+// collectVec walks the vectorized segment of a plan. Every node gets a
 // [vectorized] tag; the scan line keeps the same shape as the row scan so
 // plan-reading tools (and tests) match on "COLUMNAR SCAN <name>".
-func describeVecOp(op exec.VecOperator, depth int, out *[]string) {
-	pad := strings.Repeat("  ", depth)
+func collectVec(op exec.VecOperator, depth int, st *telemetry.OpStats, out *[]planEntry) {
+	add := func(text string, scan *telemetry.ScanStats) {
+		*out = append(*out, planEntry{depth: depth, text: text, stats: st, scan: scan})
+	}
 	switch o := op.(type) {
+	case *exec.VecStatsOp:
+		collectVec(o.Child, depth, &o.S, out)
 	case *exec.VecScanOp:
 		kind := "COLUMNAR SCAN"
 		if o.Dop > 1 {
 			kind = "PARALLEL COLUMNAR SCAN"
 		}
-		desc := fmt.Sprintf("%s%s %s", pad, kind, o.Table.Name())
+		desc := fmt.Sprintf("%s %s", kind, o.Table.Name())
 		if o.Dop > 1 {
 			desc += fmt.Sprintf(" [dop=%d]", o.Dop)
 		}
@@ -126,21 +230,21 @@ func describeVecOp(op exec.VecOperator, depth int, out *[]string) {
 		if len(o.Preds) > 0 {
 			desc += " [pushdown: " + predString(o.Table, o.Preds) + "]"
 		}
-		*out = append(*out, desc)
+		add(desc, o.ScanStats)
 	case *exec.VecFilterOp:
-		*out = append(*out, pad+"FILTER [vectorized]")
-		describeVecOp(o.Child, depth+1, out)
+		add("FILTER [vectorized]", nil)
+		collectVec(o.Child, depth+1, nil, out)
 	case *exec.VecProjectOp:
-		*out = append(*out, fmt.Sprintf("%sPROJECT %s [vectorized]", pad, strings.Join(o.Out.Names(), ", ")))
-		describeVecOp(o.Child, depth+1, out)
+		add(fmt.Sprintf("PROJECT %s [vectorized]", strings.Join(o.Out.Names(), ", ")), nil)
+		collectVec(o.Child, depth+1, nil, out)
 	case *exec.VecLimitOp:
-		*out = append(*out, fmt.Sprintf("%sLIMIT %d OFFSET %d [vectorized]", pad, o.Limit, o.Offset))
-		describeVecOp(o.Child, depth+1, out)
+		add(fmt.Sprintf("LIMIT %d OFFSET %d [vectorized]", o.Limit, o.Offset), nil)
+		collectVec(o.Child, depth+1, nil, out)
 	case *exec.RowsToVecOp:
 		// Row source boxed into vectors: describe the row subtree directly.
-		describeOp(o.Child, depth, out)
+		collectOp(o.Child, depth, st, out)
 	default:
-		*out = append(*out, fmt.Sprintf("%s%T [vectorized]", pad, op))
+		add(fmt.Sprintf("%T [vectorized]", op), nil)
 	}
 }
 

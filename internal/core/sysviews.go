@@ -12,6 +12,14 @@ import (
 //	SELECT * FROM SYSCAT_TABLES
 //	SELECT * FROM SYSCAT_CONFIG
 //	SELECT * FROM SYSCAT_BUFFERPOOL
+//
+// The MON_* family exposes the telemetry subsystem the same way, modeled
+// on DB2's MON_GET_* table functions:
+//
+//	SELECT * FROM MON_QUERY_HISTORY
+//	SELECT * FROM MON_OPERATOR_STATS
+//	SELECT * FROM MON_BUFFERPOOL
+//	SELECT * FROM MON_WLM
 
 // syscatTables lists base tables with row counts and storage.
 type syscatTables struct{ db *DB }
@@ -62,6 +70,7 @@ func (s *syscatConfig) Schema() types.Schema {
 func (s *syscatConfig) ScanAll() ([]types.Row, error) {
 	cfg := s.db.cfg
 	wlmStats := s.db.wlm.Stats()
+	tot := s.db.reg.Totals()
 	entries := []struct {
 		name string
 		val  int64
@@ -71,7 +80,11 @@ func (s *syscatConfig) ScanAll() ([]types.Row, error) {
 		{"max_concurrent_queries", int64(cfg.MaxConcurrentQueries)},
 		{"wlm_admitted", int64(wlmStats.Admitted)},
 		{"wlm_queued", int64(wlmStats.Queued)},
+		{"wlm_rejected", int64(wlmStats.Rejected)},
 		{"wlm_peak_concurrency", wlmStats.Peak},
+		{"queries_executed", int64(tot.Queries)},
+		{"queries_failed", int64(tot.Failed)},
+		{"slow_queries", int64(tot.Slow)},
 	}
 	out := make([]types.Row, len(entries))
 	for i, e := range entries {
@@ -99,9 +112,162 @@ func (s *syscatBufferPool) ScanAll() ([]types.Row, error) {
 		{types.NewString("misses"), types.NewFloat(float64(st.Misses))},
 		{types.NewString("evictions"), types.NewFloat(float64(st.Evictions))},
 		{types.NewString("hit_ratio"), types.NewFloat(st.HitRatio())},
+		{types.NewString("bytes_in"), types.NewFloat(float64(st.BytesIn))},
+		{types.NewString("pages_cached"), types.NewFloat(float64(s.db.pool.Len()))},
 		{types.NewString("used_bytes"), types.NewFloat(float64(s.db.pool.UsedBytes()))},
 		{types.NewString("capacity_bytes"), types.NewFloat(float64(s.db.pool.Capacity()))},
 	}, nil
+}
+
+// monQueryHistory exposes the bounded query-history ring: one row per
+// completed query, newest last. Slow queries carry their full EXPLAIN
+// ANALYZE text in the plan column.
+type monQueryHistory struct{ db *DB }
+
+func (m *monQueryHistory) Origin() string { return "MON" }
+
+func (m *monQueryHistory) Schema() types.Schema {
+	return types.Schema{
+		{Name: "query_id", Kind: types.KindInt},
+		{Name: "sql_text", Kind: types.KindString},
+		{Name: "start_time", Kind: types.KindTimestamp},
+		{Name: "elapsed_ms", Kind: types.KindFloat},
+		{Name: "rows_returned", Kind: types.KindInt},
+		{Name: "dop", Kind: types.KindInt},
+		{Name: "shards", Kind: types.KindInt},
+		{Name: "status", Kind: types.KindString},
+		{Name: "error", Kind: types.KindString},
+		{Name: "slow", Kind: types.KindBool},
+		{Name: "plan", Kind: types.KindString},
+	}
+}
+
+func (m *monQueryHistory) ScanAll() ([]types.Row, error) {
+	hist := m.db.reg.History()
+	out := make([]types.Row, 0, len(hist))
+	for _, q := range hist {
+		out = append(out, types.Row{
+			types.NewInt(int64(q.ID)),
+			types.NewString(q.SQL),
+			types.NewTimestamp(q.Start.UnixMicro()),
+			types.NewFloat(float64(q.Elapsed) / 1e6),
+			types.NewInt(q.Rows),
+			types.NewInt(int64(q.Dop)),
+			types.NewInt(int64(q.Shards)),
+			types.NewString(q.Status),
+			types.NewString(q.Err),
+			types.NewBool(q.Slow),
+			types.NewString(q.Plan),
+		})
+	}
+	return out, nil
+}
+
+// monOperatorStats explodes the history into one row per plan operator:
+// where the rows and the time went, per query.
+type monOperatorStats struct{ db *DB }
+
+func (m *monOperatorStats) Origin() string { return "MON" }
+
+func (m *monOperatorStats) Schema() types.Schema {
+	return types.Schema{
+		{Name: "query_id", Kind: types.KindInt},
+		{Name: "op_seq", Kind: types.KindInt},
+		{Name: "depth", Kind: types.KindInt},
+		{Name: "operator", Kind: types.KindString},
+		{Name: "rows_out", Kind: types.KindInt},
+		{Name: "batches", Kind: types.KindInt},
+		{Name: "elapsed_ms", Kind: types.KindFloat},
+		{Name: "strides_visited", Kind: types.KindInt},
+		{Name: "strides_skipped", Kind: types.KindInt},
+		{Name: "skip_pct", Kind: types.KindFloat},
+	}
+}
+
+func (m *monOperatorStats) ScanAll() ([]types.Row, error) {
+	var out []types.Row
+	for _, q := range m.db.reg.History() {
+		for _, op := range q.Ops {
+			out = append(out, types.Row{
+				types.NewInt(int64(q.ID)),
+				types.NewInt(int64(op.Seq)),
+				types.NewInt(int64(op.Depth)),
+				types.NewString(op.Name),
+				types.NewInt(op.Rows),
+				types.NewInt(op.Batches),
+				types.NewFloat(float64(op.Wall) / 1e6),
+				types.NewInt(op.StridesVisited),
+				types.NewInt(op.StridesSkipped),
+				types.NewFloat(op.SkipRatio() * 100),
+			})
+		}
+	}
+	return out, nil
+}
+
+// monBufferPool is the buffer pool's live counters as a single wide row
+// (the SYSCAT metric/value view remains for compatibility).
+type monBufferPool struct{ db *DB }
+
+func (m *monBufferPool) Origin() string { return "MON" }
+
+func (m *monBufferPool) Schema() types.Schema {
+	return types.Schema{
+		{Name: "hits", Kind: types.KindInt},
+		{Name: "misses", Kind: types.KindInt},
+		{Name: "evictions", Kind: types.KindInt},
+		{Name: "hit_ratio", Kind: types.KindFloat},
+		{Name: "bytes_in", Kind: types.KindInt},
+		{Name: "pages_cached", Kind: types.KindInt},
+		{Name: "used_bytes", Kind: types.KindInt},
+		{Name: "capacity_bytes", Kind: types.KindInt},
+	}
+}
+
+func (m *monBufferPool) ScanAll() ([]types.Row, error) {
+	st := m.db.pool.Stats()
+	return []types.Row{{
+		types.NewInt(int64(st.Hits)),
+		types.NewInt(int64(st.Misses)),
+		types.NewInt(int64(st.Evictions)),
+		types.NewFloat(st.HitRatio()),
+		types.NewInt(int64(st.BytesIn)),
+		types.NewInt(int64(m.db.pool.Len())),
+		types.NewInt(int64(m.db.pool.UsedBytes())),
+		types.NewInt(int64(m.db.pool.Capacity())),
+	}}, nil
+}
+
+// monWLM is the workload manager's admission counters as a single row.
+type monWLM struct{ db *DB }
+
+func (m *monWLM) Origin() string { return "MON" }
+
+func (m *monWLM) Schema() types.Schema {
+	return types.Schema{
+		{Name: "admitted", Kind: types.KindInt},
+		{Name: "queued", Kind: types.KindInt},
+		{Name: "rejected", Kind: types.KindInt},
+		{Name: "active", Kind: types.KindInt},
+		{Name: "waiting", Kind: types.KindInt},
+		{Name: "peak_concurrency", Kind: types.KindInt},
+		{Name: "concurrency_limit", Kind: types.KindInt},
+		{Name: "queue_wait_ms", Kind: types.KindFloat},
+	}
+}
+
+func (m *monWLM) ScanAll() ([]types.Row, error) {
+	st := m.db.wlm.Stats()
+	return []types.Row{{
+		types.NewInt(int64(st.Admitted)),
+		types.NewInt(int64(st.Queued)),
+		types.NewInt(int64(st.Rejected)),
+		types.NewInt(st.Active),
+		types.NewInt(st.Waiting),
+		types.NewInt(st.Peak),
+		types.NewInt(int64(m.db.wlm.Limit())),
+		types.NewFloat(float64(st.QueueWait) / 1e6),
+	}}, nil
 }
 
 // registerSystemViews installs the SYSCAT nicknames; failures are
@@ -110,4 +276,8 @@ func (db *DB) registerSystemViews() {
 	db.cat.CreateNickname("syscat_tables", &syscatTables{db: db})
 	db.cat.CreateNickname("syscat_config", &syscatConfig{db: db})
 	db.cat.CreateNickname("syscat_bufferpool", &syscatBufferPool{db: db})
+	db.cat.CreateNickname("mon_query_history", &monQueryHistory{db: db})
+	db.cat.CreateNickname("mon_operator_stats", &monOperatorStats{db: db})
+	db.cat.CreateNickname("mon_bufferpool", &monBufferPool{db: db})
+	db.cat.CreateNickname("mon_wlm", &monWLM{db: db})
 }

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"dashdb/internal/columnar"
+	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
 )
 
@@ -41,6 +42,10 @@ type ParallelGroupByOp struct {
 	GroupCols  types.Schema
 	Aggs       []AggSpec
 	Dop        int // worker count; <=1 degenerates to a serial scan
+
+	// ScanStats, when set by exec.Instrument, receives per-worker stride
+	// visit/skip and row counters for the fused scan. Nil = uninstrumented.
+	ScanStats *telemetry.ScanStats
 
 	out     types.Schema
 	results []types.Row
@@ -120,7 +125,7 @@ func (g *ParallelGroupByOp) Open() error {
 	}
 
 	// Build phase: dop scan workers, each feeding its own partials.
-	scanErr := g.Table.ParallelScan(g.Preds, dop, func(w int, b *columnar.Batch) bool {
+	scanErr := g.Table.ParallelScanWithStats(g.Preds, dop, g.ScanStats, func(w int, b *columnar.Batch) bool {
 		ws := workers[w]
 		for i := 0; i < b.Len(); i++ {
 			var row types.Row

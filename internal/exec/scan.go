@@ -3,6 +3,7 @@ package exec
 import (
 	"dashdb/internal/columnar"
 	"dashdb/internal/rowstore"
+	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
 )
 
@@ -20,6 +21,10 @@ type ScanOp struct {
 	Preds      []columnar.Pred
 	Projection []int
 	Dop        int // 0/1 = serial, in row-id order
+
+	// ScanStats, when set by exec.Instrument, receives per-worker stride
+	// visit/skip and row counters for this scan. Nil = uninstrumented.
+	ScanStats *telemetry.ScanStats
 
 	out    types.Schema
 	chunks chan *Chunk
@@ -80,11 +85,11 @@ func (s *ScanOp) Open() error {
 		defer close(s.chunks)
 		var err error
 		if s.Dop > 1 {
-			err = s.Table.ParallelScan(s.Preds, s.Dop, func(_ int, b *columnar.Batch) bool {
+			err = s.Table.ParallelScanWithStats(s.Preds, s.Dop, s.ScanStats, func(_ int, b *columnar.Batch) bool {
 				return deliver(b)
 			})
 		} else {
-			err = s.Table.Scan(s.Preds, deliver)
+			err = s.Table.ScanWithStats(s.Preds, s.ScanStats, deliver)
 		}
 		if err != nil {
 			s.errc <- err

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"dashdb/internal/columnar"
+	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
 	"dashdb/internal/vec"
 )
@@ -28,6 +29,10 @@ type VecScanOp struct {
 	Preds      []columnar.Pred
 	Projection []int
 	Dop        int // 0/1 = serial, in row-id order
+
+	// ScanStats, when set by exec.Instrument, receives per-worker stride
+	// visit/skip and row counters for this scan. Nil = uninstrumented.
+	ScanStats *telemetry.ScanStats
 
 	out    types.Schema
 	chunks chan *vec.Batch
@@ -75,11 +80,11 @@ func (s *VecScanOp) Open() error {
 		defer close(s.chunks)
 		var err error
 		if s.Dop > 1 {
-			err = s.Table.ParallelScan(s.Preds, s.Dop, func(_ int, b *columnar.Batch) bool {
+			err = s.Table.ParallelScanWithStats(s.Preds, s.Dop, s.ScanStats, func(_ int, b *columnar.Batch) bool {
 				return deliver(b)
 			})
 		} else {
-			err = s.Table.Scan(s.Preds, deliver)
+			err = s.Table.ScanWithStats(s.Preds, s.ScanStats, deliver)
 		}
 		if err != nil {
 			s.errc <- err

@@ -16,6 +16,7 @@ import (
 
 	"dashdb/internal/clusterfs"
 	"dashdb/internal/core"
+	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
 )
 
@@ -72,6 +73,9 @@ type Cluster struct {
 	assign []int
 	tables map[string]*tableMeta
 	stats  Stats
+	// reg is the cluster-level query history: per-shard telemetry records
+	// merged by the coordinator after scatter/gather.
+	reg *telemetry.Registry
 	// memPerShardFn recomputes per-shard memory after re-association.
 	shardsPerNode int
 }
@@ -100,6 +104,7 @@ func NewCluster(nodes []NodeSpec, shardsPerNode int, fs *clusterfs.FS) (*Cluster
 	c := &Cluster{
 		fs:            fs,
 		tables:        make(map[string]*tableMeta),
+		reg:           telemetry.NewRegistry(telemetry.DefaultHistorySize),
 		shardsPerNode: shardsPerNode,
 	}
 	for _, spec := range nodes {
@@ -180,6 +185,14 @@ func (c *Cluster) Stats() Stats {
 
 // FS exposes the clustered filesystem.
 func (c *Cluster) FS() *clusterfs.FS { return c.fs }
+
+// Telemetry exposes the cluster-level query-history registry: one merged
+// record per distributed query, with per-shard counters summed.
+func (c *Cluster) Telemetry() *telemetry.Registry { return c.reg }
+
+// History returns the cluster's merged query-history records, oldest
+// first.
+func (c *Cluster) History() []telemetry.QueryRecord { return c.reg.History() }
 
 // ShardsOnNode returns the shard IDs currently associated with the node.
 func (c *Cluster) ShardsOnNode(name string) []int {

@@ -9,6 +9,7 @@ import (
 	"dashdb/internal/core"
 	"dashdb/internal/exec"
 	"dashdb/internal/sql"
+	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
 )
 
@@ -16,7 +17,7 @@ import (
 // query runs on every shard in parallel — each shard evaluating
 // predicates over its own compressed data — and the coordinator merges
 // partial results. This is the scatter/gather model of Figure 2.
-func (c *Cluster) runFastPath(sel *sql.SelectStmt, plan *fastPlan, d sql.Dialect) (*core.Result, error) {
+func (c *Cluster) runFastPath(sel *sql.SelectStmt, plan *fastPlan, d sql.Dialect, text string) (*core.Result, error) {
 	shardSel := *sel // shallow copy; fields overridden below
 	if plan.plain {
 		// Each shard may return only its top offset+limit rows, but only
@@ -36,7 +37,12 @@ func (c *Cluster) runFastPath(sel *sql.SelectStmt, plan *fastPlan, d sql.Dialect
 		for _, r := range results {
 			merged.Rows = append(merged.Rows, r.Rows...)
 		}
-		return c.finalizeOrderLimit(merged, sel)
+		final, err := c.finalizeOrderLimit(merged, sel)
+		if err != nil {
+			return nil, err
+		}
+		c.mergeShardStats(final, results, text)
+		return final, nil
 	}
 
 	// Aggregate decomposition: rewrite the select list into partials.
@@ -160,7 +166,35 @@ func (c *Cluster) runFastPath(sel *sql.SelectStmt, plan *fastPlan, d sql.Dialect
 	if err != nil {
 		return nil, err
 	}
-	return c.finalizeOrderLimit(&core.Result{Columns: finalCols, Rows: rows}, sel)
+	final, err := c.finalizeOrderLimit(&core.Result{Columns: finalCols, Rows: rows}, sel)
+	if err != nil {
+		return nil, err
+	}
+	c.mergeShardStats(final, results, text)
+	return final, nil
+}
+
+// mergeShardStats folds the per-shard telemetry records of one scattered
+// query into a single cluster-level record (counters summed, elapsed =
+// slowest shard), appends it to the cluster history, and attaches it to
+// the coordinator result.
+func (c *Cluster) mergeShardStats(res *core.Result, shardResults []*core.Result, text string) {
+	var recs []telemetry.QueryRecord
+	for _, r := range shardResults {
+		if r != nil && r.Stats != nil {
+			recs = append(recs, *r.Stats)
+		}
+	}
+	if len(recs) == 0 {
+		return
+	}
+	merged := telemetry.MergeShardRecords(recs)
+	merged.ID = c.reg.NextID()
+	merged.SQL = text
+	// Shard rows are partials; the user-visible count is the final merge.
+	merged.Rows = int64(len(res.Rows))
+	c.reg.Record(merged)
+	res.Stats = &merged
 }
 
 // scatter runs the statement on every shard in parallel; singleShard

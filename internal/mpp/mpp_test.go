@@ -507,3 +507,46 @@ func TestCheckpointSnapshotRestore(t *testing.T) {
 		t.Fatal("restore without manifest must fail")
 	}
 }
+
+func TestClusterQueryHistoryMergesShardStats(t *testing.T) {
+	c := newTestCluster(t, 10_000)
+	// Fast path: parallel partitioned aggregate scattered to all 24 shards.
+	if _, err := c.Query(`SELECT region, COUNT(*), SUM(amount) FROM sales WHERE id < 5000 GROUP BY region`); err != nil {
+		t.Fatal(err)
+	}
+	// Gather path: MEDIAN has no partial form, rows ship to the coordinator.
+	if _, err := c.Query(`SELECT MEDIAN(amount) FROM sales`); err != nil {
+		t.Fatal(err)
+	}
+	hist := c.History()
+	if len(hist) != 2 {
+		t.Fatalf("history has %d records, want 2", len(hist))
+	}
+	agg := hist[0]
+	if agg.Shards != 24 {
+		t.Fatalf("fast-path record shards=%d, want 24", agg.Shards)
+	}
+	if agg.Status != "ok" || agg.Rows != 4 {
+		t.Fatalf("fast-path record %+v", agg)
+	}
+	var scanRows, visited int64
+	for _, op := range agg.Ops {
+		if op.HasScan {
+			scanRows += op.Rows
+			visited += op.StridesVisited
+		}
+	}
+	if scanRows == 0 || visited == 0 {
+		t.Fatalf("merged record lost scan counters: rows=%d visited=%d", scanRows, visited)
+	}
+	med := hist[1]
+	if med.Shards != 24 || med.Status != "ok" {
+		t.Fatalf("gather-path record %+v", med)
+	}
+	if med.SQL == "" || agg.SQL == "" {
+		t.Fatal("history records must carry the SQL text")
+	}
+	if med.ID == agg.ID {
+		t.Fatal("history records must get distinct cluster-level IDs")
+	}
+}

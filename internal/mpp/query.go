@@ -27,7 +27,7 @@ func (c *Cluster) QueryDialect(text string, d sql.Dialect) (*core.Result, error)
 	}
 	switch stmt := st.(type) {
 	case *sql.SelectStmt:
-		return c.querySelect(stmt, d)
+		return c.querySelect(stmt, d, text)
 	case *sql.InsertStmt:
 		return c.insertStmt(stmt, d)
 	case *sql.CreateTableStmt:
@@ -87,7 +87,7 @@ func (c *Cluster) insertStmt(stmt *sql.InsertStmt, d sql.Dialect) (*core.Result,
 	}
 	if stmt.Query != nil {
 		// INSERT..SELECT: run the query cluster-wide, then route.
-		res, err := c.querySelect(stmt.Query, d)
+		res, err := c.querySelect(stmt.Query, d, "")
 		if err != nil {
 			return nil, err
 		}
@@ -159,9 +159,9 @@ func (c *Cluster) createTableStmt(stmt *sql.CreateTableStmt) (*core.Result, erro
 
 // --- SELECT handling ---------------------------------------------------------
 
-func (c *Cluster) querySelect(sel *sql.SelectStmt, d sql.Dialect) (*core.Result, error) {
+func (c *Cluster) querySelect(sel *sql.SelectStmt, d sql.Dialect, text string) (*core.Result, error) {
 	if plan, ok := c.decompose(sel); ok {
-		res, err := c.runFastPath(sel, plan, d)
+		res, err := c.runFastPath(sel, plan, d, text)
 		if err == nil {
 			c.mu.Lock()
 			c.stats.FastPathQueries++
@@ -173,7 +173,7 @@ func (c *Cluster) querySelect(sel *sql.SelectStmt, d sql.Dialect) (*core.Result,
 	c.mu.Lock()
 	c.stats.GatherPathQueries++
 	c.mu.Unlock()
-	return c.gatherQuery(sel, d)
+	return c.gatherQuery(sel, d, text)
 }
 
 // gatherSource streams a table's rows from every shard to the
@@ -233,9 +233,10 @@ func (g *gatherSource) ScanAll() ([]types.Row, error) {
 // gatherQuery compiles the original query at a coordinator engine whose
 // tables are gather-nicknames over the shards. Always correct; used when
 // the query does not decompose.
-func (c *Cluster) gatherQuery(sel *sql.SelectStmt, d sql.Dialect) (*core.Result, error) {
+func (c *Cluster) gatherQuery(sel *sql.SelectStmt, d sql.Dialect, text string) (*core.Result, error) {
 	coord := core.Open(core.Config{BufferPoolBytes: 4 << 20})
 	c.mu.RLock()
+	nShards := len(c.shards)
 	for name, meta := range c.tables {
 		if err := coord.Catalog().CreateNickname(name, &gatherSource{c: c, table: name, meta: meta}); err != nil {
 			c.mu.RUnlock()
@@ -245,7 +246,21 @@ func (c *Cluster) gatherQuery(sel *sql.SelectStmt, d sql.Dialect) (*core.Result,
 	c.mu.RUnlock()
 	sess := coord.NewSession()
 	sess.SetDialect(d)
-	return sess.ExecParsed(sel)
+	res, err := sess.ExecParsed(sel)
+	if err != nil {
+		return nil, err
+	}
+	// The coordinator engine is per-query scratch, so lift its telemetry
+	// record into the cluster-level history before it is discarded.
+	if res.Stats != nil {
+		rec := *res.Stats
+		rec.ID = c.reg.NextID()
+		rec.SQL = text
+		rec.Shards = nShards
+		c.reg.Record(rec)
+		res.Stats = &rec
+	}
+	return res, nil
 }
 
 // fastPlan describes a decomposed aggregate query.

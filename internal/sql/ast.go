@@ -294,8 +294,13 @@ type CreateIndexStmt struct {
 // SetStmt is "SET name = value" (session variables, e.g. SQL_DIALECT).
 type SetStmt struct{ Name, Value string }
 
-// ExplainStmt wraps a statement for plan display.
-type ExplainStmt struct{ Target Statement }
+// ExplainStmt wraps a statement for plan display. Analyze (EXPLAIN
+// ANALYZE) additionally executes the target and annotates every plan node
+// with actual row counts, wall time, and scan skip ratios.
+type ExplainStmt struct {
+	Target  Statement
+	Analyze bool
+}
 
 // ValuesStmt is DB2's standalone VALUES expression statement.
 type ValuesStmt struct{ Rows [][]Expr }

@@ -163,11 +163,12 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseSet()
 	case p.peekKw("EXPLAIN"):
 		p.advance()
+		analyze := p.matchKw("ANALYZE")
 		target, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Target: target}, nil
+		return &ExplainStmt{Target: target, Analyze: analyze}, nil
 	case p.peekKw("VALUES"):
 		if !p.dialect.allows("values-statement") {
 			return nil, p.errf("VALUES statement requires DB2 dialect")

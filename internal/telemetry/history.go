@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// OpRecord is the frozen per-operator snapshot kept in query history. It is
+// a plain value (no atomics) taken after the query has drained.
+type OpRecord struct {
+	Seq     int    // position in the flattened plan, 0 = root
+	Depth   int    // indentation depth in the plan tree
+	Name    string // plan line text without runtime annotations
+	Rows    int64
+	Batches int64
+	Wall    time.Duration
+
+	// Scan-backed operators also report synopsis pruning effectiveness.
+	HasScan        bool
+	StridesVisited int64
+	StridesSkipped int64
+}
+
+// SkipRatio mirrors ScanStats.SkipRatio for frozen records.
+func (o *OpRecord) SkipRatio() float64 {
+	tot := o.StridesVisited + o.StridesSkipped
+	if tot == 0 {
+		return 0
+	}
+	return float64(o.StridesSkipped) / float64(tot)
+}
+
+// QueryRecord is one completed query in the history ring.
+type QueryRecord struct {
+	ID      uint64
+	SQL     string
+	Start   time.Time
+	Elapsed time.Duration
+	Rows    int64 // rows returned to the client
+	Dop     int
+	Status  string // "ok" or "error"
+	Err     string
+	Slow    bool
+	Plan    string // EXPLAIN ANALYZE text; always set for slow queries
+	Shards  int    // >0 when merged from an MPP scatter
+	Ops     []OpRecord
+}
+
+// DefaultSlowThreshold is the slow-query log cutoff until SET
+// SLOW_QUERY_THRESHOLD_MS overrides it.
+const DefaultSlowThreshold = time.Second
+
+// DefaultHistorySize bounds the query-history ring.
+const DefaultHistorySize = 256
+
+// Registry owns the engine-wide counters and the bounded query-history
+// ring. Record is called once per completed query (never on the per-row hot
+// path), so a mutex around the ring is fine; the engine-wide counters stay
+// atomic so views can read them without taking the lock.
+type Registry struct {
+	mu   sync.Mutex
+	ring []QueryRecord
+	next int   // next slot to overwrite
+	n    int   // occupied slots
+	seq  atomic.Uint64
+
+	slowNanos atomic.Int64
+
+	queries atomic.Uint64
+	failed  atomic.Uint64
+	slow    atomic.Uint64
+	rowsOut atomic.Uint64
+}
+
+// NewRegistry builds a registry with a ring of size cap (minimum 1).
+func NewRegistry(capacity int) *Registry {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &Registry{ring: make([]QueryRecord, capacity)}
+	r.slowNanos.Store(int64(DefaultSlowThreshold))
+	return r
+}
+
+// NextID hands out a unique query ID.
+func (r *Registry) NextID() uint64 { return r.seq.Add(1) }
+
+// SlowThreshold returns the current slow-query cutoff.
+func (r *Registry) SlowThreshold() time.Duration {
+	return time.Duration(r.slowNanos.Load())
+}
+
+// SetSlowThreshold updates the slow-query cutoff. d <= 0 marks every query
+// slow, which the tests use to force the slow path deterministically.
+func (r *Registry) SetSlowThreshold(d time.Duration) {
+	r.slowNanos.Store(int64(d))
+}
+
+// Record appends one completed query to the ring and bumps the engine-wide
+// counters.
+func (r *Registry) Record(q QueryRecord) {
+	r.queries.Add(1)
+	if q.Status != "ok" {
+		r.failed.Add(1)
+	}
+	if q.Slow {
+		r.slow.Add(1)
+	}
+	if q.Rows > 0 {
+		r.rowsOut.Add(uint64(q.Rows))
+	}
+	r.mu.Lock()
+	r.ring[r.next] = q
+	r.next = (r.next + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// History returns the retained records, oldest first.
+func (r *Registry) History() []QueryRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]QueryRecord, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	return out
+}
+
+// Counters is a snapshot of the engine-wide totals.
+type Counters struct {
+	Queries uint64
+	Failed  uint64
+	Slow    uint64
+	RowsOut uint64
+}
+
+// Totals snapshots the engine-wide counters.
+func (r *Registry) Totals() Counters {
+	return Counters{
+		Queries: r.queries.Load(),
+		Failed:  r.failed.Load(),
+		Slow:    r.slow.Load(),
+		RowsOut: r.rowsOut.Load(),
+	}
+}
+
+// MergeShardRecords folds per-shard records of the same scattered query
+// into one cluster-level record. Elapsed is the max across shards (shards
+// ran concurrently), row/stride counters are summed, and per-operator stats
+// merge positionally when the shard plans line up (same shape, which holds
+// for scatter: every shard runs the identical plan).
+func MergeShardRecords(recs []QueryRecord) QueryRecord {
+	var out QueryRecord
+	first := true
+	for _, q := range recs {
+		if first {
+			out = q
+			out.Ops = append([]OpRecord(nil), q.Ops...)
+			out.Shards = 1
+			first = false
+			continue
+		}
+		out.Shards++
+		if q.Elapsed > out.Elapsed {
+			out.Elapsed = q.Elapsed
+		}
+		if q.Start.Before(out.Start) {
+			out.Start = q.Start
+		}
+		out.Rows += q.Rows
+		if q.Status != "ok" {
+			out.Status = q.Status
+			if out.Err == "" {
+				out.Err = q.Err
+			}
+		}
+		out.Slow = out.Slow || q.Slow
+		if q.Dop > out.Dop {
+			out.Dop = q.Dop
+		}
+		for i := range q.Ops {
+			if i >= len(out.Ops) || out.Ops[i].Name != q.Ops[i].Name {
+				continue // plan shapes diverged; keep the first shard's view
+			}
+			out.Ops[i].Rows += q.Ops[i].Rows
+			out.Ops[i].Batches += q.Ops[i].Batches
+			if q.Ops[i].Wall > out.Ops[i].Wall {
+				out.Ops[i].Wall = q.Ops[i].Wall
+			}
+			out.Ops[i].StridesVisited += q.Ops[i].StridesVisited
+			out.Ops[i].StridesSkipped += q.Ops[i].StridesSkipped
+		}
+	}
+	return out
+}

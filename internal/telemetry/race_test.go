@@ -1,0 +1,81 @@
+package telemetry_test
+
+// Integration race coverage for the observability subsystem: concurrent
+// sessions run instrumented queries (plain, EXPLAIN ANALYZE, MON_* view
+// reads) against one engine at dop 1, 2 and 8. Under -race this exercises
+// the per-worker scan shards, the atomic operator counters, the history
+// ring and the WLM wait accounting all at once.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"dashdb/internal/core"
+)
+
+func seedEngine(t *testing.T, dop int) *core.DB {
+	t.Helper()
+	db := core.Open(core.Config{BufferPoolBytes: 16 << 20, Parallelism: dop})
+	s := db.NewSession()
+	var b strings.Builder
+	b.WriteString("INSERT INTO m VALUES ")
+	for i := 0; i < 30_000; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "(%d, %d)", i%8, i%128)
+	}
+	for _, q := range []string{
+		`CREATE TABLE m (k BIGINT, v BIGINT)`,
+		b.String(),
+	} {
+		if _, err := s.Exec(q); err != nil {
+			t.Fatalf("seed %v", err)
+		}
+	}
+	return db
+}
+
+func TestConcurrentQueryTelemetry(t *testing.T) {
+	for _, dop := range []int{1, 2, 8} {
+		dop := dop
+		t.Run(fmt.Sprintf("dop%d", dop), func(t *testing.T) {
+			t.Parallel()
+			db := seedEngine(t, dop)
+			queries := []string{
+				`SELECT k, COUNT(*), SUM(v) FROM m WHERE v >= 64 GROUP BY k`,
+				`SELECT COUNT(*) FROM m WHERE v < 4`,
+				`EXPLAIN ANALYZE SELECT k, COUNT(*) FROM m WHERE v >= 100 GROUP BY k`,
+				`SELECT * FROM mon_query_history`,
+				`SELECT * FROM mon_operator_stats`,
+				`SELECT * FROM mon_wlm`,
+				`SELECT * FROM mon_bufferpool`,
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					s := db.NewSession()
+					for i := 0; i < 10; i++ {
+						q := queries[(g+i)%len(queries)]
+						if _, err := s.Exec(q); err != nil {
+							t.Errorf("dop=%d %q: %v", dop, q, err)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			tot := db.Telemetry().Totals()
+			if tot.Queries < 60 {
+				t.Fatalf("registry recorded %d queries, want >= 60", tot.Queries)
+			}
+			if tot.Failed != 0 {
+				t.Fatalf("%d queries failed", tot.Failed)
+			}
+		})
+	}
+}

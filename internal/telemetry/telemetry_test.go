@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOpStatsObserve(t *testing.T) {
+	var s OpStats
+	start := time.Now().Add(-time.Millisecond)
+	s.Observe(start, 100)
+	s.Observe(start, 24)
+	s.Observe(start, -1) // EOS: time only
+	if s.Rows() != 124 {
+		t.Fatalf("rows %d", s.Rows())
+	}
+	if s.Batches() != 2 {
+		t.Fatalf("batches %d", s.Batches())
+	}
+	if s.Wall() < 3*time.Millisecond {
+		t.Fatalf("wall %v", s.Wall())
+	}
+}
+
+func TestOpStatsNilSafe(t *testing.T) {
+	var s *OpStats
+	s.Observe(time.Now(), 5)
+	s.AddWall(time.Second)
+	if s.Rows() != 0 || s.Batches() != 0 || s.Wall() != 0 {
+		t.Fatal("nil OpStats must read as zero")
+	}
+}
+
+func TestScanStatsSharding(t *testing.T) {
+	ss := NewScanStats(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := ss.Shard(w)
+			for i := 0; i < 100; i++ {
+				sh.Visit()
+				sh.Rows(10)
+			}
+			for i := 0; i < 50; i++ {
+				sh.Skip()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := ss.StridesVisited(); got != 400 {
+		t.Fatalf("visited %d", got)
+	}
+	if got := ss.StridesSkipped(); got != 200 {
+		t.Fatalf("skipped %d", got)
+	}
+	if got := ss.RowsScanned(); got != 4000 {
+		t.Fatalf("rows %d", got)
+	}
+	if r := ss.SkipRatio(); r < 0.33 || r > 0.34 {
+		t.Fatalf("skip ratio %f", r)
+	}
+}
+
+func TestScanStatsNilAndOutOfRange(t *testing.T) {
+	var ss *ScanStats
+	ss.Shard(0).Visit() // nil shard: no-op
+	if ss.StridesVisited() != 0 || ss.SkipRatio() != 0 {
+		t.Fatal("nil ScanStats must read as zero")
+	}
+	real := NewScanStats(2)
+	real.Shard(7).Visit() // out of range folds into shard 0
+	if real.StridesVisited() != 1 {
+		t.Fatal("out-of-range worker must fold into shard 0")
+	}
+}
+
+func TestRegistryRingWraparound(t *testing.T) {
+	r := NewRegistry(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(QueryRecord{ID: r.NextID(), SQL: fmt.Sprintf("q%d", i), Status: "ok"})
+	}
+	h := r.History()
+	if len(h) != 4 {
+		t.Fatalf("history len %d, want ring cap 4", len(h))
+	}
+	for i, q := range h {
+		want := fmt.Sprintf("q%d", i+7) // oldest retained is q7
+		if q.SQL != want {
+			t.Fatalf("slot %d = %s, want %s", i, q.SQL, want)
+		}
+	}
+	if tot := r.Totals(); tot.Queries != 10 {
+		t.Fatalf("total queries %d", tot.Queries)
+	}
+}
+
+func TestRegistryCounters(t *testing.T) {
+	r := NewRegistry(8)
+	r.Record(QueryRecord{ID: 1, Status: "ok", Rows: 5})
+	r.Record(QueryRecord{ID: 2, Status: "error", Err: "boom"})
+	r.Record(QueryRecord{ID: 3, Status: "ok", Slow: true, Rows: 2})
+	tot := r.Totals()
+	if tot.Queries != 3 || tot.Failed != 1 || tot.Slow != 1 || tot.RowsOut != 7 {
+		t.Fatalf("%+v", tot)
+	}
+}
+
+func TestSlowThreshold(t *testing.T) {
+	r := NewRegistry(1)
+	if r.SlowThreshold() != DefaultSlowThreshold {
+		t.Fatalf("default threshold %v", r.SlowThreshold())
+	}
+	r.SetSlowThreshold(0)
+	if r.SlowThreshold() != 0 {
+		t.Fatal("threshold must update")
+	}
+}
+
+func TestMergeShardRecords(t *testing.T) {
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	recs := []QueryRecord{
+		{
+			ID: 1, Start: base, Elapsed: 10 * time.Millisecond, Rows: 3, Dop: 2, Status: "ok",
+			Ops: []OpRecord{
+				{Seq: 0, Name: "GROUP BY", Rows: 3, Batches: 1, Wall: 8 * time.Millisecond},
+				{Seq: 1, Name: "SCAN", Rows: 100, HasScan: true, StridesVisited: 5, StridesSkipped: 5},
+			},
+		},
+		{
+			ID: 2, Start: base.Add(-time.Millisecond), Elapsed: 25 * time.Millisecond, Rows: 4, Dop: 4, Status: "ok",
+			Ops: []OpRecord{
+				{Seq: 0, Name: "GROUP BY", Rows: 4, Batches: 1, Wall: 20 * time.Millisecond},
+				{Seq: 1, Name: "SCAN", Rows: 200, HasScan: true, StridesVisited: 7, StridesSkipped: 3},
+			},
+		},
+	}
+	m := MergeShardRecords(recs)
+	if m.Shards != 2 {
+		t.Fatalf("shards %d", m.Shards)
+	}
+	if m.Elapsed != 25*time.Millisecond {
+		t.Fatalf("elapsed must be the max across shards, got %v", m.Elapsed)
+	}
+	if !m.Start.Equal(base.Add(-time.Millisecond)) {
+		t.Fatalf("start must be the earliest shard start, got %v", m.Start)
+	}
+	if m.Rows != 7 || m.Dop != 4 {
+		t.Fatalf("rows=%d dop=%d", m.Rows, m.Dop)
+	}
+	if m.Ops[0].Rows != 7 || m.Ops[0].Wall != 20*time.Millisecond {
+		t.Fatalf("op0 %+v", m.Ops[0])
+	}
+	if m.Ops[1].Rows != 300 || m.Ops[1].StridesVisited != 12 || m.Ops[1].StridesSkipped != 8 {
+		t.Fatalf("op1 %+v", m.Ops[1])
+	}
+	if r := m.Ops[1].SkipRatio(); r != 0.4 {
+		t.Fatalf("merged skip ratio %f", r)
+	}
+}
+
+func TestMergeShardRecordsErrorPropagates(t *testing.T) {
+	m := MergeShardRecords([]QueryRecord{
+		{ID: 1, Status: "ok"},
+		{ID: 2, Status: "error", Err: "shard 1 died"},
+	})
+	if m.Status != "error" || m.Err != "shard 1 died" {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestRegistryConcurrentRecord(t *testing.T) {
+	r := NewRegistry(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(QueryRecord{ID: r.NextID(), Status: "ok", Rows: 1})
+				r.History()
+				r.Totals()
+			}
+		}()
+	}
+	wg.Wait()
+	if tot := r.Totals(); tot.Queries != 1600 {
+		t.Fatalf("queries %d", tot.Queries)
+	}
+	if len(r.History()) != 16 {
+		t.Fatalf("history %d", len(r.History()))
+	}
+}

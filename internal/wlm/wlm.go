@@ -4,16 +4,29 @@
 // infrastructure" among the knobs dashDB Local configures automatically).
 package wlm
 
-import "sync/atomic"
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrRejected is returned by Admit when the admission queue is full
+// (SetMaxQueued): the workload manager sheds the query instead of letting
+// the queue grow without bound.
+var ErrRejected = errors.New("wlm: query rejected, admission queue full")
 
 // Manager gates query admission. A zero concurrency limit disables
 // gating entirely.
 type Manager struct {
-	sem      chan struct{}
-	admitted atomic.Uint64
-	queued   atomic.Uint64
-	peak     atomic.Int64
-	active   atomic.Int64
+	sem       chan struct{}
+	admitted  atomic.Uint64
+	queued    atomic.Uint64
+	rejected  atomic.Uint64
+	waitNanos atomic.Int64 // cumulative time queries spent queued
+	peak      atomic.Int64
+	active    atomic.Int64
+	waiting   atomic.Int64 // queries currently queued
+	maxQueued atomic.Int64 // 0 = unbounded queue
 }
 
 // New creates a manager admitting at most maxConcurrent queries at once
@@ -34,6 +47,16 @@ func (m *Manager) Limit() int {
 	return cap(m.sem)
 }
 
+// SetMaxQueued bounds the admission queue: an Admit arriving while n
+// queries are already waiting is rejected with ErrRejected instead of
+// queued. n <= 0 restores the unbounded default.
+func (m *Manager) SetMaxQueued(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.maxQueued.Store(int64(n))
+}
+
 // ClampParallelism caps a query's intra-query parallelism degree by the
 // admission limit: when up to L queries run concurrently, giving each of
 // them more than L workers would oversubscribe the cores the
@@ -50,24 +73,38 @@ func (m *Manager) ClampParallelism(dop int) int {
 }
 
 // Admit blocks until a slot is free and returns a release function.
-// Callers must invoke the release exactly once.
-func (m *Manager) Admit() func() {
-	m.admitted.Add(1)
+// Callers must invoke the release exactly once. When the admission queue
+// is bounded and full, Admit returns ErrRejected without blocking; the
+// uncontended path never reads the clock, so admission stays off the
+// query hot path.
+func (m *Manager) Admit() (func(), error) {
 	if m.sem == nil {
+		m.admitted.Add(1)
 		m.track()
-		return m.untrack
+		return m.untrack, nil
 	}
 	select {
 	case m.sem <- struct{}{}:
 	default:
+		// Contended: queue (bounded if SetMaxQueued was called) and
+		// measure how long admission stalls this query.
+		if max := m.maxQueued.Load(); max > 0 && m.waiting.Load() >= max {
+			m.rejected.Add(1)
+			return nil, ErrRejected
+		}
 		m.queued.Add(1)
+		m.waiting.Add(1)
+		start := time.Now()
 		m.sem <- struct{}{}
+		m.waitNanos.Add(int64(time.Since(start)))
+		m.waiting.Add(-1)
 	}
+	m.admitted.Add(1)
 	m.track()
 	return func() {
 		m.untrack()
 		<-m.sem
-	}
+	}, nil
 }
 
 func (m *Manager) track() {
@@ -86,16 +123,24 @@ func (m *Manager) untrack() { m.active.Add(-1) }
 type Stats struct {
 	Admitted uint64
 	Queued   uint64
+	Rejected uint64
 	Peak     int64
 	Active   int64
+	Waiting  int64
+	// QueueWait is the cumulative wall time admitted queries spent waiting
+	// for a slot.
+	QueueWait time.Duration
 }
 
 // Stats returns a snapshot.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Admitted: m.admitted.Load(),
-		Queued:   m.queued.Load(),
-		Peak:     m.peak.Load(),
-		Active:   m.active.Load(),
+		Admitted:  m.admitted.Load(),
+		Queued:    m.queued.Load(),
+		Rejected:  m.rejected.Load(),
+		Peak:      m.peak.Load(),
+		Active:    m.active.Load(),
+		Waiting:   m.waiting.Load(),
+		QueueWait: time.Duration(m.waitNanos.Load()),
 	}
 }

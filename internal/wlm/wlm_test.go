@@ -12,7 +12,10 @@ func TestUnlimitedManager(t *testing.T) {
 	if m.Limit() != 0 {
 		t.Fatalf("limit %d", m.Limit())
 	}
-	release := m.Admit()
+	release, err := m.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
 	release()
 	st := m.Stats()
 	if st.Admitted != 1 || st.Active != 0 {
@@ -28,7 +31,11 @@ func TestConcurrencyCapEnforced(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			release := m.Admit()
+			release, err := m.Admit()
+			if err != nil {
+				t.Error(err)
+				return
+			}
 			defer release()
 			a := active.Add(1)
 			for {
@@ -63,7 +70,10 @@ func TestConcurrencyCapEnforced(t *testing.T) {
 func TestAdmitReleaseBalance(t *testing.T) {
 	m := New(1)
 	for i := 0; i < 10; i++ {
-		release := m.Admit()
+		release, err := m.Admit()
+		if err != nil {
+			t.Fatal(err)
+		}
 		release()
 	}
 	if m.Stats().Active != 0 {
@@ -86,5 +96,63 @@ func TestClampParallelism(t *testing.T) {
 	}
 	if got := unlimited.ClampParallelism(0); got != 1 {
 		t.Fatalf("degenerate dop must clamp to 1, got %d", got)
+	}
+}
+
+func TestQueueWaitMeasured(t *testing.T) {
+	m := New(1)
+	r1, err := m.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r2, err := m.Admit()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r2()
+	}()
+	// Hold the only slot long enough that the second Admit measurably
+	// queues.
+	time.Sleep(20 * time.Millisecond)
+	r1()
+	<-done
+	if st := m.Stats(); st.QueueWait <= 0 {
+		t.Fatalf("expected nonzero queue wait, got %v", st.QueueWait)
+	}
+}
+
+func TestRejectionWhenQueueFull(t *testing.T) {
+	m := New(1)
+	m.SetMaxQueued(1)
+	r1, err := m.Admit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		r2, err := m.Admit()
+		if err == nil {
+			r2()
+		}
+		queued <- err
+	}()
+	// Wait until the goroutine occupies the single queue slot.
+	for m.Stats().Waiting == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := m.Admit(); err != ErrRejected {
+		t.Fatalf("expected ErrRejected, got %v", err)
+	}
+	r1()
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Rejected != 1 {
+		t.Fatalf("rejected %d, want 1", st.Rejected)
 	}
 }

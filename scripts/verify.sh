@@ -2,7 +2,8 @@
 # Tier-1 verification: build, vet, full test suite, then race-detector
 # runs over the packages with real concurrency (the morsel-driven scan,
 # the parallel partitioned aggregation, and the vectorized pipeline —
-# including the SQL layer that compiles into it).
+# including the SQL layer that compiles into it, the telemetry counters
+# it feeds, and the buffer pool underneath).
 set -eux
 
 cd "$(dirname "$0")/.."
@@ -10,4 +11,4 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/columnar/... ./internal/exec/... ./internal/sql/...
+go test -race ./internal/columnar/... ./internal/exec/... ./internal/sql/... ./internal/telemetry/... ./internal/bufferpool/...
