@@ -78,7 +78,10 @@ func main() {
 	fmt.Printf("  P(late | util=0.9, tenure=1) = %.2f\n", m.Predict([]float64{0.9, 1}))
 	fmt.Printf("  P(late | util=0.1, tenure=8) = %.2f\n", m.Predict([]float64{0.1, 8}))
 
-	job, _ := d.Status("riskteam", id)
+	job, err := d.Status("riskteam", id)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  job %d state: %s (runtime %v)\n", job.ID, job.State, job.Finished.Sub(job.Submitted).Round(1e6))
 
 	// Per-user isolation: another user cannot see the job.

@@ -31,7 +31,7 @@ func TestTest1ShapeAndAgreement(t *testing.T) {
 		}
 		t.Fatal("engines disagree")
 	}
-	if rep.AvgSpeedup() <= 1 {
+	if !raceEnabled && rep.AvgSpeedup() <= 1 {
 		t.Errorf("dashDB should win on average: avg=%.2f", rep.AvgSpeedup())
 	}
 	if rep.AvgSpeedup() < rep.MedianSpeedup() {
@@ -46,7 +46,7 @@ func TestTest2Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Improvement() <= 0.5 {
+	if !raceEnabled && rep.Improvement() <= 0.5 {
 		t.Errorf("workload improvement degenerate: %.2fx", rep.Improvement())
 	}
 	t.Logf("Test2 (scaled): %.1fx whole-workload improvement", rep.Improvement())
@@ -65,7 +65,7 @@ func TestTest3ShapeAndAgreement(t *testing.T) {
 		}
 		t.Fatal("engines disagree")
 	}
-	if rep.AvgSpeedup() <= 1 {
+	if !raceEnabled && rep.AvgSpeedup() <= 1 {
 		t.Errorf("dashDB should win on TPC-DS: avg=%.2f", rep.AvgSpeedup())
 	}
 	t.Logf("Test3 (scaled): avg %.1fx median %.1fx", rep.AvgSpeedup(), rep.MedianSpeedup())
@@ -79,7 +79,7 @@ func TestTest4Shape(t *testing.T) {
 	if rep.FastRan != rep.SlowRan {
 		t.Fatalf("unequal work: %d vs %d queries", rep.FastRan, rep.SlowRan)
 	}
-	if rep.Advantage() <= 1 {
+	if !raceEnabled && rep.Advantage() <= 1 {
 		t.Errorf("dashDB should out-throughput the cloud store: %.2fx", rep.Advantage())
 	}
 	t.Logf("Test4 (scaled): %.1fx QpH advantage", rep.Advantage())
@@ -93,7 +93,7 @@ func TestFigureCShape(t *testing.T) {
 	if !rep.ResultsAgree() {
 		t.Fatal("engines disagree")
 	}
-	if rep.AvgSpeedup() < 2 {
+	if !raceEnabled && rep.AvgSpeedup() < 2 {
 		t.Errorf("columnar vs row+index advantage too small: %.1fx", rep.AvgSpeedup())
 	}
 	t.Logf("FigureC (scaled): avg %.1fx (paper band 10-50x at full scale)", rep.AvgSpeedup())

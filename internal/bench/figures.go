@@ -84,7 +84,10 @@ func FigureD(scale int) (string, error) {
 	fmt.Fprintf(&b, "  synopsis %dKB vs pages %dKB (%.0fx smaller)\n",
 		r.SynopsisBytes>>10, r.PageBytes>>10, float64(r.PageBytes)/float64(maxInt(r.SynopsisBytes, 1)))
 	dateCol := 2
-	end, _ := types.ParseDate("2016-12-30")
+	end, err := types.ParseDate("2016-12-30")
+	if err != nil {
+		return "", err
+	}
 	for _, windowDays := range []int{7 * 365, 365, 90, 7} {
 		t.ResetStats()
 		lo := types.NewDate(end.Int() - int64(windowDays))
@@ -123,12 +126,15 @@ func FigureE(nPages, cachePages, rounds int) string {
 	b.WriteString("F-E buffer pool on cyclic scan (cache holds ")
 	fmt.Fprintf(&b, "%d of %d pages)\n", cachePages, nPages)
 
-	mkPage := func(id page.ID) (*page.Page, error) {
+	buildPage := func(id page.ID) *page.Page {
 		p := page.New(id, 15)
 		for i := 0; i < 256; i++ {
 			p.Codes.Append(uint64(i))
 		}
-		return p, nil
+		return p
+	}
+	mkPage := func(id page.ID) (*page.Page, error) {
+		return buildPage(id), nil
 	}
 	var trace []page.ID
 	for r := 0; r < rounds; r++ {
@@ -136,7 +142,7 @@ func FigureE(nPages, cachePages, rounds int) string {
 			trace = append(trace, page.ID{Table: 1, Stride: uint32(i)})
 		}
 	}
-	one, _ := mkPage(page.ID{})
+	one := buildPage(page.ID{})
 	for _, policy := range []bufferpool.Policy{
 		bufferpool.NewLRU(), bufferpool.NewClock(), bufferpool.NewProbabilistic(42),
 	} {

@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector instruments this build.
+// Relative-timing assertions are skipped: instrumentation overhead falls
+// unevenly on the two engines and can invert the measured direction.
+const raceEnabled = true

@@ -51,6 +51,8 @@ func (v *Vector) replicate(c uint64) uint64 {
 // a plain predicate. c is clamped semantics-free: callers must ensure
 // c <= max code for the width (the encoding layer guarantees it by
 // translating out-of-domain constants before reaching code space).
+//
+//dashdb:hotpath
 func (v *Vector) Compare(op CmpOp, c uint64, out *Bitmap) {
 	if out.Len() != v.n {
 		panic("bitpack: Compare bitmap length mismatch")
@@ -80,6 +82,8 @@ func (v *Vector) Compare(op CmpOp, c uint64, out *Bitmap) {
 
 // CompareRange ORs positions with lo <= code <= hi into out (a BETWEEN in
 // code space, used heavily by data skipping and date-range predicates).
+//
+//dashdb:hotpath
 func (v *Vector) CompareRange(lo, hi uint64, out *Bitmap) {
 	if lo > hi {
 		return
@@ -96,6 +100,8 @@ func (v *Vector) CompareRange(lo, hi uint64, out *Bitmap) {
 // code >= c. Core identity: with each cell's delimiter bit forced to 1,
 // subtracting the replicated constant leaves the delimiter set exactly
 // when the cell's payload did not borrow, i.e. payload >= c.
+//
+//dashdb:hotpath
 func (v *Vector) swarGE(c uint64, out *Bitmap, invert bool) {
 	p := v.patterns()
 	cw := v.replicate(c)
@@ -113,6 +119,8 @@ func (v *Vector) swarGE(c uint64, out *Bitmap, invert bool) {
 // w XOR replicate(c) are detected word-parallel: a cell is zero exactly
 // when subtracting 1 (with the delimiter as landing zone) clears its
 // delimiter and the cell itself had no bits set.
+//
+//dashdb:hotpath
 func (v *Vector) swarEQ(c uint64, out *Bitmap, invert bool) {
 	p := v.patterns()
 	cw := v.replicate(c)
@@ -136,6 +144,8 @@ func (v *Vector) allMatch(out *Bitmap) {
 
 // scatter converts delimiter-bit matches of word wi into dense bitmap
 // positions, masking cells beyond Len() in the final partial word.
+//
+//dashdb:hotpath
 func (v *Vector) scatter(match uint64, wi int, out *Bitmap) {
 	base := wi * v.perWord
 	// Cells past the logical end hold zero payloads; they can match
@@ -155,6 +165,8 @@ func (v *Vector) scatter(match uint64, wi int, out *Bitmap) {
 // unpacks each code and compares it individually. It exists for
 // correctness testing and as the "decode then evaluate" ablation used by
 // the cloud column-store baseline (DESIGN.md §6).
+//
+//dashdb:hotpath
 func (v *Vector) CompareScalar(op CmpOp, c uint64, out *Bitmap) {
 	if out.Len() != v.n {
 		panic("bitpack: CompareScalar bitmap length mismatch")
@@ -184,6 +196,8 @@ func (v *Vector) CompareScalar(op CmpOp, c uint64, out *Bitmap) {
 
 // CountCompare returns the number of codes satisfying "code OP c" without
 // materializing a bitmap; used by COUNT(*) fast paths.
+//
+//dashdb:hotpath
 func (v *Vector) CountCompare(op CmpOp, c uint64) int {
 	out := NewBitmap(v.n)
 	v.Compare(op, c, out)

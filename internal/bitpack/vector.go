@@ -125,6 +125,8 @@ func (v *Vector) Set(i int, code uint64) {
 
 // Unpack decodes all codes into dst, which is grown as needed, and
 // returns it. Useful for operators that must leave code space.
+//
+//dashdb:hotpath
 func (v *Vector) Unpack(dst []uint64) []uint64 {
 	if cap(dst) < v.n {
 		dst = make([]uint64, v.n)

@@ -166,6 +166,8 @@ func (t *Table) scanLocked(preds []Pred, sh *telemetry.ScanShard, fn func(b *Bat
 
 // evalSealedStride evaluates the conjunction over one sealed stride using
 // the SWAR kernels, returning the selected offsets.
+//
+//dashdb:hotpath
 func (t *Table) evalSealedStride(s int, preds []Pred, translated []encoding.Predicate) (*Batch, error) {
 	base := s * page.StrideSize
 	var sel *bitpack.Bitmap
@@ -214,6 +216,8 @@ func (t *Table) evalSealedStride(s int, preds []Pred, translated []encoding.Pred
 
 // applyPredicate ORs matching positions into match: SWAR range kernels for
 // exact ranges, decode-and-recheck for residual ranges.
+//
+//dashdb:hotpath
 func applyPredicate(pg *page.Page, enc encoding.Encoder, tp encoding.Predicate, p Pred, match *bitpack.Bitmap) {
 	if tp.All {
 		full := bitpack.NewBitmapFull(pg.Rows())

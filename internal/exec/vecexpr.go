@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -9,6 +10,24 @@ import (
 	"dashdb/internal/types"
 	"dashdb/internal/vec"
 )
+
+// Sentinel errors raised from per-element kernel loops. The vectorized
+// kernels are //dashdb:hotpath: they must not call fmt.Errorf per element,
+// so the only errors a kernel can produce are preallocated here.
+var (
+	errDivisionByZero   = errors.New("sql: division by zero")
+	errUnsupportedArith = errors.New("sql: unsupported arithmetic")
+)
+
+// checkArithOp validates an arithmetic operator before a kernel loop runs,
+// keeping the (allocating) formatted error outside the hotpath functions.
+func checkArithOp(op string) error {
+	switch op {
+	case "+", "-", "*", "/", "%":
+		return nil
+	}
+	return fmt.Errorf("sql: unsupported arithmetic %q", op)
+}
 
 // VecExpr is an Expr that can also evaluate itself over a whole vector
 // batch at once. Every structured expression node implements both
@@ -66,6 +85,8 @@ func (c Const) EvalVec(*vec.Batch) (*vec.Vector, error) {
 
 // boolAt reads batch position i of a predicate result vector with the
 // row path's truthiness rules (Value.Bool: the integer payload != 0).
+//
+//dashdb:hotpath
 func boolAt(v *vec.Vector, i int) (val, null bool) {
 	if v.IsNull(i) {
 		return false, true
@@ -82,6 +103,8 @@ func boolAt(v *vec.Vector, i int) (val, null bool) {
 }
 
 // numAt reads a numeric vector position as float64 (int promoted).
+//
+//dashdb:hotpath
 func numAt(v *vec.Vector, i int) float64 {
 	if v.F64 != nil {
 		return v.F64[v.Ix(i)]
@@ -91,6 +114,8 @@ func numAt(v *vec.Vector, i int) float64 {
 
 // cmpHolds converts a three-way comparison result into the operator's
 // boolean outcome.
+//
+//dashdb:hotpath
 func cmpHolds(op encoding.CmpOp, c int) bool {
 	switch op {
 	case encoding.OpEQ:
@@ -110,6 +135,8 @@ func cmpHolds(op encoding.CmpOp, c int) bool {
 
 // cmpFloat64 mirrors types.Compare's float ordering, including NaN
 // sorting high, so the typed kernel agrees with the row path exactly.
+//
+//dashdb:hotpath
 func cmpFloat64(a, b float64) int {
 	switch {
 	case a < b:
@@ -153,6 +180,8 @@ func (e *CmpExpr) Eval(row types.Row) (types.Value, error) {
 // EvalVec implements VecExpr with typed fast paths matching
 // types.Compare's promotion rules; mixed or boxed operands fall back to a
 // per-element generic loop with identical semantics.
+//
+//dashdb:hotpath
 func (e *CmpExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
 	lv, err := evalVec(e.L, b)
 	if err != nil {
@@ -271,12 +300,12 @@ func ArithValue(op string, a, b types.Value) (types.Value, error) {
 			return types.NewInt(x * y), nil
 		case "/":
 			if y == 0 {
-				return types.Null, fmt.Errorf("sql: division by zero")
+				return types.Null, errDivisionByZero
 			}
 			return types.NewInt(x / y), nil
 		case "%":
 			if y == 0 {
-				return types.Null, fmt.Errorf("sql: division by zero")
+				return types.Null, errDivisionByZero
 			}
 			return types.NewInt(x % y), nil
 		}
@@ -295,13 +324,13 @@ func ArithValue(op string, a, b types.Value) (types.Value, error) {
 		return types.NewFloat(x * y), nil
 	case "/":
 		if y == 0 {
-			return types.Null, fmt.Errorf("sql: division by zero")
+			return types.Null, errDivisionByZero
 		}
 		return types.NewFloat(x / y), nil
 	case "%":
 		// Modulo runs in int64 space, so |y| < 1 would also divide by zero.
 		if int64(y) == 0 {
-			return types.Null, fmt.Errorf("sql: division by zero")
+			return types.Null, errDivisionByZero
 		}
 		return types.NewFloat(float64(int64(x) % int64(y))), nil
 	}
@@ -309,7 +338,12 @@ func ArithValue(op string, a, b types.Value) (types.Value, error) {
 }
 
 // EvalVec implements VecExpr.
+//
+//dashdb:hotpath
 func (e *ArithExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
+	if err := checkArithOp(e.Op); err != nil {
+		return nil, err
+	}
 	lv, err := evalVec(e.L, b)
 	if err != nil {
 		return nil, err
@@ -340,16 +374,16 @@ func (e *ArithExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
 				r = x * y
 			case "/":
 				if y == 0 {
-					return nil, fmt.Errorf("sql: division by zero")
+					return nil, errDivisionByZero
 				}
 				r = x / y
 			case "%":
 				if y == 0 {
-					return nil, fmt.Errorf("sql: division by zero")
+					return nil, errDivisionByZero
 				}
 				r = x % y
 			default:
-				return nil, fmt.Errorf("sql: unsupported arithmetic %q", op)
+				return nil, errUnsupportedArith
 			}
 			out.I64[i] = r
 		}
@@ -372,16 +406,16 @@ func (e *ArithExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
 				r = x * y
 			case "/":
 				if y == 0 {
-					return nil, fmt.Errorf("sql: division by zero")
+					return nil, errDivisionByZero
 				}
 				r = x / y
 			case "%":
 				if int64(y) == 0 {
-					return nil, fmt.Errorf("sql: division by zero")
+					return nil, errDivisionByZero
 				}
 				r = float64(int64(x) % int64(y))
 			default:
-				return nil, fmt.Errorf("sql: unsupported arithmetic %q", op)
+				return nil, errUnsupportedArith
 			}
 			out.F64[i] = r
 		}
@@ -479,6 +513,8 @@ func (e *AndExpr) Eval(row types.Row) (types.Value, error) {
 
 // EvalVec implements VecExpr: the right operand is evaluated over a
 // sub-selection restricted to rows the left side did not short-circuit.
+//
+//dashdb:hotpath
 func (e *AndExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
 	lv, err := evalVec(e.L, b)
 	if err != nil {
@@ -536,6 +572,8 @@ func (e *OrExpr) Eval(row types.Row) (types.Value, error) {
 }
 
 // EvalVec implements VecExpr.
+//
+//dashdb:hotpath
 func (e *OrExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
 	lv, err := evalVec(e.L, b)
 	if err != nil {
@@ -588,6 +626,8 @@ func (e *NotExpr) Eval(row types.Row) (types.Value, error) {
 }
 
 // EvalVec implements VecExpr.
+//
+//dashdb:hotpath
 func (e *NotExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
 	ev, err := evalVec(e.E, b)
 	if err != nil {
@@ -633,6 +673,8 @@ func (e *NegExpr) Eval(row types.Row) (types.Value, error) {
 }
 
 // EvalVec implements VecExpr.
+//
+//dashdb:hotpath
 func (e *NegExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
 	ev, err := evalVec(e.E, b)
 	if err != nil {

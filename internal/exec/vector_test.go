@@ -59,7 +59,6 @@ func randVecTable(t testing.TB, id uint32, n int, seed int64) *columnar.Table {
 	return tbl
 }
 
-
 // scanDop builds a serial or parallel columnar scan for tests.
 func scanDop(t *columnar.Table, dop int) *ScanOp {
 	s := NewScan(t, nil, nil)

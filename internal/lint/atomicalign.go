@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerAtomicAlign enforces the 64-bit atomic alignment rule: a field
+// passed to a sync/atomic 64-bit operation must live at a 64-bit-aligned
+// offset inside its allocation. On 32-bit targets only the *first word* of
+// an allocation is guaranteed 8-byte alignment, so a 64-bit counter that is
+// not first (or not at an 8-aligned offset) panics at runtime there. The
+// telemetry counters (PR 3) depend on this; sync/atomic's typed wrappers
+// (atomic.Int64 etc.) self-align and are exempt. Offsets are computed with
+// 32-bit (GOARCH=386) sizes, where the hazard is real.
+var AnalyzerAtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "64-bit sync/atomic operands must be the first field or at an 8-byte-aligned offset in their struct",
+	Run:  runAtomicAlign,
+}
+
+// atomic64Funcs are the sync/atomic package functions operating on 64-bit
+// values through a pointer first argument.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+}
+
+// sizes32 models the 32-bit gc target where int64 fields are only
+// word-aligned, making misplacement observable.
+var sizes32 = types.SizesFor("gc", "386")
+
+func runAtomicAlign(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" || !atomic64Funcs[obj.Name()] {
+				return true
+			}
+			// The operand must be &expr where expr ends in a field selection.
+			un, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			fieldSel, ok := un.X.(*ast.SelectorExpr)
+			if !ok {
+				return true // &local or &slice[i]: allocation start, aligned
+			}
+			off, known := allocOffset(info, fieldSel)
+			if known && off%8 != 0 {
+				pass.Reportf(un.Pos(),
+					"64-bit atomic operand %s is at offset %d in its struct on 32-bit targets; move it first or pad to an 8-byte boundary (or use atomic.Int64/Uint64, which self-align)",
+					fieldText(fieldSel), off)
+			}
+			return true
+		})
+	}
+}
+
+// fieldText renders a selector chain for the diagnostic.
+func fieldText(sel *ast.SelectorExpr) string {
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return x.Name + "." + sel.Sel.Name
+	case *ast.SelectorExpr:
+		return fieldText(x) + "." + sel.Sel.Name
+	default:
+		return sel.Sel.Name
+	}
+}
+
+// allocOffset computes the byte offset of the selected field from the start
+// of its allocation unit under 32-bit sizes. A pointer dereference starts a
+// new allocation (offset restarts at zero); unknown shapes return !known.
+func allocOffset(info *types.Info, sel *ast.SelectorExpr) (int64, bool) {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return 0, false
+	}
+	base := int64(0)
+	recv := s.Recv()
+	if _, isPtr := recv.Underlying().(*types.Pointer); !isPtr {
+		// Value receiver: if the base expression is itself a field
+		// selection, accumulate its offset within the same allocation.
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+			if innerOff, ok := allocOffset(info, inner); ok {
+				base = innerOff
+			}
+		}
+	}
+	off, ok := offsetWithin(recv, s.Index())
+	if !ok {
+		return 0, false
+	}
+	return base + off, true
+}
+
+// offsetWithin walks a field index path (as produced by types.Selection)
+// through possibly-embedded structs, summing offsets. Crossing an embedded
+// pointer resets the offset: the pointee is its own allocation.
+func offsetWithin(t types.Type, index []int) (int64, bool) {
+	var off int64
+	for _, idx := range index {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			off = 0
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || idx >= st.NumFields() {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := 0; i < st.NumFields(); i++ {
+			fields[i] = st.Field(i)
+		}
+		offsets := sizes32.Offsetsof(fields)
+		off += offsets[idx]
+		t = st.Field(idx).Type()
+	}
+	return off, true
+}

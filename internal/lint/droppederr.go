@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerDroppedErr flags error values assigned to the blank identifier,
+// repo-wide. A `_ = f()` or `v, _ := g()` that discards an error is how
+// corruption hides: the deployment-simplicity story (paper §II.A) depends
+// on the engine surfacing its own failures, not on an operator noticing a
+// half-written spill file. Deliberate drops must say so with
+// `//dashdb:nolint droppederr <why>` so the justification is in the diff.
+var AnalyzerDroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "no error values assigned to _ without a //dashdb:nolint droppederr justification",
+	Run:  runDroppedErr,
+}
+
+func runDroppedErr(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+					// Tuple assignment: a, _ := f()
+					results := tupleTypes(info, n.Rhs[0])
+					for i, lhs := range n.Lhs {
+						if isBlank(lhs) && i < len(results) && isErrorType(results[i]) {
+							pass.Reportf(lhs.Pos(),
+								"error result of %s dropped via _; handle it or annotate //dashdb:nolint droppederr with a reason", callName(n.Rhs[0]))
+						}
+					}
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if !isBlank(lhs) || i >= len(n.Rhs) {
+						continue
+					}
+					if tv, ok := info.Types[n.Rhs[i]]; ok && isErrorType(tv.Type) {
+						pass.Reportf(lhs.Pos(),
+							"error value %s dropped via _; handle it or annotate //dashdb:nolint droppederr with a reason", callName(n.Rhs[i]))
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Values) == 1 && len(n.Names) > 1 {
+					results := tupleTypes(info, n.Values[0])
+					for i, name := range n.Names {
+						if name.Name == "_" && i < len(results) && isErrorType(results[i]) {
+							pass.Reportf(name.Pos(),
+								"error result of %s dropped via _; handle it or annotate //dashdb:nolint droppederr with a reason", callName(n.Values[0]))
+						}
+					}
+					return true
+				}
+				for i, name := range n.Names {
+					if name.Name != "_" || i >= len(n.Values) {
+						continue
+					}
+					if tv, ok := info.Types[n.Values[i]]; ok && isErrorType(tv.Type) {
+						pass.Reportf(name.Pos(),
+							"error value %s dropped via _; handle it or annotate //dashdb:nolint droppederr with a reason", callName(n.Values[i]))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// tupleTypes returns the per-position result types of a (possibly
+// multi-value) expression.
+func tupleTypes(info *types.Info, e ast.Expr) []types.Type {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		out := make([]types.Type, tup.Len())
+		for i := 0; i < tup.Len(); i++ {
+			out[i] = tup.At(i).Type()
+		}
+		return out
+	}
+	return []types.Type{tv.Type}
+}
+
+// callName names the dropped expression for the diagnostic.
+func callName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		switch fn := e.Fun.(type) {
+		case *ast.Ident:
+			return fn.Name + "()"
+		case *ast.SelectorExpr:
+			return fn.Sel.Name + "()"
+		}
+		return "call"
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return "expression"
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerGoroutine requires every goroutine launched in library code to
+// have a join or cancellation story: a WaitGroup it signals, a channel it
+// communicates on, or a context it watches. A fire-and-forget goroutine in
+// a library leaks on every call, outlives the request that spawned it, and
+// races engine shutdown — exactly the class of bug the full-repo race
+// expansion is meant to keep out. Commands and examples (cmd/, examples/)
+// own their process lifetime and are exempt; a deliberate detach in library
+// code takes //dashdb:nolint goroutine with a reason.
+var AnalyzerGoroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "library goroutines must be joined (WaitGroup/channel) or cancellable (context)",
+	Match: func(path string) bool {
+		if strings.HasPrefix(path, "fixture/") {
+			return true
+		}
+		return !strings.Contains(path, "/cmd/") && !strings.Contains(path, "/examples/")
+	},
+	Run: runGoroutine,
+}
+
+func runGoroutine(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goStmtJoinable(info, g) {
+				return true
+			}
+			pass.Reportf(g.Pos(),
+				"goroutine has no join or cancellation path: give it a WaitGroup/channel to signal or a context to watch (//dashdb:nolint goroutine <why> for a deliberate detach)")
+			return true
+		})
+	}
+}
+
+// goStmtJoinable reports whether the spawned goroutine visibly participates
+// in synchronization: its function-literal body (or the arguments handed to
+// a named function) touches a channel, WaitGroup, context, or sync
+// primitive that can end or join it.
+func goStmtJoinable(info *types.Info, g *ast.GoStmt) bool {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		if bodySynchronizes(info, lit.Body) {
+			return true
+		}
+	}
+	// Named callee (or literal whose body is opaque): accept when the
+	// callee is handed something to synchronize on.
+	for _, arg := range g.Call.Args {
+		if tv, ok := info.Types[arg]; ok && syncCapable(tv.Type) {
+			return true
+		}
+	}
+	// Method values like wg.Wait / sess.run carry their receiver's
+	// synchronization with them.
+	if sel, ok := g.Call.Fun.(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[sel.X]; ok && syncCapable(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodySynchronizes scans a function body for any construct that joins or
+// cancels the goroutine: channel operations, select, WaitGroup/Cond/Once
+// method calls, or use of a context.
+func bodySynchronizes(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				found = true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if tv, ok := info.Types[sel.X]; ok && syncCapable(tv.Type) {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil && syncCapable(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// syncCapable reports whether a value of type t can join or cancel a
+// goroutine: channels, *sync.WaitGroup, context.Context, sync.Locker-ish
+// receivers (Cond), or funcs/structs that carry channels or contexts.
+func syncCapable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := deref(t).Underlying().(type) {
+	case *types.Chan:
+		return true
+	case *types.Struct:
+		name := typeName(deref(t))
+		if name == "sync.WaitGroup" || name == "sync.Once" || name == "sync.Cond" {
+			return true
+		}
+		// Structs that visibly carry a channel, context, or WaitGroup
+		// field count: the goroutine can be joined through them.
+		for i := 0; i < u.NumFields(); i++ {
+			ft := u.Field(i).Type()
+			if _, isChan := ft.Underlying().(*types.Chan); isChan {
+				return true
+			}
+			fn := typeName(deref(ft))
+			if fn == "sync.WaitGroup" || fn == "context.Context" {
+				return true
+			}
+		}
+	case *types.Interface:
+		if typeName(deref(t)) == "context.Context" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AnalyzerHotPath bans allocation- and syscall-heavy calls inside functions
+// annotated //dashdb:hotpath. The annotation marks per-row / per-stride
+// kernels (columnar stride decode, SWAR predicate loops, vector kernels,
+// operator inner loops): one stray time.Now or fmt.Sprintf there runs
+// millions of times per query and dominates the profile. Banned callees are
+// matched by package so aliased imports cannot dodge the check.
+var AnalyzerHotPath = &Analyzer{
+	Name:    "hotpath",
+	Doc:     "//dashdb:hotpath functions must not call time.Now/Since, fmt/log formatters, or reflect",
+	Collect: collectHotPath,
+	Run:     runHotPath,
+}
+
+// hotpathBanned maps package path -> banned function names; an empty set
+// bans every exported function in the package.
+var hotpathBanned = map[string]map[string]bool{
+	"time":    {"Now": true, "Since": true, "Until": true},
+	"fmt":     {},
+	"log":     {},
+	"reflect": {},
+	"sort":    {"Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+}
+
+func collectHotPath(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			pass.Facts.HotPath[pass.Pkg.Path+"."+funcKey(fd)] = true
+		}
+	}
+}
+
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func runHotPath(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc, "hotpath") || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				banned, ok := hotpathBanned[obj.Pkg().Path()]
+				if !ok {
+					return true
+				}
+				if len(banned) == 0 || banned[obj.Name()] {
+					pass.Reportf(call.Pos(),
+						"hotpath function %s calls %s.%s: per-row/per-stride loops must stay allocation- and syscall-free (hoist it out of the kernel or drop the //dashdb:hotpath annotation)",
+						strings.TrimSuffix(funcKey(fd), "."), obj.Pkg().Name(), obj.Name())
+				}
+				return true
+			})
+		}
+	}
+}

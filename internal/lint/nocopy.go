@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerNoCopy enforces value-copy hygiene for structs annotated
+// //dashdb:nocopy. The telemetry ScanShard is the motivating case: it is a
+// cache-line-padded counter shard whose identity *is* its address — a
+// by-value copy silently forks the counters (updates land in the copy, the
+// reader sums the original) and reintroduces the false sharing the padding
+// exists to prevent. `go vet`'s copylocks cannot see this because the shard
+// holds no lock. Constructing a value (composite literal, make, new) is
+// fine; copying an existing one is not.
+var AnalyzerNoCopy = &Analyzer{
+	Name:    "nocopy",
+	Doc:     "structs annotated //dashdb:nocopy (padded counter shards) must not be copied by value",
+	Collect: collectNoCopy,
+	Run:     runNoCopy,
+}
+
+func collectNoCopy(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasDirective(ts.Doc, "nocopy") || (len(gd.Specs) == 1 && hasDirective(gd.Doc, "nocopy")) {
+					pass.Facts.NoCopy[pass.Pkg.Path+"."+ts.Name.Name] = true
+				}
+			}
+		}
+	}
+}
+
+// noCopyType reports whether t is a bare (non-pointer) type registered as
+// //dashdb:nocopy.
+func (facts *Facts) noCopyType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return facts.NoCopy[typeName(t)]
+}
+
+func runNoCopy(pass *Pass) {
+	info := pass.Pkg.Info
+	facts := pass.Facts
+	checkFieldList := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			if facts.noCopyType(tv.Type) {
+				pass.Reportf(field.Type.Pos(),
+					"%s passes //dashdb:nocopy type %s by value; use *%s so counter updates land in the shared shard",
+					what, tv.Type, tv.Type)
+			}
+		}
+	}
+
+	// copyExpr reports whether assigning rhs by value duplicates an
+	// existing object (as opposed to constructing a fresh one).
+	copies := func(rhs ast.Expr) bool {
+		switch rhs.(type) {
+		case *ast.CompositeLit:
+			return false // fresh value
+		case *ast.CallExpr:
+			return true // function returning the bare type already copied
+		default:
+			return true
+		}
+	}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkFieldList(n.Recv, "method receiver")
+				checkFieldList(n.Type.Params, "parameter")
+				checkFieldList(n.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(n.Type.Params, "parameter")
+				checkFieldList(n.Type.Results, "result")
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					tv, ok := info.Types[rhs]
+					if !ok || !facts.noCopyType(tv.Type) || !copies(rhs) {
+						continue
+					}
+					pass.Reportf(rhs.Pos(),
+						"assignment copies //dashdb:nocopy type %s by value; take its address instead", tv.Type)
+				}
+			case *ast.ValueSpec:
+				for _, rhs := range n.Values {
+					tv, ok := info.Types[rhs]
+					if !ok || !facts.noCopyType(tv.Type) || !copies(rhs) {
+						continue
+					}
+					pass.Reportf(rhs.Pos(),
+						"declaration copies //dashdb:nocopy type %s by value; take its address instead", tv.Type)
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				var vt types.Type
+				if id, ok := n.Value.(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						vt = obj.Type()
+					} else if obj := info.Uses[id]; obj != nil {
+						vt = obj.Type()
+					}
+				} else if tv, ok := info.Types[n.Value]; ok {
+					vt = tv.Type
+				}
+				if facts.noCopyType(vt) {
+					pass.Reportf(n.Value.Pos(),
+						"range copies //dashdb:nocopy elements of %s by value; iterate by index and use &xs[i]", vt)
+				}
+			case *ast.CallExpr:
+				for _, arg := range n.Args {
+					tv, ok := info.Types[arg]
+					if !ok || !facts.noCopyType(tv.Type) || !copies(arg) {
+						continue
+					}
+					pass.Reportf(arg.Pos(),
+						"call passes //dashdb:nocopy type %s by value; pass a pointer", tv.Type)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,22 @@
+// Package pool exercises the goroutine analyzer: library goroutines with no
+// join and no cancellation leak past their caller.
+package pool
+
+import "sync/atomic"
+
+var work atomic.Int64
+
+func churn() {
+	for i := 0; i < 1000; i++ {
+		work.Add(1)
+	}
+}
+
+func fireAndForget() {
+	go churn()  //lint:expect goroutine
+	go func() { //lint:expect goroutine
+		for {
+			work.Add(1)
+		}
+	}()
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerTypeAssert bans unchecked type assertions in operator and planner
+// code (internal/exec, internal/sql, internal/spark). An unchecked `x.(T)`
+// is a latent panic wired to whatever data reaches it: in the executor that
+// means a malformed plan or an extension operator crashes the whole query
+// instead of failing it with a typed error. The comma-ok form and type
+// switches are always fine; a genuinely-infallible assertion can carry
+// //dashdb:nolint typeassert with a justification.
+var AnalyzerTypeAssert = &Analyzer{
+	Name:  "typeassert",
+	Doc:   "no unchecked type assertions in internal/exec, internal/sql, internal/spark",
+	Match: matchPath("internal/exec", "internal/sql", "internal/spark"),
+	Run:   runTypeAssert,
+}
+
+func runTypeAssert(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		// checked holds assertion nodes that appear in a comma-ok or
+		// type-switch position and are therefore safe.
+		checked := map[*ast.TypeAssertExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == 2 && len(n.Rhs) == 1 {
+					if ta, ok := n.Rhs[0].(*ast.TypeAssertExpr); ok {
+						checked[ta] = true
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == 2 && len(n.Values) == 1 {
+					if ta, ok := n.Values[0].(*ast.TypeAssertExpr); ok {
+						checked[ta] = true
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				switch stmt := n.Assign.(type) {
+				case *ast.ExprStmt:
+					if ta, ok := stmt.X.(*ast.TypeAssertExpr); ok {
+						checked[ta] = true
+					}
+				case *ast.AssignStmt:
+					if len(stmt.Rhs) == 1 {
+						if ta, ok := stmt.Rhs[0].(*ast.TypeAssertExpr); ok {
+							checked[ta] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			ta, ok := n.(*ast.TypeAssertExpr)
+			if !ok || ta.Type == nil || checked[ta] {
+				return true
+			}
+			pass.Reportf(ta.Pos(),
+				"unchecked type assertion %s: use the comma-ok form and return a typed error instead of risking a panic", exprText(ta))
+			return true
+		})
+	}
+}
+
+// exprText renders a short description of the assertion for the diagnostic.
+func exprText(ta *ast.TypeAssertExpr) string {
+	base := "x"
+	if id, ok := ta.X.(*ast.Ident); ok {
+		base = id.Name
+	} else if sel, ok := ta.X.(*ast.SelectorExpr); ok {
+		base = sel.Sel.Name
+	}
+	typ := "T"
+	switch t := ta.Type.(type) {
+	case *ast.Ident:
+		typ = t.Name
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			typ = "*" + id.Name
+		} else if sel, ok := t.X.(*ast.SelectorExpr); ok {
+			typ = "*" + sel.Sel.Name
+		}
+	case *ast.SelectorExpr:
+		typ = t.Sel.Name
+	}
+	return base + ".(" + typ + ")"
+}

@@ -100,6 +100,7 @@ type DataServer struct {
 	ln       net.Listener
 	mu       sync.Mutex
 	closed   bool
+	wg       sync.WaitGroup // joins the accept loop and per-conn handlers
 	bytesOut atomic.Int64
 	rowsOut  atomic.Int64
 }
@@ -112,6 +113,7 @@ func NewDataServer(db *core.DB) (*DataServer, error) {
 		return nil, fmt.Errorf("spark: data server listen: %w", err)
 	}
 	s := &DataServer{db: db, ln: ln}
+	s.wg.Add(1)
 	go s.serve()
 	return s, nil
 }
@@ -126,24 +128,33 @@ func (s *DataServer) BytesSent() int64 { return s.bytesOut.Load() }
 // RowsSent returns the cumulative rows sent.
 func (s *DataServer) RowsSent() int64 { return s.rowsOut.Load() }
 
-// Close stops the server.
+// Close stops the server and joins the accept loop and every in-flight
+// connection handler, so no goroutine outlives the server.
 func (s *DataServer) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
-	return s.ln.Close()
+	err := s.ln.Close()
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
 }
 
 func (s *DataServer) serve() {
+	defer s.wg.Done()
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
 			return
 		}
-		go s.handle(conn)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
 	}
 }
 

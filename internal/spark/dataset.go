@@ -167,6 +167,52 @@ func (d *Dataset) Aggregate(zero func() interface{}, seqOp func(acc interface{},
 	return acc
 }
 
+// AccTypeError reports an Aggregate contract violation: a seqOp or combOp
+// returned an accumulator of the wrong dynamic type.
+type AccTypeError struct {
+	Want string
+	Got  interface{}
+}
+
+func (e *AccTypeError) Error() string {
+	return fmt.Sprintf("spark: aggregate accumulator is %T, want %s", e.Got, e.Want)
+}
+
+// AggregateTyped is Aggregate with a typed accumulator. It centralizes the
+// interface{} boundary in one place with comma-ok conversions, so ML call
+// sites carry no unchecked type assertions: a mismatched accumulator (a
+// broken seqOp/combOp contract) surfaces as an *AccTypeError instead of a
+// panic in the middle of a distributed job.
+func AggregateTyped[T any](d *Dataset, zero func() T, seqOp func(T, types.Row) T, combOp func(T, T) T) (T, error) {
+	res := d.Aggregate(
+		func() interface{} { return zero() },
+		func(acc interface{}, row types.Row) interface{} {
+			a, ok := acc.(T)
+			if !ok {
+				return acc // preserve the bad value; reported after the fold
+			}
+			return seqOp(a, row)
+		},
+		func(x, y interface{}) interface{} {
+			a, aok := x.(T)
+			b, bok := y.(T)
+			if !aok {
+				return x
+			}
+			if !bok {
+				return y
+			}
+			return combOp(a, b)
+		},
+	)
+	out, ok := res.(T)
+	if !ok {
+		var want T
+		return want, &AccTypeError{Want: fmt.Sprintf("%T", want), Got: res}
+	}
+	return out, nil
+}
+
 // ReduceByKey groups rows by the key column ordinal and reduces the value
 // column ordinal with fn (a minimal shuffle).
 func (d *Dataset) ReduceByKey(keyCol, valCol int, fn func(a, b types.Value) types.Value) map[types.Value]types.Value {

@@ -63,10 +63,9 @@ func (d *Dataset) TrainGLM(labelCol int, featureCols []int, cfg GLMConfig) (*GLM
 		sum, sumSq []float64
 		n          int
 	}
-	st := d.Aggregate(
-		func() interface{} { return &stats{sum: make([]float64, nf), sumSq: make([]float64, nf)} },
-		func(acc interface{}, row types.Row) interface{} {
-			s := acc.(*stats)
+	st, err := AggregateTyped(d,
+		func() *stats { return &stats{sum: make([]float64, nf), sumSq: make([]float64, nf)} },
+		func(s *stats, row types.Row) *stats {
 			for i, fc := range featureCols {
 				v, ok := row[fc].AsFloat()
 				if !ok {
@@ -78,8 +77,7 @@ func (d *Dataset) TrainGLM(labelCol int, featureCols []int, cfg GLMConfig) (*GLM
 			s.n++
 			return s
 		},
-		func(a, b interface{}) interface{} {
-			x, y := a.(*stats), b.(*stats)
+		func(x, y *stats) *stats {
 			for i := range x.sum {
 				x.sum[i] += y.sum[i]
 				x.sumSq[i] += y.sumSq[i]
@@ -87,7 +85,10 @@ func (d *Dataset) TrainGLM(labelCol int, featureCols []int, cfg GLMConfig) (*GLM
 			x.n += y.n
 			return x
 		},
-	).(*stats)
+	)
+	if err != nil {
+		return nil, err
+	}
 	if st.n == 0 {
 		return nil, fmt.Errorf("spark: GLM has no usable training rows")
 	}
@@ -105,10 +106,9 @@ func (d *Dataset) TrainGLM(labelCol int, featureCols []int, cfg GLMConfig) (*GLM
 
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		w, b := model.Weights, model.Intercept
-		grad := d.Aggregate(
-			func() interface{} { return &glmGrad{g: make([]float64, nf)} },
-			func(acc interface{}, row types.Row) interface{} {
-				gr := acc.(*glmGrad)
+		grad, err := AggregateTyped(d,
+			func() *glmGrad { return &glmGrad{g: make([]float64, nf)} },
+			func(gr *glmGrad, row types.Row) *glmGrad {
 				yv, ok := row[labelCol].AsFloat()
 				if !ok {
 					return gr
@@ -143,8 +143,7 @@ func (d *Dataset) TrainGLM(labelCol int, featureCols []int, cfg GLMConfig) (*GLM
 				gr.n++
 				return gr
 			},
-			func(a, b interface{}) interface{} {
-				x, y := a.(*glmGrad), b.(*glmGrad)
+			func(x, y *glmGrad) *glmGrad {
 				for i := range x.g {
 					x.g[i] += y.g[i]
 				}
@@ -153,7 +152,10 @@ func (d *Dataset) TrainGLM(labelCol int, featureCols []int, cfg GLMConfig) (*GLM
 				x.n += y.n
 				return x
 			},
-		).(*glmGrad)
+		)
+		if err != nil {
+			return nil, err
+		}
 		if grad.n == 0 {
 			return nil, fmt.Errorf("spark: GLM has no usable training rows")
 		}
@@ -218,16 +220,15 @@ func (d *Dataset) KMeans(featureCols []int, k, maxIter int) (*KMeansModel, error
 	}
 	for iter := 0; iter < maxIter; iter++ {
 		model.Iterations = iter + 1
-		p := d.Aggregate(
-			func() interface{} {
+		p, err := AggregateTyped(d,
+			func() *partial {
 				pp := &partial{sum: make([][]float64, k), cnt: make([]int, k)}
 				for i := range pp.sum {
 					pp.sum[i] = make([]float64, nf)
 				}
 				return pp
 			},
-			func(acc interface{}, row types.Row) interface{} {
-				pp := acc.(*partial)
+			func(pp *partial, row types.Row) *partial {
 				x := make([]float64, nf)
 				for i, fc := range featureCols {
 					v, ok := row[fc].AsFloat()
@@ -253,8 +254,7 @@ func (d *Dataset) KMeans(featureCols []int, k, maxIter int) (*KMeansModel, error
 				pp.cnt[best]++
 				return pp
 			},
-			func(a, b interface{}) interface{} {
-				x, y := a.(*partial), b.(*partial)
+			func(x, y *partial) *partial {
 				for ci := range x.sum {
 					for i := range x.sum[ci] {
 						x.sum[ci][i] += y.sum[ci][i]
@@ -263,7 +263,10 @@ func (d *Dataset) KMeans(featureCols []int, k, maxIter int) (*KMeansModel, error
 				}
 				return x
 			},
-		).(*partial)
+		)
+		if err != nil {
+			return nil, err
+		}
 		moved := 0.0
 		for ci := range centers {
 			if p.cnt[ci] == 0 {

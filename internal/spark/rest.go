@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -24,6 +25,7 @@ import (
 type RESTServer struct {
 	d  *Dispatcher
 	ln net.Listener
+	wg sync.WaitGroup // joins the HTTP serve loop on Close
 }
 
 // jobJSON is the wire form of a job snapshot.
@@ -57,15 +59,26 @@ func NewRESTServer(d *Dispatcher) (*RESTServer, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/spark/jobs", s.handleJobs)
 	mux.HandleFunc("/spark/jobs/", s.handleJob)
-	go http.Serve(ln, mux)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// Serve exits with a "use of closed network connection" error when
+		// Close tears the listener down; that is the shutdown signal, not a
+		// failure.
+		_ = http.Serve(ln, mux) //dashdb:nolint droppederr listener close is the shutdown path
+	}()
 	return s, nil
 }
 
 // URL returns the server's base address, e.g. "http://127.0.0.1:43210".
 func (s *RESTServer) URL() string { return "http://" + s.ln.Addr().String() }
 
-// Close stops the server.
-func (s *RESTServer) Close() error { return s.ln.Close() }
+// Close stops the server and joins its serve loop.
+func (s *RESTServer) Close() error {
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,55 @@
+package sql
+
+import "testing"
+
+// FuzzParseSQL asserts the front end is total: on arbitrary input the
+// lexer and both parser entry points must return a value or an error,
+// never panic, and must uphold their structural contracts (EOF-terminated
+// token streams, non-nil statements on success) under every dialect.
+func FuzzParseSQL(f *testing.F) {
+	seeds := []string{
+		"SELECT 1",
+		"SELECT a, COUNT(*) FROM t WHERE b > 10 GROUP BY a ORDER BY a LIMIT 5;",
+		"SELECT t1.x FROM t1, t2 WHERE t1.id = t2.id(+)",
+		"SELECT x::int FROM t WHERE y ISNULL",
+		"VALUES (1, 'a'), (2, 'b')",
+		"INSERT INTO t (a, b) VALUES (1, 'x')",
+		"CREATE TABLE t (a INT NOT NULL, b VARCHAR(10))",
+		"SELECT DECODE(a, 1, 'one', 'many') FROM DUAL",
+		"SELECT ROWNUM FROM t WHERE ROWNUM <= 10",
+		"SELECT NVL(a, 0) FROM t; SELECT 2;",
+		"SELECT 'it''s' || \"Quoted\" FROM t -- comment\n/* block */",
+		"SELECT NEXT VALUE FOR seq FROM t",
+		"SELECT * FROM a JOIN b USING (id) WHERE c ISTRUE",
+		"SELECT 1 /* unterminated",
+		"'unterminated string",
+		"\"unterminated ident",
+		"\xff\xfe bogus \x00",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	dialects := []Dialect{DialectANSI, DialectOracle, DialectNetezza, DialectDB2}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err == nil {
+			if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+				t.Fatalf("Lex(%q): token stream not EOF-terminated", src)
+			}
+		}
+		for _, d := range dialects {
+			st, err := Parse(src, d)
+			if err == nil && st == nil {
+				t.Fatalf("Parse(%q, %v): nil statement without error", src, d)
+			}
+			sts, err := ParseScript(src, d)
+			if err == nil {
+				for i, s := range sts {
+					if s == nil {
+						t.Fatalf("ParseScript(%q, %v): nil statement %d without error", src, d, i)
+					}
+				}
+			}
+		}
+	})
+}

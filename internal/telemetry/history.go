@@ -61,8 +61,8 @@ const DefaultHistorySize = 256
 type Registry struct {
 	mu   sync.Mutex
 	ring []QueryRecord
-	next int   // next slot to overwrite
-	n    int   // occupied slots
+	next int // next slot to overwrite
+	n    int // occupied slots
 	seq  atomic.Uint64
 
 	slowNanos atomic.Int64

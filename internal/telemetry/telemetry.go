@@ -81,6 +81,8 @@ func (s *OpStats) Wall() time.Duration {
 // ScanShard is one worker's private slice of a parallel scan's counters.
 // The pad keeps adjacent shards on distinct cache lines so workers do not
 // false-share.
+//
+//dashdb:nocopy
 type ScanShard struct {
 	Visited int64 // strides actually evaluated
 	Skipped int64 // strides eliminated by synopsis min/max

@@ -74,6 +74,8 @@ func (v *Vector) Len() int {
 }
 
 // Ix maps a batch position to a payload index (0 for Const vectors).
+//
+//dashdb:hotpath
 func (v *Vector) Ix(i int) int {
 	if v.Const {
 		return 0
@@ -82,6 +84,8 @@ func (v *Vector) Ix(i int) int {
 }
 
 // IsNull reports whether the value at batch position i is NULL.
+//
+//dashdb:hotpath
 func (v *Vector) IsNull(i int) bool {
 	i = v.Ix(i)
 	if v.Nulls != nil && v.Nulls.Get(i) {
@@ -108,6 +112,8 @@ func (v *Vector) SetNull(i int) {
 
 // Set stores val at payload position i, converting to the vector's
 // payload representation. NULL values set the null bit.
+//
+//dashdb:hotpath
 func (v *Vector) Set(i int, val types.Value) {
 	if val.IsNull() {
 		v.SetNull(i)
@@ -128,6 +134,8 @@ func (v *Vector) Set(i int, val types.Value) {
 }
 
 // Get boxes the value at batch position i back into a types.Value.
+//
+//dashdb:hotpath
 func (v *Vector) Get(i int) types.Value {
 	i = v.Ix(i)
 	if v.Any != nil {
@@ -177,6 +185,8 @@ func (b *Batch) Rows() int {
 
 // Idx returns the live positions as a slice: Sel when set, else a cached
 // dense [0..N) index. Kernels range over it in a tight loop.
+//
+//dashdb:hotpath
 func (b *Batch) Idx() []int {
 	if b.Sel != nil {
 		return b.Sel

@@ -25,10 +25,7 @@ func NewBDInsight(scale int, seed int64) *BDInsight {
 
 var bdiChannels = []string{"web", "mobile", "store", "partner"}
 
-var bdiEpoch = func() int64 {
-	d, _ := types.ParseDate("2015-01-01")
-	return d.Int()
-}()
+var bdiEpoch = mustDateInt("2015-01-01")
 
 const bdiDays = 2 * 365
 

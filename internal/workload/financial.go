@@ -37,10 +37,7 @@ var (
 )
 
 // epochDay2010 is 2010-01-01, the start of the 7-year history.
-var epochDay2010 = func() int64 {
-	d, _ := types.ParseDate("2010-01-01")
-	return d.Int()
-}()
+var epochDay2010 = mustDateInt("2010-01-01")
 
 const finHistoryDays = 7 * 365
 

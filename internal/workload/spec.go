@@ -85,6 +85,17 @@ func (k StatementKind) String() string {
 	return [...]string{"SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "TRUNCATE", "WITH", "EXPLAIN"}[k]
 }
 
+// mustDateInt resolves a compile-time-constant date literal to its day
+// ordinal for the generator epochs. A typo is a programming error, so it
+// panics at package init rather than silently dropping the parse error.
+func mustDateInt(s string) int64 {
+	d, err := types.ParseDate(s)
+	if err != nil {
+		panic("workload: bad epoch literal " + s + ": " + err.Error())
+	}
+	return d.Int()
+}
+
 // Statement is one unit of the mixed customer workload.
 type Statement struct {
 	Kind  StatementKind

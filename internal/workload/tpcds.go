@@ -30,10 +30,7 @@ var (
 	tpcdsSegments   = []string{"consumer", "corporate", "hobbyist"}
 )
 
-var tpcdsEpoch = func() int64 {
-	d, _ := types.ParseDate("2014-01-01")
-	return d.Int()
-}()
+var tpcdsEpoch = mustDateInt("2014-01-01")
 
 const tpcdsDays = 3 * 365
 

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Static analysis gate: go vet plus the project's own invariant checkers
+# (cmd/dashdb-lint) in machine-readable form. Exits non-zero on any
+# finding so CI can fail the build.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go run ./cmd/dashdb-lint -json ./...

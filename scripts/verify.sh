@@ -1,14 +1,19 @@
 #!/bin/sh
-# Tier-1 verification: build, vet, full test suite, then race-detector
-# runs over the packages with real concurrency (the morsel-driven scan,
-# the parallel partitioned aggregation, and the vectorized pipeline —
-# including the SQL layer that compiles into it, the telemetry counters
-# it feeds, and the buffer pool underneath).
+# Tier-1 verification: build, vet, the project's own invariant analyzers
+# (dashdb-lint), the full test suite, and a race-detector pass over every
+# package. Set DASHDB_FUZZ=1 to add a 10-second smoke run of each fuzz
+# target (SQL front end totality, encoder round-trip identity).
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+go run ./cmd/dashdb-lint ./...
 go test ./...
-go test -race ./internal/columnar/... ./internal/exec/... ./internal/sql/... ./internal/telemetry/... ./internal/bufferpool/...
+go test -race ./...
+
+if [ "${DASHDB_FUZZ:-0}" = "1" ]; then
+	go test -run=NONE -fuzz=FuzzParseSQL -fuzztime=10s ./internal/sql/
+	go test -run=NONE -fuzz=FuzzEncodingRoundTrip -fuzztime=10s ./internal/encoding/
+fi
