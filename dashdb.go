@@ -104,6 +104,14 @@ type Options struct {
 	// CachePolicy selects the buffer pool policy: "PROB" (default),
 	// "LRU", "CLOCK" — the experiment F-E ablation hook.
 	CachePolicy string
+	// SortHeapBytes / HashHeapBytes override the auto-configured memory
+	// governor budgets (the F-S spill experiment hook). Zero keeps the
+	// auto-derived shares; DASHDB_SORTHEAP / DASHDB_HASHHEAP env knobs
+	// override both.
+	SortHeapBytes int64
+	HashHeapBytes int64
+	// TempDir places spill files; empty uses a private os.MkdirTemp dir.
+	TempDir string
 }
 
 // DB is a single-node embedded dashDB Local engine.
@@ -129,17 +137,32 @@ func Open(opts Options) *DB {
 	if opts.BufferPoolBytes == 0 && pool > 256<<20 {
 		pool = 256 << 20
 	}
+	sortHeap, hashHeap := cfg.SortHeapBytes, cfg.HashHeapBytes
+	if opts.SortHeapBytes > 0 {
+		sortHeap = opts.SortHeapBytes
+	}
+	if opts.HashHeapBytes > 0 {
+		hashHeap = opts.HashHeapBytes
+	}
 	db := core.Open(core.Config{
 		BufferPoolBytes:      pool,
 		Parallelism:          cfg.QueryParallelism(),
 		MaxConcurrentQueries: cfg.MaxConcurrency,
 		CachePolicy:          opts.CachePolicy,
+		SortHeapBytes:        sortHeap,
+		HashHeapBytes:        hashHeap,
+		TempDir:              opts.TempDir,
 	})
 	return &DB{inner: db, session: db.NewSession(), cfg: cfg}
 }
 
 // Config returns the engine's auto-derived configuration.
 func (db *DB) Config() EngineConfig { return db.cfg }
+
+// Close releases engine resources (the memory governor's spill directory).
+// Queries against a closed DB still work, but spilling operators will fail
+// to create run files.
+func (db *DB) Close() error { return db.inner.Close() }
 
 // Exec parses and executes one SQL statement on the default session.
 func (db *DB) Exec(sqlText string) (*Result, error) { return db.session.Exec(sqlText) }

@@ -9,6 +9,7 @@ import (
 	"dashdb/internal/columnar"
 	"dashdb/internal/encoding"
 	"dashdb/internal/exec"
+	"dashdb/internal/mem"
 	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
 )
@@ -198,6 +199,71 @@ func BenchmarkInstrumentedScan(b *testing.B) {
 				}
 				if ss.RowsScanned() == 0 {
 					b.Fatal("instrumented scan recorded no rows")
+				}
+			}
+		})
+	}
+}
+
+func TestFigureSShape(t *testing.T) {
+	s, err := FigureS(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"F-S memory governor", "external sort", "grace join", "group-by spill", "10% heap", "spill runs="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("figure missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// BenchmarkExternalSort measures the sort operator at full, half and
+// one-tenth heap: heap=100 is the in-memory baseline, the smaller budgets
+// pay external-merge I/O for bounded memory (experiment F-S).
+func BenchmarkExternalSort(b *testing.B) {
+	tbl, err := parallelBenchTable(200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := spillWorkloads(tbl)[0]
+	peak, err := heapPeak(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pct := range []int64{100, 50, 10} {
+		b.Run(fmt.Sprintf("heap=%d", pct), func(b *testing.B) {
+			broker := mem.NewBroker(peak*pct/100+4096, peak*pct/100+4096, b.TempDir())
+			defer broker.Close()
+			gov := &mem.Governor{Broker: broker}
+			for i := 0; i < b.N; i++ {
+				if err := drainOp(w.build(gov)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGraceJoin measures the self-join at full, half and one-tenth
+// hash heap; smaller budgets spill build partitions Grace-style.
+func BenchmarkGraceJoin(b *testing.B) {
+	tbl, err := parallelBenchTable(100_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := spillWorkloads(tbl)[1]
+	peak, err := heapPeak(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pct := range []int64{100, 50, 10} {
+		b.Run(fmt.Sprintf("heap=%d", pct), func(b *testing.B) {
+			broker := mem.NewBroker(peak*pct/100+4096, peak*pct/100+4096, b.TempDir())
+			defer broker.Close()
+			gov := &mem.Governor{Broker: broker}
+			for i := 0; i < b.N; i++ {
+				if err := drainOp(w.build(gov)); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"dashdb/internal/bufferpool"
 	"dashdb/internal/catalog"
 	"dashdb/internal/columnar"
+	"dashdb/internal/mem"
 	"dashdb/internal/sql"
 	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
@@ -44,6 +46,19 @@ type Config struct {
 	// QueryHistorySize bounds the MON_QUERY_HISTORY ring. 0 selects the
 	// telemetry default (256).
 	QueryHistorySize int
+	// SortHeapBytes budgets ORDER BY memory across all sessions; sorts
+	// beyond it spill to disk (external merge sort). 0 selects the
+	// mem.Broker default. The DASHDB_SORTHEAP environment variable
+	// overrides it ("1MB"-style sizes).
+	SortHeapBytes int64
+	// HashHeapBytes budgets hash join builds and grouped aggregation;
+	// overflow spills (Grace join / aggregate runs). 0 selects the
+	// mem.Broker default. DASHDB_HASHHEAP overrides it.
+	HashHeapBytes int64
+	// TempDir hosts spill files. "" places a per-engine directory under
+	// the OS temp dir; a caller-provided directory is swept of stale
+	// *.spill files at first use (crash recovery).
+	TempDir string
 }
 
 // Procedure is a stored procedure callable via SQL CALL (the Spark
@@ -52,12 +67,13 @@ type Procedure func(s *Session, args []types.Value) (*Result, error)
 
 // DB is one database engine instance.
 type DB struct {
-	cat   *catalog.Catalog
-	pool  *bufferpool.Pool
-	store columnar.PageStore
-	cfg   Config
-	wlm   *wlm.Manager
-	reg   *telemetry.Registry
+	cat    *catalog.Catalog
+	pool   *bufferpool.Pool
+	store  columnar.PageStore
+	cfg    Config
+	wlm    *wlm.Manager
+	reg    *telemetry.Registry
+	broker *mem.Broker
 
 	mu    sync.RWMutex
 	procs map[string]Procedure
@@ -89,22 +105,47 @@ func Open(cfg Config) *DB {
 	if histSize <= 0 {
 		histSize = telemetry.DefaultHistorySize
 	}
+	// Environment knobs override configured heap budgets (the CI
+	// low-memory gate runs the whole suite with tiny heaps to force every
+	// spill path).
+	if v := os.Getenv("DASHDB_SORTHEAP"); v != "" {
+		if n, err := mem.ParseBytes(v); err == nil {
+			cfg.SortHeapBytes = n
+		}
+	}
+	if v := os.Getenv("DASHDB_HASHHEAP"); v != "" {
+		if n, err := mem.ParseBytes(v); err == nil {
+			cfg.HashHeapBytes = n
+		}
+	}
 	db := &DB{
-		cat:   catalog.New(),
-		pool:  bufferpool.New(cfg.BufferPoolBytes, policy),
-		store: store,
-		cfg:   cfg,
-		wlm:   wlm.New(cfg.MaxConcurrentQueries),
-		reg:   telemetry.NewRegistry(histSize),
-		procs: make(map[string]Procedure),
-		udx:   sql.NewFuncRegistry(),
+		cat:    catalog.New(),
+		pool:   bufferpool.New(cfg.BufferPoolBytes, policy),
+		store:  store,
+		cfg:    cfg,
+		wlm:    wlm.New(cfg.MaxConcurrentQueries),
+		reg:    telemetry.NewRegistry(histSize),
+		broker: mem.NewBroker(cfg.SortHeapBytes, cfg.HashHeapBytes, cfg.TempDir),
+		procs:  make(map[string]Procedure),
+		udx:    sql.NewFuncRegistry(),
 	}
 	if cfg.MaxQueuedQueries > 0 {
 		db.wlm.SetMaxQueued(cfg.MaxQueuedQueries)
 	}
+	db.wlm.SetMemoryGate(db.broker.Exhausted)
 	db.registerSystemViews()
 	return db
 }
+
+// Close shuts the engine down: the spill directory (and any files a
+// crashed query left behind) is removed. Idempotent; sessions must not be
+// used afterwards.
+func (db *DB) Close() error {
+	return db.broker.Close()
+}
+
+// MemBroker exposes the memory governor (monitoring and tests).
+func (db *DB) MemBroker() *mem.Broker { return db.broker }
 
 // Catalog exposes the catalog (MPP coordinator and Spark integration).
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
@@ -178,6 +219,11 @@ type Session struct {
 	// intra-query parallelism degree (SET PARALLELISM n); 0 = use the
 	// engine default from deploy auto-configuration.
 	parallelism int
+	// sortHeap/hashHeap cap each operator's memory reservation for this
+	// session (SET SORTHEAP n / SET HASHHEAP n); 0 = the engine heap
+	// budget from auto-configuration.
+	sortHeap int64
+	hashHeap int64
 }
 
 // Parallelism returns the session's effective intra-query parallelism
@@ -275,6 +321,7 @@ func (s *Session) compiler() *sql.Compiler {
 	c := sql.NewCompiler(s.db.cat, s.dialect, s.env())
 	c.UDX = s.db.udx
 	c.Parallelism = s.Parallelism()
+	c.Gov = &mem.Governor{Broker: s.db.broker, SortLimit: s.sortHeap, HashLimit: s.hashHeap}
 	s.mu.Lock()
 	c.Params = s.params
 	s.mu.Unlock()

@@ -8,6 +8,7 @@ import (
 
 	"dashdb/internal/columnar"
 	"dashdb/internal/exec"
+	"dashdb/internal/mem"
 	"dashdb/internal/sql"
 	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
@@ -462,6 +463,28 @@ func (s *Session) executeSet(stmt *sql.SetStmt) (*Result, error) {
 		}
 		s.db.reg.SetSlowThreshold(time.Duration(ms) * time.Millisecond)
 		return &Result{Message: fmt.Sprintf("SLOW_QUERY_THRESHOLD_MS %d", ms)}, nil
+	case "SORTHEAP", "HASHHEAP":
+		// Per-session heap caps for the memory governor. AUTO/DEFAULT/0
+		// restores the broker-wide budget; sizes accept K/M/G suffixes
+		// (SET SORTHEAP 4MB forces external sorts on modest inputs).
+		v := strings.ToUpper(strings.TrimSpace(stmt.Value))
+		var limit int64
+		if v != "DEFAULT" && v != "AUTO" && v != "0" {
+			n, err := mem.ParseBytes(v)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("core: SET %s expects a byte size (e.g. 16MB), AUTO or DEFAULT, got %q", name, stmt.Value)
+			}
+			limit = n
+		}
+		if name == "SORTHEAP" {
+			s.sortHeap = limit
+		} else {
+			s.hashHeap = limit
+		}
+		if limit == 0 {
+			return &Result{Message: name + " AUTO"}, nil
+		}
+		return &Result{Message: fmt.Sprintf("%s %d", name, limit)}, nil
 	}
 	// Other session variables are accepted and ignored (config surface).
 	return &Result{Message: "OK"}, nil

@@ -64,6 +64,10 @@ type planEntry struct {
 	text  string
 	stats *telemetry.OpStats
 	scan  *telemetry.ScanStats
+	// Spill counters from blocking operators under the memory governor
+	// (read post-drain; the counters outlive the heap reservation).
+	spillRuns  int64
+	spillBytes int64
 }
 
 // collectPlan flattens an operator tree (instrumented or not) into plan
@@ -91,6 +95,9 @@ func renderPlan(entries []planEntry, analyze bool) []string {
 			if e.scan != nil {
 				line += fmt.Sprintf(" [strides: %d visited, %d skipped, skip=%.1f%%]",
 					e.scan.StridesVisited(), e.scan.StridesSkipped(), e.scan.SkipRatio()*100)
+			}
+			if e.spillRuns > 0 || e.spillBytes > 0 {
+				line += fmt.Sprintf(" [spill: runs=%d, bytes=%d]", e.spillRuns, e.spillBytes)
 			}
 		}
 		lines[i] = line
@@ -122,6 +129,8 @@ func freezeOps(entries []planEntry) []telemetry.OpRecord {
 				r.Rows = e.scan.RowsScanned()
 			}
 		}
+		r.SpillRuns = e.spillRuns
+		r.SpillBytes = e.spillBytes
 		out[i] = r
 	}
 	return out
@@ -136,6 +145,11 @@ func freezeOps(entries []planEntry) []telemetry.OpRecord {
 func collectOp(op exec.Operator, depth int, st *telemetry.OpStats, out *[]planEntry) {
 	add := func(text string, scan *telemetry.ScanStats) {
 		*out = append(*out, planEntry{depth: depth, text: text, stats: st, scan: scan})
+	}
+	// addSpill tags the just-added entry with the operator's spill counters.
+	addSpill := func(runs, bytes int64) {
+		e := &(*out)[len(*out)-1]
+		e.spillRuns, e.spillBytes = runs, bytes
 	}
 	switch o := op.(type) {
 	case *exec.StatsOp:
@@ -166,6 +180,7 @@ func collectOp(op exec.Operator, depth int, st *telemetry.OpStats, out *[]planEn
 		collectOp(o.Child, depth+1, nil, out)
 	case *exec.HashJoinOp:
 		add(fmt.Sprintf("HASH JOIN (%s)", joinName(o.Type)), nil)
+		addSpill(o.SpillStats())
 		collectOp(o.Left, depth+1, nil, out)
 		collectOp(o.Right, depth+1, nil, out)
 	case *exec.NestedLoopJoinOp:
@@ -178,9 +193,11 @@ func collectOp(op exec.Operator, depth int, st *telemetry.OpStats, out *[]planEn
 			tag = " [vectorized]"
 		}
 		add(fmt.Sprintf("GROUP BY [%d keys, %d aggregates]%s", len(o.GroupBy), len(o.Aggs), tag), nil)
+		addSpill(o.SpillStats())
 		collectOp(o.Child, depth+1, nil, out)
 	case *exec.ParallelGroupByOp:
 		add(fmt.Sprintf("PARALLEL GROUP BY [dop=%d, %d keys, %d aggregates]", o.Dop, len(o.GroupBy), len(o.Aggs)), nil)
+		addSpill(o.SpillStats())
 		scan := fmt.Sprintf("PARALLEL COLUMNAR SCAN %s [dop=%d]", o.Table.Name(), o.Dop)
 		if len(o.Preds) > 0 {
 			scan += " [pushdown: " + predString(o.Table, o.Preds) + "]"
@@ -188,6 +205,7 @@ func collectOp(op exec.Operator, depth int, st *telemetry.OpStats, out *[]planEn
 		*out = append(*out, planEntry{depth: depth + 1, text: scan, scan: o.ScanStats})
 	case *exec.SortOp:
 		add(fmt.Sprintf("SORT [%d keys] [row]", len(o.Keys)), nil)
+		addSpill(o.SpillStats())
 		collectOp(o.Child, depth+1, nil, out)
 	case *exec.LimitOp:
 		add(fmt.Sprintf("LIMIT %d OFFSET %d [row]", o.Limit, o.Offset), nil)

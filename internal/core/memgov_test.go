@@ -1,0 +1,85 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dashdb/internal/mem"
+)
+
+// TestMemoryGovernorSQL drives the memory governor through the SQL
+// surface: SET SORTHEAP/HASHHEAP cap the session, spilled queries stay
+// correct, EXPLAIN ANALYZE and MON_MEMORY report the pressure, and the
+// spill directory is empty once the queries finish.
+func TestMemoryGovernorSQL(t *testing.T) {
+	dir := t.TempDir()
+	db := Open(Config{BufferPoolBytes: 16 << 20, Parallelism: 2, TempDir: dir})
+	defer db.Close()
+	s := db.NewSession()
+	seedSales(t, s, 20_000)
+
+	want := mustExec(t, s, `SELECT id FROM sales ORDER BY amount, id`)
+
+	// Byte-size suffixes lex as number+ident; SET must glue them back.
+	if r := mustExec(t, s, `SET SORTHEAP 64KB`); r.Message != "SORTHEAP 65536" {
+		t.Fatalf("SET SORTHEAP 64KB: %q", r.Message)
+	}
+	mustExec(t, s, `SET HASHHEAP 64KB`)
+	if _, err := s.Exec(`SET SORTHEAP banana`); err == nil {
+		t.Fatal("SET SORTHEAP banana should fail")
+	}
+
+	got := mustExec(t, s, `SELECT id FROM sales ORDER BY amount, id`)
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("spilled sort row count %d, want %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if got.Rows[i][0].Int() != want.Rows[i][0].Int() {
+			t.Fatalf("row %d: spilled sort %d, in-memory %d", i, got.Rows[i][0].Int(), want.Rows[i][0].Int())
+		}
+	}
+
+	r := mustExec(t, s, `EXPLAIN ANALYZE SELECT id FROM sales ORDER BY amount`)
+	if plan := planText(r); !strings.Contains(plan, "[spill: runs=") {
+		t.Fatalf("analyze plan missing spill annotation:\n%s", plan)
+	}
+
+	r = mustExec(t, s, `SELECT heap, spill_runs, spill_bytes FROM mon_memory ORDER BY heap`)
+	var sawSortSpill bool
+	for _, row := range r.Rows {
+		if row[0].Str() == "SORTHEAP" && row[1].Int() > 0 && row[2].Int() > 0 {
+			sawSortSpill = true
+		}
+	}
+	if !sawSortSpill {
+		t.Fatalf("MON_MEMORY shows no SORTHEAP spill: %v", r.Rows)
+	}
+
+	if left, _ := filepath.Glob(filepath.Join(dir, "*"+mem.SpillSuffix)); len(left) > 0 {
+		t.Fatalf("spill files left behind: %v", left)
+	}
+
+	if r := mustExec(t, s, `SET SORTHEAP DEFAULT`); r.Message != "SORTHEAP AUTO" {
+		t.Fatalf("SET SORTHEAP DEFAULT: %q", r.Message)
+	}
+}
+
+// TestMemoryGovernorEnvKnobs covers the DASHDB_SORTHEAP/DASHDB_HASHHEAP
+// environment overrides used by the verify.sh low-memory gate.
+func TestMemoryGovernorEnvKnobs(t *testing.T) {
+	os.Setenv("DASHDB_SORTHEAP", "1MB")
+	os.Setenv("DASHDB_HASHHEAP", "1MB")
+	defer os.Unsetenv("DASHDB_SORTHEAP")
+	defer os.Unsetenv("DASHDB_HASHHEAP")
+
+	db := Open(Config{BufferPoolBytes: 16 << 20, Parallelism: 2, TempDir: t.TempDir()})
+	defer db.Close()
+	heaps, _ := db.MemBroker().Stats()
+	for _, h := range heaps {
+		if h.BudgetBytes != 1<<20 {
+			t.Fatalf("%s budget %d, want %d", h.Heap, h.BudgetBytes, 1<<20)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 //	SELECT * FROM MON_OPERATOR_STATS
 //	SELECT * FROM MON_BUFFERPOOL
 //	SELECT * FROM MON_WLM
+//	SELECT * FROM MON_MEMORY
 
 // syscatTables lists base tables with row counts and storage.
 type syscatTables struct{ db *DB }
@@ -270,6 +271,49 @@ func (m *monWLM) ScanAll() ([]types.Row, error) {
 	}}, nil
 }
 
+// monMemory is the memory governor's per-heap counters: one row per heap
+// (SORTHEAP, HASHHEAP) with budget, live usage, peak, grant/denial counts
+// and cumulative spill activity, plus the active-reservation count.
+type monMemory struct{ db *DB }
+
+func (m *monMemory) Origin() string { return "MON" }
+
+func (m *monMemory) Schema() types.Schema {
+	return types.Schema{
+		{Name: "heap", Kind: types.KindString},
+		{Name: "budget_bytes", Kind: types.KindInt},
+		{Name: "used_bytes", Kind: types.KindInt},
+		{Name: "peak_bytes", Kind: types.KindInt},
+		{Name: "grants", Kind: types.KindInt},
+		{Name: "denials", Kind: types.KindInt},
+		{Name: "spill_runs", Kind: types.KindInt},
+		{Name: "spill_bytes", Kind: types.KindInt},
+		{Name: "active_reservations", Kind: types.KindInt},
+		{Name: "memory_stalls", Kind: types.KindInt},
+	}
+}
+
+func (m *monMemory) ScanAll() ([]types.Row, error) {
+	heaps, active := m.db.broker.Stats()
+	stalls := int64(m.db.wlm.Stats().MemoryStalls)
+	out := make([]types.Row, 0, len(heaps))
+	for _, h := range heaps {
+		out = append(out, types.Row{
+			types.NewString(h.Heap.String()),
+			types.NewInt(h.BudgetBytes),
+			types.NewInt(h.UsedBytes),
+			types.NewInt(h.PeakBytes),
+			types.NewInt(h.Grants),
+			types.NewInt(h.Denials),
+			types.NewInt(h.SpillRuns),
+			types.NewInt(h.SpillBytes),
+			types.NewInt(active),
+			types.NewInt(stalls),
+		})
+	}
+	return out, nil
+}
+
 // registerSystemViews installs the SYSCAT nicknames; failures are
 // impossible on a fresh catalog and ignored defensively.
 func (db *DB) registerSystemViews() {
@@ -280,4 +324,5 @@ func (db *DB) registerSystemViews() {
 	db.cat.CreateNickname("mon_operator_stats", &monOperatorStats{db: db})
 	db.cat.CreateNickname("mon_bufferpool", &monBufferPool{db: db})
 	db.cat.CreateNickname("mon_wlm", &monWLM{db: db})
+	db.cat.CreateNickname("mon_memory", &monMemory{db: db})
 }

@@ -1,0 +1,162 @@
+// Row spill codec: a compact, self-delimiting binary format used by the
+// memory governor's spill paths (external sort runs, Grace join
+// partitions, aggregate run files). Unlike the gob wire format in
+// marshal.go — which favours cross-version robustness for client
+// traffic — this codec favours raw write/read throughput: a one-byte
+// kind/null tag per value, varint integers, raw 8-byte float bits and
+// length-prefixed strings.
+//
+// Layout per row:
+//
+//	uvarint  column count
+//	per column:
+//	  byte   tag = kind (low 7 bits) | 0x80 if NULL
+//	  varint           KindBool/KindInt/KindDate/KindTimestamp payload
+//	  8 bytes LE       KindFloat bits (NaN round-trips exactly)
+//	  uvarint + bytes  KindString payload
+//
+// NULLs carry the kind so a typed NULL survives the round trip.
+package encoding
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"dashdb/internal/types"
+)
+
+const nullBit = 0x80
+
+// RowWriter streams rows into an io.Writer in spill format.
+type RowWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewRowWriter returns a writer that appends rows to w. The caller owns
+// buffering; mem.SpillFile already writes through a bufio.Writer.
+func NewRowWriter(w io.Writer) *RowWriter {
+	return &RowWriter{w: w, buf: make([]byte, 0, 256)}
+}
+
+// WriteRow appends one row and returns the encoded size in bytes.
+func (rw *RowWriter) WriteRow(r types.Row) (int, error) {
+	b := rw.buf[:0]
+	b = binary.AppendUvarint(b, uint64(len(r)))
+	for _, v := range r {
+		tag := byte(v.Kind())
+		if v.IsNull() {
+			b = append(b, tag|nullBit)
+			continue
+		}
+		b = append(b, tag)
+		switch v.Kind() {
+		case types.KindBool, types.KindInt, types.KindDate, types.KindTimestamp:
+			b = binary.AppendVarint(b, v.Int())
+		case types.KindFloat:
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.Float()))
+		case types.KindString:
+			s := v.Str()
+			b = binary.AppendUvarint(b, uint64(len(s)))
+			b = append(b, s...)
+		default:
+			return 0, fmt.Errorf("encoding: cannot spill %v value", v.Kind())
+		}
+	}
+	rw.buf = b
+	n, err := rw.w.Write(b)
+	if err != nil {
+		return n, fmt.Errorf("encoding: spill write: %w", err)
+	}
+	return n, nil
+}
+
+// RowReader streams rows back out of spill format.
+type RowReader struct {
+	r   *bufio.Reader
+	str []byte
+}
+
+// NewRowReader reads rows from r (wrapped in a bufio.Reader unless it
+// already is one).
+func NewRowReader(r io.Reader) *RowReader {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	return &RowReader{r: br}
+}
+
+// ReadRow decodes the next row, returning io.EOF cleanly at end of stream.
+func (rr *RowReader) ReadRow() (types.Row, error) {
+	n, err := binary.ReadUvarint(rr.r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("encoding: spill read: %w", err)
+	}
+	row := make(types.Row, n)
+	for i := range row {
+		tag, err := rr.r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("encoding: spill read: truncated row: %w", err)
+		}
+		kind := types.Kind(tag &^ nullBit)
+		if tag&nullBit != 0 {
+			row[i] = types.NullOf(kind)
+			continue
+		}
+		switch kind {
+		case types.KindBool:
+			x, err := binary.ReadVarint(rr.r)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: spill read: %w", err)
+			}
+			row[i] = types.NewBool(x != 0)
+		case types.KindInt:
+			x, err := binary.ReadVarint(rr.r)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: spill read: %w", err)
+			}
+			row[i] = types.NewInt(x)
+		case types.KindDate:
+			x, err := binary.ReadVarint(rr.r)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: spill read: %w", err)
+			}
+			row[i] = types.NewDate(x)
+		case types.KindTimestamp:
+			x, err := binary.ReadVarint(rr.r)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: spill read: %w", err)
+			}
+			row[i] = types.NewTimestamp(x)
+		case types.KindFloat:
+			var bits [8]byte
+			if _, err := io.ReadFull(rr.r, bits[:]); err != nil {
+				return nil, fmt.Errorf("encoding: spill read: %w", err)
+			}
+			row[i] = types.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(bits[:])))
+		case types.KindString:
+			ln, err := binary.ReadUvarint(rr.r)
+			if err != nil {
+				return nil, fmt.Errorf("encoding: spill read: %w", err)
+			}
+			if uint64(cap(rr.str)) < ln {
+				rr.str = make([]byte, ln)
+			}
+			buf := rr.str[:ln]
+			if _, err := io.ReadFull(rr.r, buf); err != nil {
+				return nil, fmt.Errorf("encoding: spill read: %w", err)
+			}
+			row[i] = types.NewString(string(buf))
+		default:
+			return nil, fmt.Errorf("encoding: spill read: bad tag %#x", tag)
+		}
+	}
+	return row, nil
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"dashdb/internal/mem"
 	"dashdb/internal/types"
 	"dashdb/internal/vec"
 )
@@ -301,11 +302,22 @@ func percentileDisc(vals []float64, p float64) types.Value {
 // GroupByOp evaluates grouped aggregation. With no group expressions it
 // produces a single global group (one row even over empty input, per SQL).
 // Grouping is hash-based over the group key values.
+//
+// With a governor the partial hash table is charged against a HASHHEAP
+// reservation; when a Grow is denied the whole table spills to disk as a
+// run of group states and ingestion restarts with an empty table. Runs are
+// merged back (accumulator.merge) before emit, so results are identical to
+// the in-memory path.
 type GroupByOp struct {
 	Child     Operator
 	GroupBy   []Expr
 	GroupCols types.Schema // names/kinds for the group key outputs
 	Aggs      []AggSpec
+	Gov       *mem.Governor
+
+	res      *mem.Reservation
+	runs     []*mem.SpillFile
+	memBytes int64
 
 	out     types.Schema
 	results []types.Row
@@ -346,6 +358,7 @@ func (g *GroupByOp) Open() error {
 		return err
 	}
 	defer g.Child.Close()
+	g.res = g.Gov.Acquire(mem.HashHeap)
 	groups := make(map[uint64][]*groupState)
 	var order []*groupState
 	var err error
@@ -357,6 +370,16 @@ func (g *GroupByOp) Open() error {
 	if err != nil {
 		return err
 	}
+	// Fold spilled partials back into the live table before emitting.
+	for _, f := range g.runs {
+		if err := mergeSpilled(f, g.res, groups, &order, len(g.Aggs)); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	g.runs = nil
 	if len(order) == 0 && len(g.GroupBy) == 0 {
 		order = append(order, &groupState{accs: make([]accumulator, len(g.Aggs))})
 	}
@@ -374,21 +397,57 @@ func (g *GroupByOp) Open() error {
 }
 
 // lookupGroup finds or creates the state for a group key.
-func lookupGroup(groups map[uint64][]*groupState, order *[]*groupState, key types.Row, naggs int) *groupState {
+func lookupGroup(groups map[uint64][]*groupState, order *[]*groupState, key types.Row, naggs int) (st *groupState, created bool) {
 	h := key.Hash()
 	for _, cand := range groups[h] {
 		if groupKeyEqual(cand.key, key) {
-			return cand
+			return cand, false
 		}
 	}
-	st := &groupState{key: key, accs: make([]accumulator, naggs)}
+	st = &groupState{key: key, accs: make([]accumulator, naggs)}
 	groups[h] = append(groups[h], st)
 	*order = append(*order, st)
-	return st
+	return st, true
+}
+
+// governedLookup is lookupGroup plus reservation accounting: when the
+// charge is denied, the whole partial table spills as one run and
+// ingestion restarts with an empty table.
+func (g *GroupByOp) governedLookup(groups map[uint64][]*groupState, order *[]*groupState, key types.Row, surcharge int64) (*groupState, error) {
+	st, created := lookupGroup(groups, order, key, len(g.Aggs))
+	if g.res == nil {
+		return st, nil
+	}
+	charge := surcharge
+	if created {
+		charge += groupCharge(key, len(g.Aggs))
+	}
+	if charge == 0 || g.res.Grow(charge) {
+		g.memBytes += charge
+		return st, nil
+	}
+	f, err := spillGroups(g.res, "agg", *order)
+	if err != nil {
+		return nil, err
+	}
+	g.runs = append(g.runs, f)
+	g.res.Shrink(g.memBytes)
+	g.memBytes = 0
+	clear(groups)
+	*order = (*order)[:0]
+	st, _ = lookupGroup(groups, order, key, len(g.Aggs))
+	charge = surcharge + groupCharge(key, len(g.Aggs))
+	if !g.res.Grow(charge) {
+		// A single group bigger than the heap: over-grant for progress.
+		g.res.MustGrow(charge)
+	}
+	g.memBytes += charge
+	return st, nil
 }
 
 // consumeRows is the row-at-a-time aggregation loop.
 func (g *GroupByOp) consumeRows(groups map[uint64][]*groupState, order *[]*groupState) error {
+	surcharge := rowSurcharge(g.Aggs)
 	for {
 		ch, err := g.Child.Next()
 		if err != nil {
@@ -406,7 +465,10 @@ func (g *GroupByOp) consumeRows(groups map[uint64][]*groupState, order *[]*group
 				}
 				key[i] = v
 			}
-			st := lookupGroup(groups, order, key, len(g.Aggs))
+			st, err := g.governedLookup(groups, order, key, surcharge)
+			if err != nil {
+				return err
+			}
 			for i := range g.Aggs {
 				if err := st.accs[i].add(g.Aggs[i], row); err != nil {
 					return err
@@ -453,6 +515,7 @@ func (g *GroupByOp) vecIngestable() bool {
 // aggregate arguments are computed one column at a time over each batch,
 // then accumulated per selected position.
 func (g *GroupByOp) consumeVec(inner VecOperator, groups map[uint64][]*groupState, order *[]*groupState) error {
+	surcharge := rowSurcharge(g.Aggs)
 	for {
 		vb, err := inner.NextVec()
 		if err != nil {
@@ -486,7 +549,10 @@ func (g *GroupByOp) consumeVec(inner VecOperator, groups map[uint64][]*groupStat
 			for k, kv := range keyVecs {
 				key[k] = kv.Get(i)
 			}
-			st := lookupGroup(groups, order, key, len(g.Aggs))
+			st, err := g.governedLookup(groups, order, key, surcharge)
+			if err != nil {
+				return err
+			}
 			for ai := range g.Aggs {
 				if g.Aggs[ai].Func == AggCountStar {
 					st.accs[ai].count++
@@ -534,10 +600,25 @@ func (g *GroupByOp) Next() (*Chunk, error) {
 	return ch, nil
 }
 
-// Close implements Operator.
+// SpillStats reports runs and bytes spilled, for EXPLAIN ANALYZE. Valid
+// after Close (counters outlive the reservation's grant).
+func (g *GroupByOp) SpillStats() (runs, bytes int64) {
+	return g.res.SpillRuns(), g.res.SpillBytes()
+}
+
+// Close implements Operator: removes any spill runs an error path left
+// open and releases the reservation.
 func (g *GroupByOp) Close() error {
+	var firstErr error
+	for _, f := range g.runs {
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	g.runs = nil
+	g.res.Close()
 	g.results = nil
-	return nil
+	return firstErr
 }
 
 // DistinctOp removes duplicate rows (SELECT DISTINCT).

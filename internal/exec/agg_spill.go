@@ -1,0 +1,200 @@
+package exec
+
+// Spill support for grouped aggregation: partial hash tables that outgrow
+// the HASHHEAP reservation are serialized to mem.SpillFiles as group-state
+// records and merged back during emit. Every accumulator in the engine is
+// mergeable (accumulator.merge), so a spilled partial is just an early
+// partial — rereading a run and merging it into the live table yields
+// exactly the serial result.
+
+import (
+	"io"
+	"unsafe"
+
+	"dashdb/internal/encoding"
+	"dashdb/internal/mem"
+	"dashdb/internal/types"
+)
+
+// accSize is the fixed in-memory footprint of one accumulator.
+const accSize = int64(unsafe.Sizeof(accumulator{}))
+
+// groupCharge is the reservation charge for creating one group: its key
+// plus the fixed accumulator array.
+func groupCharge(key types.Row, naggs int) int64 {
+	return mem.RowBytes(key) + int64(naggs)*accSize
+}
+
+// rowSurcharge is the per-input-row reservation charge for aggregates
+// whose state grows with input (value lists, distinct sets). Zero for
+// fixed-state aggregate lists, so the common path charges only on group
+// creation.
+func rowSurcharge(specs []AggSpec) int64 {
+	var sz int64
+	for _, s := range specs {
+		switch s.Func {
+		case AggMedian, AggPercentileCont, AggPercentileDisc:
+			sz += 8 // one float64 per row
+		case AggCountDistinct:
+			sz += 48 // map entry upper bound; overcharging spills earlier
+		}
+	}
+	return sz
+}
+
+// writeGroupState serializes one group as rowcodec rows: the key row, then
+// per aggregate a fixed 11-field accumulator row, the distinct-value set
+// and the buffered value list.
+func writeGroupState(w *encoding.RowWriter, st *groupState) error {
+	if _, err := w.WriteRow(st.key); err != nil {
+		return err
+	}
+	for i := range st.accs {
+		a := &st.accs[i]
+		fixed := types.Row{
+			types.NewInt(a.count),
+			types.NewInt(a.intSum),
+			types.NewFloat(a.floatSum),
+			types.NewBool(a.isFloat),
+			types.NewFloat(a.sumSq),
+			types.NewFloat(a.sumXY),
+			types.NewFloat(a.sumX),
+			types.NewFloat(a.sumY),
+			types.NewInt(a.pairN),
+			a.min,
+			a.max,
+		}
+		if _, err := w.WriteRow(fixed); err != nil {
+			return err
+		}
+		distinct := make(types.Row, 0, len(a.distinct))
+		for v := range a.distinct {
+			distinct = append(distinct, v)
+		}
+		if _, err := w.WriteRow(distinct); err != nil {
+			return err
+		}
+		vals := make(types.Row, len(a.vals))
+		for vi, f := range a.vals {
+			vals[vi] = types.NewFloat(f)
+		}
+		if _, err := w.WriteRow(vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readGroupState decodes one group written by writeGroupState; io.EOF
+// cleanly marks the end of a run.
+func readGroupState(rd *encoding.RowReader, naggs int) (*groupState, error) {
+	key, err := rd.ReadRow()
+	if err != nil {
+		return nil, err // io.EOF passes through untouched
+	}
+	st := &groupState{key: key, accs: make([]accumulator, naggs)}
+	for i := range st.accs {
+		fixed, err := rd.ReadRow()
+		if err != nil {
+			return nil, spillTruncated(err)
+		}
+		a := &st.accs[i]
+		a.count = fixed[0].Int()
+		a.intSum = fixed[1].Int()
+		a.floatSum = fixed[2].Float()
+		a.isFloat = fixed[3].Bool()
+		a.sumSq = fixed[4].Float()
+		a.sumXY = fixed[5].Float()
+		a.sumX = fixed[6].Float()
+		a.sumY = fixed[7].Float()
+		a.pairN = fixed[8].Int()
+		a.min = fixed[9]
+		a.max = fixed[10]
+		distinct, err := rd.ReadRow()
+		if err != nil {
+			return nil, spillTruncated(err)
+		}
+		if len(distinct) > 0 {
+			a.distinct = make(map[types.Value]bool, len(distinct))
+			for _, v := range distinct {
+				a.distinct[v] = true
+			}
+		}
+		vals, err := rd.ReadRow()
+		if err != nil {
+			return nil, spillTruncated(err)
+		}
+		if len(vals) > 0 {
+			a.vals = make([]float64, len(vals))
+			for vi, v := range vals {
+				a.vals[vi] = v.Float()
+			}
+		}
+	}
+	return st, nil
+}
+
+func spillTruncated(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// spillGroups writes every state in order to a fresh spill file and
+// records the run on the reservation.
+func spillGroups(res *mem.Reservation, label string, order []*groupState) (*mem.SpillFile, error) {
+	f, err := res.NewSpillFile(label)
+	if err != nil {
+		return nil, err
+	}
+	w := encoding.NewRowWriter(f)
+	for _, st := range order {
+		if err := writeGroupState(w, st); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	res.NoteSpill(f.Size())
+	return f, nil
+}
+
+// mergeSpilled replays a run into a live group table, merging states for
+// keys that are already present and inserting the rest. Growth during the
+// merge is charged best-effort: the merged table is bounded by the distinct
+// group count, so over-granting here beats failing the query.
+func mergeSpilled(f *mem.SpillFile, res *mem.Reservation,
+	groups map[uint64][]*groupState, order *[]*groupState, naggs int) error {
+	if err := f.Rewind(); err != nil {
+		return err
+	}
+	rd := encoding.NewRowReader(f)
+	for {
+		st, err := readGroupState(rd, naggs)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		h := st.key.Hash()
+		var into *groupState
+		for _, cand := range groups[h] {
+			if groupKeyEqual(cand.key, st.key) {
+				into = cand
+				break
+			}
+		}
+		if into == nil {
+			if c := groupCharge(st.key, naggs); !res.Grow(c) {
+				res.MustGrow(c)
+			}
+			groups[h] = append(groups[h], st)
+			*order = append(*order, st)
+			continue
+		}
+		for i := range into.accs {
+			into.accs[i].merge(&st.accs[i])
+		}
+	}
+}

@@ -2,7 +2,10 @@ package exec
 
 import (
 	"fmt"
+	"io"
 
+	"dashdb/internal/encoding"
+	"dashdb/internal/mem"
 	"dashdb/internal/types"
 )
 
@@ -24,36 +27,51 @@ const (
 // and grouping, as pioneered in Hybrid Hash Join and MonetDB").
 const l2Budget = 256 << 10
 
-// rowBytes is the planner's crude per-row memory estimate.
-func rowBytes(r types.Row) int {
-	sz := 24
-	for _, v := range r {
-		if v.Kind() == types.KindString && !v.IsNull() {
-			sz += 16 + len(v.Str())
-		} else {
-			sz += 16
-		}
-	}
-	return sz
-}
+// graceParts is the fixed fan-out of the governed (Grace) join: enough
+// partitions that spilling one frees a useful slice of the heap, few
+// enough that every partition keeps a buffered file.
+const graceParts = 64
 
-// HashJoinOp is a partitioned in-memory hash join. The right child is the
-// build side (the planner puts the smaller input there); the left child
-// streams as the probe side.
+// HashJoinOp is a partitioned hash join. The right child is the build side
+// (the planner puts the smaller input there); the left child streams as
+// the probe side.
+//
+// With a nil Gov the build side is fully materialized and partitioned into
+// L2-sized chunks, the historical in-memory behavior. With a governor it
+// becomes a Grace-style partitioned join: build rows hash into graceParts
+// partitions charged against a HASHHEAP reservation; when a Grow is denied
+// the largest resident partition spills to a mem.SpillFile and keeps
+// growing on disk. Probe rows that hash to a spilled partition are parked
+// in a per-partition probe file, and after the probe input is exhausted
+// each spilled partition is joined on its own: build rows reloaded, table
+// rebuilt, parked probe rows streamed through it (LEFT JOIN padding
+// included), so peak memory is one partition instead of the whole build.
 type HashJoinOp struct {
 	Left, Right         Operator
 	LeftKeys, RightKeys []int
 	Type                JoinType
+	Gov                 *mem.Governor
 
+	res     *mem.Reservation
 	parts   []joinPartition
 	mask    uint64
 	out     types.Schema
 	pending []types.Row
+
+	probeDone  bool
+	spillQueue []int // spilled partition indices awaiting drain
 }
 
 type joinPartition struct {
 	rows  []types.Row
 	table map[uint64][]int32 // key hash -> row indices in rows
+
+	// Governed-mode spill state.
+	bytes int64          // reservation charge held by rows
+	build *mem.SpillFile // non-nil once the partition spilled
+	bw    *encoding.RowWriter
+	probe *mem.SpillFile // parked probe rows for a spilled partition
+	pw    *encoding.RowWriter
 }
 
 // Schema implements Operator: left columns followed by right columns.
@@ -69,6 +87,13 @@ func (j *HashJoinOp) Open() error {
 	if len(j.LeftKeys) != len(j.RightKeys) || len(j.LeftKeys) == 0 {
 		return fmt.Errorf("exec: hash join needs matching non-empty key lists")
 	}
+	j.res = j.Gov.Acquire(mem.HashHeap)
+	if j.res != nil {
+		if err := j.openGoverned(); err != nil {
+			return err
+		}
+		return j.Left.Open()
+	}
 	var build []types.Row
 	var err error
 	if ra, ok := j.Right.(*RowAdapter); ok {
@@ -81,12 +106,12 @@ func (j *HashJoinOp) Open() error {
 	if err != nil {
 		return err
 	}
-	totalBytes := 0
+	var totalBytes int64
 	for _, r := range build {
-		totalBytes += rowBytes(r)
+		totalBytes += mem.RowBytes(r)
 	}
 	nParts := 1
-	for nParts*l2Budget < totalBytes {
+	for int64(nParts)*l2Budget < totalBytes {
 		nParts *= 2
 	}
 	j.mask = uint64(nParts - 1)
@@ -110,6 +135,102 @@ func (j *HashJoinOp) Open() error {
 		}
 	}
 	return j.Left.Open()
+}
+
+// openGoverned streams the build side into graceParts partitions under the
+// hash heap reservation, spilling the largest partition on each denial.
+func (j *HashJoinOp) openGoverned() error {
+	j.mask = graceParts - 1
+	j.parts = make([]joinPartition, graceParts)
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	defer j.Right.Close()
+	for {
+		ch, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if ch == nil {
+			break
+		}
+		for _, r := range ch.Rows {
+			h, ok := keyHash(r, j.RightKeys)
+			if !ok {
+				continue // NULL join keys never match
+			}
+			p := &j.parts[h&j.mask]
+			if p.build != nil {
+				if _, err := p.bw.WriteRow(r); err != nil {
+					return err
+				}
+				continue
+			}
+			charge := mem.RowBytes(r)
+			if !j.res.Grow(charge) {
+				if err := j.spillVictim(); err != nil {
+					return err
+				}
+				if p.build != nil {
+					if _, err := p.bw.WriteRow(r); err != nil {
+						return err
+					}
+					continue
+				}
+				if !j.res.Grow(charge) {
+					// Single row past the heap: over-grant for progress.
+					j.res.MustGrow(charge)
+				}
+			}
+			p.rows = append(p.rows, r)
+			p.bytes += charge
+		}
+	}
+	// Resident partitions get their probe tables now; spilled partitions
+	// are sealed and accounted.
+	for pi := range j.parts {
+		p := &j.parts[pi]
+		if p.build != nil {
+			j.res.NoteSpill(p.build.Size())
+			continue
+		}
+		p.table = make(map[uint64][]int32, len(p.rows))
+		for i, r := range p.rows {
+			h, _ := keyHash(r, j.RightKeys)
+			p.table[h] = append(p.table[h], int32(i))
+		}
+	}
+	return nil
+}
+
+// spillVictim moves the largest resident partition to disk and releases
+// its reservation charge.
+func (j *HashJoinOp) spillVictim() error {
+	victim := -1
+	var worst int64 = -1
+	for pi := range j.parts {
+		p := &j.parts[pi]
+		if p.build == nil && p.bytes > worst {
+			victim, worst = pi, p.bytes
+		}
+	}
+	if victim < 0 {
+		return nil // everything already on disk; caller over-grants
+	}
+	p := &j.parts[victim]
+	f, err := j.res.NewSpillFile("join-build")
+	if err != nil {
+		return err
+	}
+	p.build, p.bw = f, encoding.NewRowWriter(f)
+	for _, r := range p.rows {
+		if _, err := p.bw.WriteRow(r); err != nil {
+			return err
+		}
+	}
+	j.res.Shrink(p.bytes)
+	p.rows, p.bytes = nil, 0
+	return nil
 }
 
 // drainVecBuild drains a vectorized build side into rows, skipping rows
@@ -171,11 +292,15 @@ func (j *HashJoinOp) Next() (*Chunk, error) {
 			j.pending = j.pending[ChunkSize:]
 			return ch, nil
 		}
-		lch, err := j.Left.Next()
-		if err != nil {
-			return nil, err
-		}
-		if lch == nil {
+		if j.probeDone {
+			if len(j.spillQueue) > 0 {
+				pi := j.spillQueue[0]
+				j.spillQueue = j.spillQueue[1:]
+				if err := j.drainSpilled(pi); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			if len(j.pending) > 0 {
 				ch := &Chunk{Schema: j.Schema(), Rows: j.pending}
 				j.pending = nil
@@ -183,11 +308,35 @@ func (j *HashJoinOp) Next() (*Chunk, error) {
 			}
 			return nil, nil
 		}
+		lch, err := j.Left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if lch == nil {
+			j.probeDone = true
+			j.sealProbeFiles()
+			continue
+		}
 		rightWidth := len(j.Right.Schema())
 		for _, lrow := range lch.Rows {
 			matched := false
 			if h, ok := keyHash(lrow, j.LeftKeys); ok {
 				p := &j.parts[h&j.mask]
+				if p.build != nil {
+					// Partition lives on disk: park the probe row and
+					// join it during the drain phase.
+					if p.probe == nil {
+						f, err := j.res.NewSpillFile("join-probe")
+						if err != nil {
+							return nil, err
+						}
+						p.probe, p.pw = f, encoding.NewRowWriter(f)
+					}
+					if _, err := p.pw.WriteRow(lrow); err != nil {
+						return nil, err
+					}
+					continue
+				}
 				for _, ri := range p.table[h] {
 					rrow := p.rows[ri]
 					if keysEqual(lrow, j.LeftKeys, rrow, j.RightKeys) {
@@ -199,23 +348,125 @@ func (j *HashJoinOp) Next() (*Chunk, error) {
 				}
 			}
 			if !matched && j.Type == LeftJoin {
-				out := make(types.Row, 0, len(lrow)+rightWidth)
-				out = append(out, lrow...)
-				for i := 0; i < rightWidth; i++ {
-					out = append(out, types.NullOf(j.Right.Schema()[i].Kind))
-				}
-				j.pending = append(j.pending, out)
+				j.pending = append(j.pending, j.padRight(lrow, rightWidth))
 			}
 		}
 	}
+}
+
+func (j *HashJoinOp) padRight(lrow types.Row, rightWidth int) types.Row {
+	out := make(types.Row, 0, len(lrow)+rightWidth)
+	out = append(out, lrow...)
+	for i := 0; i < rightWidth; i++ {
+		out = append(out, types.NullOf(j.Right.Schema()[i].Kind))
+	}
+	return out
+}
+
+// sealProbeFiles queues spilled partitions for the drain phase and
+// accounts their probe files as spill runs.
+func (j *HashJoinOp) sealProbeFiles() {
+	for pi := range j.parts {
+		p := &j.parts[pi]
+		if p.build == nil {
+			continue
+		}
+		j.spillQueue = append(j.spillQueue, pi)
+		if p.probe != nil {
+			j.res.NoteSpill(p.probe.Size())
+		}
+	}
+}
+
+// drainSpilled joins one spilled partition: reload its build rows, rebuild
+// the table, stream the parked probe rows through it.
+func (j *HashJoinOp) drainSpilled(pi int) error {
+	p := &j.parts[pi]
+	defer func() {
+		p.build.Close()
+		p.probe.Close()
+		j.res.Shrink(p.bytes)
+		*p = joinPartition{}
+	}()
+	if err := p.build.Rewind(); err != nil {
+		return err
+	}
+	rd := encoding.NewRowReader(p.build)
+	for {
+		r, err := rd.ReadRow()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		charge := mem.RowBytes(r)
+		if !j.res.Grow(charge) {
+			// One partition is 1/graceParts of the build; if even that
+			// exceeds the heap, over-grant rather than recurse.
+			j.res.MustGrow(charge)
+		}
+		p.rows = append(p.rows, r)
+		p.bytes += charge
+	}
+	p.table = make(map[uint64][]int32, len(p.rows))
+	for i, r := range p.rows {
+		h, _ := keyHash(r, j.RightKeys)
+		p.table[h] = append(p.table[h], int32(i))
+	}
+	if p.probe == nil {
+		return nil
+	}
+	if err := p.probe.Rewind(); err != nil {
+		return err
+	}
+	prd := encoding.NewRowReader(p.probe)
+	rightWidth := len(j.Right.Schema())
+	for {
+		lrow, err := prd.ReadRow()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		matched := false
+		h, _ := keyHash(lrow, j.LeftKeys) // parked rows never have NULL keys
+		for _, ri := range p.table[h] {
+			rrow := p.rows[ri]
+			if keysEqual(lrow, j.LeftKeys, rrow, j.RightKeys) {
+				matched = true
+				out := make(types.Row, 0, len(lrow)+len(rrow))
+				out = append(append(out, lrow...), rrow...)
+				j.pending = append(j.pending, out)
+			}
+		}
+		if !matched && j.Type == LeftJoin {
+			j.pending = append(j.pending, j.padRight(lrow, rightWidth))
+		}
+	}
+	return nil
+}
+
+// SpillStats reports runs and bytes spilled, for EXPLAIN ANALYZE. Valid
+// after Close (counters outlive the reservation's grant).
+func (j *HashJoinOp) SpillStats() (runs, bytes int64) {
+	return j.res.SpillRuns(), j.res.SpillBytes()
 }
 
 // Close implements Operator.
 func (j *HashJoinOp) Close() error {
 	err1 := j.Left.Close()
 	err2 := j.Right.Close()
+	for pi := range j.parts {
+		p := &j.parts[pi]
+		p.build.Close()
+		p.probe.Close()
+	}
 	j.parts = nil
 	j.pending = nil
+	j.spillQueue = nil
+	j.res.Close()
 	if err1 != nil {
 		return err1
 	}

@@ -15,6 +15,8 @@ import (
 	"sync"
 
 	"dashdb/internal/columnar"
+	"dashdb/internal/encoding"
+	"dashdb/internal/mem"
 	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
 )
@@ -42,10 +44,14 @@ type ParallelGroupByOp struct {
 	GroupCols  types.Schema
 	Aggs       []AggSpec
 	Dop        int // worker count; <=1 degenerates to a serial scan
+	Gov        *mem.Governor
 
 	// ScanStats, when set by exec.Instrument, receives per-worker stride
 	// visit/skip and row counters for the fused scan. Nil = uninstrumented.
 	ScanStats *telemetry.ScanStats
+
+	res   *mem.Reservation // shared by all workers; mem counters are atomic
+	files []*mem.SpillFile // per-(worker, partition) run files
 
 	out     types.Schema
 	results []types.Row
@@ -73,12 +79,21 @@ func (g *ParallelGroupByOp) Schema() types.Schema {
 
 // aggWorker is one worker's thread-local partial state. Partitions are
 // allocated lazily: most workers touch only a few on small group counts.
+// Partials are thread-local, but the reservation (held by the operator) is
+// shared: memory pressure is a property of the whole engine, so one
+// worker's growth can force another worker's next denial.
 type aggWorker struct {
-	parts [aggPartitions]map[uint64][]*groupState
-	err   error
+	parts     [aggPartitions]map[uint64][]*groupState
+	order     [aggPartitions][]*groupState
+	bytes     [aggPartitions]int64
+	spills    [aggPartitions]*mem.SpillFile
+	writers   [aggPartitions]*encoding.RowWriter
+	surcharge int64
+	err       error
 }
 
-// absorb accumulates one row into the worker's partials.
+// absorb accumulates one row into the worker's partials, spilling the
+// worker's largest partition when the shared reservation denies growth.
 func (w *aggWorker) absorb(g *ParallelGroupByOp, row types.Row) error {
 	key := make(types.Row, len(g.GroupBy))
 	for i, e := range g.GroupBy {
@@ -93,22 +108,83 @@ func (w *aggWorker) absorb(g *ParallelGroupByOp, row types.Row) error {
 	if w.parts[p] == nil {
 		w.parts[p] = make(map[uint64][]*groupState)
 	}
-	var st *groupState
-	for _, cand := range w.parts[p][h] {
-		if groupKeyEqual(cand.key, key) {
-			st = cand
-			break
+	lookup := func() *groupState {
+		for _, cand := range w.parts[p][h] {
+			if groupKeyEqual(cand.key, key) {
+				return cand
+			}
+		}
+		return nil
+	}
+	st := lookup()
+	charge := w.surcharge
+	if st == nil {
+		charge += groupCharge(key, len(g.Aggs))
+	}
+	if charge > 0 && g.res != nil && !g.res.Grow(charge) {
+		if err := w.spillLargest(g); err != nil {
+			return err
+		}
+		// The victim may have been p itself, detaching st: its state is
+		// on disk now, so re-lookup and start a fresh resident state (the
+		// merge phase folds the spilled part back in).
+		if st = lookup(); st == nil {
+			charge = w.surcharge + groupCharge(key, len(g.Aggs))
+		}
+		if !g.res.Grow(charge) {
+			g.res.MustGrow(charge)
 		}
 	}
 	if st == nil {
+		if w.parts[p] == nil {
+			w.parts[p] = make(map[uint64][]*groupState)
+		}
 		st = &groupState{key: key, accs: make([]accumulator, len(g.Aggs))}
 		w.parts[p][h] = append(w.parts[p][h], st)
+		w.order[p] = append(w.order[p], st)
 	}
+	w.bytes[p] += charge
 	for i := range g.Aggs {
 		if err := st.accs[i].add(g.Aggs[i], row); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// spillLargest writes the worker's biggest partition to its run file
+// (one file per (worker, partition), appended across spill events so the
+// matching merge goroutine replays exactly its own partition) and clears
+// it.
+func (w *aggWorker) spillLargest(g *ParallelGroupByOp) error {
+	victim, worst := -1, int64(0)
+	for p := range w.bytes {
+		if w.bytes[p] > worst {
+			victim, worst = p, w.bytes[p]
+		}
+	}
+	if victim < 0 {
+		return nil // nothing buffered; caller over-grants
+	}
+	if w.spills[victim] == nil {
+		f, err := g.res.NewSpillFile("pagg")
+		if err != nil {
+			return err
+		}
+		w.spills[victim] = f
+		w.writers[victim] = encoding.NewRowWriter(f)
+	}
+	before := w.spills[victim].Size()
+	for _, st := range w.order[victim] {
+		if err := writeGroupState(w.writers[victim], st); err != nil {
+			return err
+		}
+	}
+	g.res.NoteSpill(w.spills[victim].Size() - before)
+	g.res.Shrink(w.bytes[victim])
+	w.bytes[victim] = 0
+	w.parts[victim] = nil
+	w.order[victim] = nil
 	return nil
 }
 
@@ -119,9 +195,11 @@ func (g *ParallelGroupByOp) Open() error {
 	if dop < 1 {
 		dop = 1
 	}
+	g.res = g.Gov.Acquire(mem.HashHeap)
+	surcharge := rowSurcharge(g.Aggs)
 	workers := make([]*aggWorker, dop)
 	for i := range workers {
-		workers[i] = &aggWorker{}
+		workers[i] = &aggWorker{surcharge: surcharge}
 	}
 
 	// Build phase: dop scan workers, each feeding its own partials.
@@ -144,6 +222,15 @@ func (g *ParallelGroupByOp) Open() error {
 		}
 		return true
 	})
+	// Adopt every spill file before inspecting errors, so an error return
+	// still lets Close remove them from disk.
+	for _, ws := range workers {
+		for p := range ws.spills {
+			if ws.spills[p] != nil {
+				g.files = append(g.files, ws.spills[p])
+			}
+		}
+	}
 	if scanErr != nil {
 		return scanErr
 	}
@@ -154,7 +241,10 @@ func (g *ParallelGroupByOp) Open() error {
 	}
 
 	// Merge phase: partitions are independent, so merge them in parallel.
+	// Each goroutine folds in the in-memory partials of its partition from
+	// every worker, then replays that partition's spilled runs.
 	merged := make([][]*groupState, aggPartitions)
+	mergeErrs := make([]error, aggPartitions)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, dop)
 	for p := 0; p < aggPartitions; p++ {
@@ -189,10 +279,33 @@ func (g *ParallelGroupByOp) Open() error {
 					}
 				}
 			}
+			for _, ws := range workers {
+				if ws.spills[p] == nil {
+					continue
+				}
+				if buckets == nil {
+					buckets = make(map[uint64][]*groupState)
+				}
+				if err := mergeSpilled(ws.spills[p], g.res, buckets, &order, len(g.Aggs)); err != nil {
+					mergeErrs[p] = err
+					return
+				}
+			}
 			merged[p] = order
 		}(p)
 	}
 	wg.Wait()
+	for _, err := range mergeErrs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, f := range g.files {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	g.files = nil
 
 	var groups []*groupState
 	for _, part := range merged {
@@ -256,8 +369,23 @@ func (g *ParallelGroupByOp) Next() (*Chunk, error) {
 	return ch, nil
 }
 
-// Close implements Operator.
+// SpillStats reports runs and bytes spilled, for EXPLAIN ANALYZE. Valid
+// after Close (counters outlive the reservation's grant).
+func (g *ParallelGroupByOp) SpillStats() (runs, bytes int64) {
+	return g.res.SpillRuns(), g.res.SpillBytes()
+}
+
+// Close implements Operator: removes any spill runs an error path left
+// open and releases the reservation.
 func (g *ParallelGroupByOp) Close() error {
+	var firstErr error
+	for _, f := range g.files {
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	g.files = nil
+	g.res.Close()
 	g.results = nil
-	return nil
+	return firstErr
 }

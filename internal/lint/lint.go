@@ -124,6 +124,7 @@ func All() []*Analyzer {
 		AnalyzerTypeAssert,
 		AnalyzerDroppedErr,
 		AnalyzerGoroutine,
+		AnalyzerSpillFile,
 	}
 }
 

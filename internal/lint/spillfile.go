@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerSpillFile enforces the memory governor's temp-file contract in
+// operator code. Spilling operators must obtain run files through
+// mem.SpillFile (reservation-accounted, removed on Close, swept after a
+// crash) — a direct os.Create/os.CreateTemp/os.OpenFile in an executor
+// package bypasses all three guarantees and is how orphaned spill files
+// accumulate. And any operator struct that both holds SpillFile fields
+// and declares a Close method must actually release those fields on the
+// Close path; a Close that forgets a run file leaks it until engine
+// shutdown. Structs without a Close of their own (per-run or
+// per-partition state owned by an enclosing operator) are exempt.
+var AnalyzerSpillFile = &Analyzer{
+	Name:  "spillfile",
+	Doc:   "operator temp files go through mem.SpillFile, and SpillFile fields must be released on the Close path",
+	Match: matchPath("internal/exec"),
+	Run:   runSpillFile,
+}
+
+// rawTempFuncs are the os entry points that mint files outside the
+// governed lifecycle.
+var rawTempFuncs = map[string]bool{
+	"Create":     true,
+	"CreateTemp": true,
+	"OpenFile":   true,
+}
+
+func runSpillFile(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+				return true
+			}
+			if rawTempFuncs[obj.Name()] {
+				pass.Reportf(sel.Pos(),
+					"os.%s in an executor package bypasses the memory governor's temp-file lifecycle; create run files via (*mem.Reservation).NewSpillFile", obj.Name())
+			}
+			return true
+		})
+	}
+	checkSpillFieldsReleased(pass)
+}
+
+// holdsSpillFile reports whether t is, or transitively contains through
+// pointers/slices/arrays/map values, a named type called "SpillFile".
+func holdsSpillFile(t types.Type, depth int) bool {
+	if depth > 4 || t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		if named.Obj().Name() == "SpillFile" {
+			return true
+		}
+		// Do not descend into other named types: their own Close owns
+		// their spill files (e.g. a run struct held by slice).
+		return false
+	}
+	switch u := t.(type) {
+	case *types.Pointer:
+		return holdsSpillFile(u.Elem(), depth+1)
+	case *types.Slice:
+		return holdsSpillFile(u.Elem(), depth+1)
+	case *types.Array:
+		return holdsSpillFile(u.Elem(), depth+1)
+	case *types.Map:
+		return holdsSpillFile(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// checkSpillFieldsReleased pairs every struct's SpillFile-holding fields
+// with its Close method and requires Close to mention each such field.
+func checkSpillFieldsReleased(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Gather struct declarations: type name -> SpillFile fields.
+	type spillField struct {
+		name string
+		pos  ast.Node
+	}
+	structFields := map[string][]spillField{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					tv, ok := info.Types[field.Type]
+					if !ok || !holdsSpillFile(tv.Type, 0) {
+						continue
+					}
+					for _, name := range field.Names {
+						structFields[ts.Name.Name] = append(structFields[ts.Name.Name],
+							spillField{name: name.Name, pos: name})
+					}
+				}
+			}
+		}
+	}
+	if len(structFields) == 0 {
+		return
+	}
+
+	// Find each type's Close method and the fields it mentions.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Close" || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvName := receiverTypeName(fd.Recv.List[0].Type)
+			fields, ok := structFields[recvName]
+			if !ok {
+				continue
+			}
+			mentioned := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectorExpr); ok {
+					mentioned[sel.Sel.Name] = true
+				}
+				return true
+			})
+			for _, fld := range fields {
+				if !mentioned[fld.name] {
+					pass.Reportf(fld.pos.Pos(),
+						"%s.%s holds spill files but %s.Close never releases it; leftover runs leak until engine shutdown",
+						recvName, fld.name, recvName)
+				}
+			}
+			delete(structFields, recvName)
+		}
+	}
+}
+
+// receiverTypeName unwraps a method receiver type expression to its
+// identifier ("*SortOp" and "SortOp" both yield "SortOp").
+func receiverTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver
+		return receiverTypeName(e.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(e.X)
+	}
+	return ""
+}

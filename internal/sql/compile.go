@@ -8,6 +8,7 @@ import (
 	"dashdb/internal/columnar"
 	"dashdb/internal/encoding"
 	"dashdb/internal/exec"
+	"dashdb/internal/mem"
 	"dashdb/internal/types"
 )
 
@@ -30,6 +31,10 @@ type Compiler struct {
 	// Degrees above 1 let the compiler fuse scan+aggregate plans into the
 	// morsel-driven ParallelGroupByOp; 0/1 keeps every plan serial.
 	Parallelism int
+	// Gov is the session's memory governor: blocking operators acquire
+	// heap reservations through it and spill when denied. Nil keeps the
+	// legacy unbounded in-memory paths.
+	Gov *mem.Governor
 }
 
 type cteData struct {
@@ -305,7 +310,7 @@ func (c *Compiler) compileSelectCore(sel *SelectStmt) (*compiled, error) {
 	}
 
 	if len(sortKeys) > 0 {
-		outOp = &exec.SortOp{Child: outOp, Keys: sortKeys}
+		outOp = &exec.SortOp{Child: outOp, Keys: sortKeys, Gov: c.Gov}
 	}
 	if hiddenSort > 0 {
 		visible := len(outSchema) - hiddenSort
@@ -657,7 +662,7 @@ func (c *Compiler) compileJoin(j *JoinRef, conjuncts *[]Expr) (*compiled, error)
 
 	var op exec.Operator
 	if len(lk) > 0 {
-		op = &exec.HashJoinOp{Left: left.op, Right: right.op, LeftKeys: lk, RightKeys: rk, Type: jt}
+		op = &exec.HashJoinOp{Left: left.op, Right: right.op, LeftKeys: lk, RightKeys: rk, Type: jt, Gov: c.Gov}
 		if len(residual) > 0 {
 			pred, err := c.compileConjuncts(residual, left.scope.merge(right.scope))
 			if err != nil {
@@ -815,7 +820,7 @@ func (c *Compiler) combineComma(left, right *compiled, conjuncts *[]Expr) (*comp
 	if outerLeft && !outerRight {
 		// (+) on the left side: preserve the right input. Swap, join
 		// LEFT, then restore order.
-		swapped := &exec.HashJoinOp{Left: right.op, Right: left.op, LeftKeys: rk, RightKeys: lk, Type: exec.LeftJoin}
+		swapped := &exec.HashJoinOp{Left: right.op, Right: left.op, LeftKeys: rk, RightKeys: lk, Type: exec.LeftJoin, Gov: c.Gov}
 		nl, nr := len(left.scope.cols), len(right.scope.cols)
 		exprs := make([]exec.Expr, 0, nl+nr)
 		for i := 0; i < nl; i++ {
@@ -827,7 +832,7 @@ func (c *Compiler) combineComma(left, right *compiled, conjuncts *[]Expr) (*comp
 		op := &exec.ProjectOp{Child: swapped, Exprs: exprs, Out: merged.schema()}
 		return &compiled{op: op, scope: merged}, nil
 	}
-	var op exec.Operator = &exec.HashJoinOp{Left: left.op, Right: right.op, LeftKeys: lk, RightKeys: rk, Type: jt}
+	var op exec.Operator = &exec.HashJoinOp{Left: left.op, Right: right.op, LeftKeys: lk, RightKeys: rk, Type: jt, Gov: c.Gov}
 	if len(residual) > 0 {
 		pred, err := c.compileConjuncts(residual, merged)
 		if err != nil {

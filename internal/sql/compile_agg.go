@@ -214,7 +214,7 @@ func (c *Compiler) compileAggregate(sel *SelectStmt, items []SelectItem, cur *co
 	}
 
 	// Build the GroupByOp.
-	g := &exec.GroupByOp{Child: cur.op}
+	g := &exec.GroupByOp{Child: cur.op, Gov: c.Gov}
 	mapping := make(map[string]int) // exprKey -> post-agg ordinal
 	for gi, ge := range groupExprs {
 		ce, err := c.compileExpr(ge, inSc)
@@ -255,6 +255,7 @@ func (c *Compiler) compileAggregate(sel *SelectStmt, items []SelectItem, cur *co
 				GroupCols:  g.GroupCols,
 				Aggs:       g.Aggs,
 				Dop:        c.Parallelism,
+				Gov:        c.Gov,
 			}
 		}
 	}

@@ -1009,6 +1009,11 @@ func (p *Parser) parseSet() (Statement, error) {
 	default:
 		return nil, p.errf("expected SET value, found %q", t.Text)
 	}
+	// Byte-size values like 64KB / 16MB lex as a number followed by a
+	// unit identifier; glue them back together for SET SORTHEAP et al.
+	if t.Kind == TokNumber && p.cur().Kind == TokIdent {
+		val += p.advance().Text
+	}
 	return &SetStmt{Name: name, Value: val}, nil
 }
 

@@ -20,6 +20,11 @@ type OpRecord struct {
 	HasScan        bool
 	StridesVisited int64
 	StridesSkipped int64
+
+	// Blocking operators under the memory governor report spill activity
+	// (external sort runs, Grace join partitions, aggregate run files).
+	SpillRuns  int64
+	SpillBytes int64
 }
 
 // SkipRatio mirrors ScanStats.SkipRatio for frozen records.
@@ -197,6 +202,8 @@ func MergeShardRecords(recs []QueryRecord) QueryRecord {
 			}
 			out.Ops[i].StridesVisited += q.Ops[i].StridesVisited
 			out.Ops[i].StridesSkipped += q.Ops[i].StridesSkipped
+			out.Ops[i].SpillRuns += q.Ops[i].SpillRuns
+			out.Ops[i].SpillBytes += q.Ops[i].SpillBytes
 		}
 	}
 	return out

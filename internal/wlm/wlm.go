@@ -6,6 +6,7 @@ package wlm
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -27,6 +28,10 @@ type Manager struct {
 	active    atomic.Int64
 	waiting   atomic.Int64 // queries currently queued
 	maxQueued atomic.Int64 // 0 = unbounded queue
+
+	gateMu   sync.RWMutex
+	memGate  func() bool // reports memory exhaustion; nil = no gate
+	memStall atomic.Uint64
 }
 
 // New creates a manager admitting at most maxConcurrent queries at once
@@ -57,6 +62,38 @@ func (m *Manager) SetMaxQueued(n int) {
 	m.maxQueued.Store(int64(n))
 }
 
+// SetMemoryGate installs a memory-pressure predicate consulted at
+// admission: while it reports true (the memory broker's reservations are
+// exhausted), new queries wait instead of piling onto a saturated engine.
+// Only arrivals wait — already-admitted queries keep running and release
+// their reservations by spilling or finishing, so the gate always clears.
+func (m *Manager) SetMemoryGate(gate func() bool) {
+	m.gateMu.Lock()
+	m.memGate = gate
+	m.gateMu.Unlock()
+}
+
+// waitMemory polls the memory gate with backoff, bounded so a stuck gate
+// degrades to slow admission rather than a hang.
+func (m *Manager) waitMemory() {
+	m.gateMu.RLock()
+	gate := m.memGate
+	m.gateMu.RUnlock()
+	if gate == nil || !gate() {
+		return
+	}
+	m.memStall.Add(1)
+	start := time.Now()
+	const maxWait = 2 * time.Second
+	for backoff := time.Millisecond; gate() && time.Since(start) < maxWait; {
+		time.Sleep(backoff)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+	m.waitNanos.Add(int64(time.Since(start)))
+}
+
 // ClampParallelism caps a query's intra-query parallelism degree by the
 // admission limit: when up to L queries run concurrently, giving each of
 // them more than L workers would oversubscribe the cores the
@@ -78,6 +115,7 @@ func (m *Manager) ClampParallelism(dop int) int {
 // uncontended path never reads the clock, so admission stays off the
 // query hot path.
 func (m *Manager) Admit() (func(), error) {
+	m.waitMemory()
 	if m.sem == nil {
 		m.admitted.Add(1)
 		m.track()
@@ -128,19 +166,22 @@ type Stats struct {
 	Active   int64
 	Waiting  int64
 	// QueueWait is the cumulative wall time admitted queries spent waiting
-	// for a slot.
+	// for a slot or for memory pressure to clear.
 	QueueWait time.Duration
+	// MemoryStalls counts admissions that waited on the memory gate.
+	MemoryStalls uint64
 }
 
 // Stats returns a snapshot.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Admitted:  m.admitted.Load(),
-		Queued:    m.queued.Load(),
-		Rejected:  m.rejected.Load(),
-		Peak:      m.peak.Load(),
-		Active:    m.active.Load(),
-		Waiting:   m.waiting.Load(),
-		QueueWait: time.Duration(m.waitNanos.Load()),
+		Admitted:     m.admitted.Load(),
+		Queued:       m.queued.Load(),
+		Rejected:     m.rejected.Load(),
+		Peak:         m.peak.Load(),
+		Active:       m.active.Load(),
+		Waiting:      m.waiting.Load(),
+		QueueWait:    time.Duration(m.waitNanos.Load()),
+		MemoryStalls: m.memStall.Load(),
 	}
 }

@@ -13,6 +13,11 @@ go run ./cmd/dashdb-lint ./...
 go test ./...
 go test -race ./...
 
+# Low-memory gate: force the external sort / Grace join / group-by spill
+# paths for every query in the engine suites by capping both heaps at
+# 1 MiB, and re-run the spill-parity property tests under race.
+DASHDB_SORTHEAP=1MB DASHDB_HASHHEAP=1MB go test -race -count=1 ./internal/core/ ./internal/exec/ ./driver/
+
 if [ "${DASHDB_FUZZ:-0}" = "1" ]; then
 	go test -run=NONE -fuzz=FuzzParseSQL -fuzztime=10s ./internal/sql/
 	go test -run=NONE -fuzz=FuzzEncodingRoundTrip -fuzztime=10s ./internal/encoding/
