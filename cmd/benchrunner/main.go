@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|test1|test2|test3|test4|colvsrow|deploy|compression|skipping|bufferpool|simd|parallel|vector|telemetry|spill|ha|spark")
+	exp := flag.String("exp", "all", "experiment: all|test1|test2|test3|test4|colvsrow|deploy|compression|skipping|bufferpool|simd|parallel|vector|compressed|telemetry|spill|ha|spark")
 	scale := flag.Int("scale", 400_000, "fact-table rows for Tests 1-4")
 	queries := flag.Int("queries", 30, "analytic queries for Test 1 / F-C")
 	flag.Parse()
@@ -99,6 +99,12 @@ func main() {
 	}
 	if run("vector") {
 		s, err := bench.FigureV(*scale)
+		fail(err)
+		fmt.Println()
+		fmt.Print(s)
+	}
+	if run("compressed") {
+		s, err := bench.FigureOC(*scale)
 		fail(err)
 		fmt.Println()
 		fmt.Print(s)

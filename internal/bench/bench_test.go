@@ -269,3 +269,80 @@ func BenchmarkGraceJoin(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCompressedFilter measures a residual OR-of-point-lookups
+// filter over a FREQ-DICT column with values decoded at the scan vs
+// dictionary codes answered by the SWAR range kernels.
+func BenchmarkCompressedFilter(b *testing.B) {
+	fact, _, err := dictBenchTables(200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := ocFilterPred("category-03-xxxxxxxxxxxx", "category-31-xxxxxxxxxxxx")
+	for _, mode := range []struct {
+		name       string
+		compressed bool
+	}{{"decoded", false}, {"compressed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				op := exec.VectorizeMode(&exec.FilterOp{Child: exec.NewScan(fact, nil, nil), Pred: pred}, mode.compressed)
+				if err := drainOp(op); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompressedJoin measures the dim⋈fact hash join with the fact
+// table as build side: decoded string keys vs dictionary-code keys.
+func BenchmarkCompressedJoin(b *testing.B) {
+	fact, dim, err := dictBenchTables(200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name       string
+		compressed bool
+	}{{"decoded", false}, {"compressed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			broker := mem.NewBroker(1<<40, 1<<40, b.TempDir())
+			defer broker.Close()
+			for i := 0; i < b.N; i++ {
+				if err := drainOp(governedJoin(fact, dim, mode.compressed, &mem.Governor{Broker: broker})); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompressedGroupBy measures parallel aggregation grouping on
+// decoded string keys vs dictionary codes (decode once per distinct
+// group at emit).
+func BenchmarkCompressedGroupBy(b *testing.B) {
+	fact, _, err := dictBenchTables(200_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name       string
+		compressed bool
+	}{{"decoded", false}, {"compressed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				op := &exec.ParallelGroupByOp{
+					Table:      fact,
+					GroupBy:    []exec.Expr{exec.ColRef(0)},
+					GroupCols:  types.Schema{{Name: "cat", Kind: types.KindString}},
+					Aggs:       figAggSpecs(),
+					Dop:        4,
+					Compressed: mode.compressed,
+				}
+				if err := drainOp(op); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -203,3 +203,84 @@ func (v *Vector) CountCompare(op CmpOp, c uint64) int {
 	v.Compare(op, c, out)
 	return out.Count()
 }
+
+// The kernels below operate on unpacked code lanes ([]uint64, one code per
+// row) as carried by the executor's code vectors, rather than on packed
+// words. They evaluate dictionary-translated predicates entirely in code
+// space: the encoding layer turns "col OP const" into a set of closed code
+// ranges, and these loops select the qualifying positions of a batch
+// without decoding a single value. Ranges arrive as plain [2]uint64
+// lo/hi pairs so this package stays dependency-free.
+
+// SelectCodesEQ appends to out the members of idx whose code equals
+// target, skipping NULL positions, and returns the extended slice.
+//
+//dashdb:hotpath
+func SelectCodesEQ(codes []uint64, target uint64, nulls *Bitmap, idx []int, out []int) []int {
+	if nulls == nil {
+		for _, i := range idx {
+			if codes[i] == target {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, i := range idx {
+		if codes[i] == target && !nulls.Get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectCodesRange appends to out the members of idx whose code lies in
+// [lo, hi], skipping NULL positions. The containment test is the
+// branch-free unsigned trick c-lo <= hi-lo (wraparound pushes codes below
+// lo past the span).
+//
+//dashdb:hotpath
+func SelectCodesRange(codes []uint64, lo, hi uint64, nulls *Bitmap, idx []int, out []int) []int {
+	span := hi - lo
+	if nulls == nil {
+		for _, i := range idx {
+			if codes[i]-lo <= span {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, i := range idx {
+		if codes[i]-lo <= span && !nulls.Get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectCodesInRanges appends to out the members of idx whose code falls
+// in any of the closed [lo, hi] ranges, skipping NULL positions. Ranges
+// are disjoint (the encoding layer emits them sorted and non-overlapping),
+// so a position is appended at most once.
+//
+//dashdb:hotpath
+func SelectCodesInRanges(codes []uint64, ranges [][2]uint64, nulls *Bitmap, idx []int, out []int) []int {
+	switch len(ranges) {
+	case 0:
+		return out
+	case 1:
+		return SelectCodesRange(codes, ranges[0][0], ranges[0][1], nulls, idx, out)
+	}
+	for _, i := range idx {
+		if nulls != nil && nulls.Get(i) {
+			continue
+		}
+		c := codes[i]
+		for _, r := range ranges {
+			if c-r[0] <= r[1]-r[0] {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}

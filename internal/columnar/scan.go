@@ -34,6 +34,7 @@ type Batch struct {
 	base   int   // global row id of stride start
 	sel    []int // selected offsets within the stride, ascending
 	pages  map[int]*page.Page
+	doms   map[int][]types.Value // per-column dictionary snapshots for Value
 }
 
 // Len returns the number of selected tuples.
@@ -61,7 +62,59 @@ func (b *Batch) Value(ci, i int) types.Value {
 	if pg.Nulls.Get(off) {
 		return types.NullOf(b.t.schema[ci].Kind)
 	}
+	if d, ok := c.enc.(*encoding.Dict); ok {
+		// Decode through a per-batch snapshot: one dictionary lock per
+		// (batch, column) instead of one per row.
+		dom, ok := b.doms[ci]
+		if !ok {
+			dom = d.Snapshot()
+			if b.doms == nil {
+				b.doms = make(map[int][]types.Value)
+			}
+			b.doms[ci] = dom
+		}
+		return dom[pg.Codes.Get(off)]
+	}
 	return c.enc.Decode(pg.Codes.Get(off))
+}
+
+// ColumnDict returns column ci's dictionary, or nil when the column is
+// not dictionary-encoded. Float columns report nil even when
+// dict-encoded: NaN breaks the value↔code bijection compressed execution
+// relies on (same gate as Table.ColumnDict). Unlike Table.ColumnDict it
+// takes no lock, so it is safe inside a scan callback, which already
+// holds the table's read latch.
+func (b *Batch) ColumnDict(ci int) *encoding.Dict {
+	if ci < 0 || ci >= len(b.t.schema) || b.t.schema[ci].Kind == types.KindFloat {
+		return nil
+	}
+	d, _ := b.t.cols[ci].enc.(*encoding.Dict)
+	return d
+}
+
+// Code returns column ci's dictionary code for the i'th selected tuple
+// without decoding, and whether the cell is non-NULL. Valid only for
+// columns whose encoder assigns codes (any analyzed column); the caller
+// pairs the codes with the column's dictionary from ColumnDict. Within
+// one scan every batch of a column shares a single dictionary: the scan
+// holds the table read lock for its whole duration, so the encoder cannot
+// be swapped or extended mid-scan.
+//
+//dashdb:hotpath
+func (b *Batch) Code(ci, i int) (uint64, bool) {
+	off := b.sel[i]
+	if b.stride < 0 {
+		c := b.t.cols[ci]
+		if c.openNulls[off] {
+			return 0, false
+		}
+		return c.openCodes[off], true
+	}
+	pg := b.page(ci)
+	if pg.Nulls.Get(off) {
+		return 0, false
+	}
+	return pg.Codes.Get(off), true
 }
 
 // Column materializes column ci for all selected tuples.

@@ -498,6 +498,68 @@ func (t *Table) Truncate() error {
 // Drop releases the table's storage.
 func (t *Table) Drop() error { return t.Truncate() }
 
+// ColumnDict returns column ci's dictionary when the column is eligible
+// for compressed (code-space) execution, or nil. Eligibility requires an
+// analyzed frequency-dictionary encoder on a non-float column: float
+// dictionaries are excluded centrally here because NaN keys break the
+// value↔code bijection the executor's code-keyed joins and group-bys rely
+// on (NaN != NaN, so NaN rows can occupy several codes).
+func (t *Table) ColumnDict(ci int) *encoding.Dict {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if ci < 0 || ci >= len(t.cols) {
+		return nil
+	}
+	if t.schema[ci].Kind == types.KindFloat {
+		return nil
+	}
+	d, _ := t.cols[ci].enc.(*encoding.Dict)
+	return d
+}
+
+// ColumnEncoding names column ci's encoder ("RAW", "MINUS", "FREQ-DICT",
+// or "" before analysis).
+func (t *Table) ColumnEncoding(ci int) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if ci < 0 || ci >= len(t.cols) || t.cols[ci].enc == nil {
+		return ""
+	}
+	return t.cols[ci].enc.Kind().String()
+}
+
+// ColumnCompression is one column's entry in the compression report,
+// surfaced by the MON_COMPRESSION monitoring view.
+type ColumnCompression struct {
+	Name        string
+	Encoding    string // encoder kind, "" before analysis
+	Cardinality int    // distinct codes (dictionary encoders only)
+	WidthBits   uint   // bits per code for the current domain
+	DictBytes   int    // encoder auxiliary storage
+}
+
+// ColumnCompressionReport returns per-column encoder statistics.
+func (t *Table) ColumnCompressionReport() []ColumnCompression {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]ColumnCompression, len(t.cols))
+	for ci, c := range t.cols {
+		cc := ColumnCompression{Name: t.schema[ci].Name}
+		if c.enc != nil {
+			cc.Encoding = c.enc.Kind().String()
+			cc.DictBytes = c.enc.MemSize()
+			if d, ok := c.enc.(*encoding.Dict); ok {
+				cc.Cardinality = d.Cardinality()
+				cc.WidthBits = d.Width()
+			} else if w, ok := c.enc.(interface{ Width() uint }); ok {
+				cc.WidthBits = w.Width()
+			}
+		}
+		out[ci] = cc
+	}
+	return out
+}
+
 // CompressionReport describes the table's storage efficiency (experiment
 // F-B): compressed bytes include pages, dictionaries and the synopsis.
 type CompressionReport struct {

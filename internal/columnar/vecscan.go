@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"dashdb/internal/encoding"
+	"dashdb/internal/page"
+	"dashdb/internal/types"
 	"dashdb/internal/vec"
 )
 
@@ -14,25 +16,45 @@ import (
 // produce (nil = all columns). Like Row/Column, the returned vectors are
 // copies and stay valid after the scan callback returns.
 func (b *Batch) Vectors(projection []int) []*vec.Vector {
+	return b.VectorsEnc(projection, nil)
+}
+
+// VectorsEnc is Vectors with per-output-position control over compressed
+// emission: when encoded[j] is true the j'th output column is delivered as
+// a code-carrying vector (dictionary codes + *encoding.Dict reference)
+// instead of materialized values — the paper's operate-on-compressed-data
+// hand-off (§II.B.2). encoded positions must correspond to columns for
+// which ColumnDict reports a dictionary; nil encoded means decode
+// everything. The scan's read lock guarantees the dictionary snapshot
+// captured inside each code vector covers every code in the batch.
+func (b *Batch) VectorsEnc(projection []int, encoded []bool) []*vec.Vector {
 	if projection == nil {
 		out := make([]*vec.Vector, len(b.t.schema))
 		for ci := range b.t.schema {
-			out[ci] = b.vector(ci)
+			out[ci] = b.vector(ci, len(encoded) > ci && encoded[ci])
 		}
 		return out
 	}
 	out := make([]*vec.Vector, len(projection))
 	for j, ci := range projection {
-		out[j] = b.vector(ci)
+		out[j] = b.vector(ci, len(encoded) > j && encoded[j])
 	}
 	return out
 }
 
-// vector decodes one column of the batch's selected tuples.
-func (b *Batch) vector(ci int) *vec.Vector {
+// vector decodes one column of the batch's selected tuples, or gathers
+// its raw dictionary codes when wantCodes is set.
+func (b *Batch) vector(ci int, wantCodes bool) *vec.Vector {
 	kind := b.t.schema[ci].Kind
-	v := vec.New(kind, len(b.sel))
 	c := b.t.cols[ci]
+	if wantCodes {
+		if d, ok := c.enc.(*encoding.Dict); ok {
+			return b.codeVector(ci, kind, d)
+		}
+		// Defensive: the planner thought this column was dict-encoded but
+		// the encoder changed (e.g. truncate + reload); decode instead.
+	}
+	v := vec.New(kind, len(b.sel))
 	if b.stride < 0 {
 		// Open stride: values are buffered unencoded.
 		for k, off := range b.sel {
@@ -44,15 +66,7 @@ func (b *Batch) vector(ci int) *vec.Vector {
 		}
 		return v
 	}
-	pg, ok := b.pages[ci]
-	if !ok {
-		var err error
-		pg, err = b.t.loadPage(ci, b.stride)
-		if err != nil {
-			panic(fmt.Sprintf("columnar: batch page load %v: %v", b.t.pageID(ci, b.stride), err))
-		}
-		b.pages[ci] = pg
-	}
+	pg := b.page(ci)
 	codes, nulls := pg.Codes, pg.Nulls
 	if f, ok := c.enc.(*encoding.IntFOR); ok && v.I64 != nil {
 		// Frame-of-reference fast path: raw = base + code, written straight
@@ -67,6 +81,31 @@ func (b *Batch) vector(ci int) *vec.Vector {
 		}
 		return v
 	}
+	if d, ok := c.enc.(*encoding.Dict); ok {
+		// Dictionary fast path: decode through a single snapshot instead of
+		// a per-row Decode call (which takes the dictionary lock each time),
+		// writing strings straight into the string payload with no per-row
+		// types.Value boxing.
+		dom := d.Snapshot()
+		if v.Str != nil {
+			for k, off := range b.sel {
+				if nulls.Get(off) {
+					v.SetNull(k)
+					continue
+				}
+				v.Str[k] = dom[codes.Get(off)].Str()
+			}
+			return v
+		}
+		for k, off := range b.sel {
+			if nulls.Get(off) {
+				v.SetNull(k)
+				continue
+			}
+			v.Set(k, dom[codes.Get(off)])
+		}
+		return v
+	}
 	enc := c.enc
 	for k, off := range b.sel {
 		if nulls.Get(off) {
@@ -76,4 +115,45 @@ func (b *Batch) vector(ci int) *vec.Vector {
 		v.Set(k, enc.Decode(codes.Get(off)))
 	}
 	return v
+}
+
+// codeVector gathers column ci's dictionary codes for the selected tuples
+// into a code-carrying vector over dict.
+func (b *Batch) codeVector(ci int, kind types.Kind, dict *encoding.Dict) *vec.Vector {
+	v := vec.NewCodes(kind, len(b.sel), dict)
+	if b.stride < 0 {
+		c := b.t.cols[ci]
+		for k, off := range b.sel {
+			if c.openNulls[off] {
+				v.SetNull(k)
+				continue
+			}
+			v.Codes[k] = c.openCodes[off]
+		}
+		return v
+	}
+	pg := b.page(ci)
+	codes, nulls := pg.Codes, pg.Nulls
+	for k, off := range b.sel {
+		if nulls.Get(off) {
+			v.SetNull(k)
+			continue
+		}
+		v.Codes[k] = codes.Get(off)
+	}
+	return v
+}
+
+// page loads (and caches) the batch's page for column ci.
+func (b *Batch) page(ci int) *page.Page {
+	pg, ok := b.pages[ci]
+	if !ok {
+		var err error
+		pg, err = b.t.loadPage(ci, b.stride)
+		if err != nil {
+			panic(fmt.Sprintf("columnar: batch page load %v: %v", b.t.pageID(ci, b.stride), err))
+		}
+		b.pages[ci] = pg
+	}
+	return pg
 }

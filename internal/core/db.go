@@ -59,6 +59,12 @@ type Config struct {
 	// the OS temp dir; a caller-provided directory is swept of stale
 	// *.spill files at first use (crash recovery).
 	TempDir string
+	// DisableCompressedExec turns off operate-on-compressed-data
+	// execution: scans decode dictionary columns eagerly and filters,
+	// joins, and group-bys run over decoded values. Parity-testing and
+	// escape hatch; the default (false) evaluates over codes with late
+	// materialization at the projection.
+	DisableCompressedExec bool
 }
 
 // Procedure is a stored procedure callable via SQL CALL (the Spark
@@ -322,6 +328,7 @@ func (s *Session) compiler() *sql.Compiler {
 	c.UDX = s.db.udx
 	c.Parallelism = s.Parallelism()
 	c.Gov = &mem.Governor{Broker: s.db.broker, SortLimit: s.sortHeap, HashLimit: s.hashHeap}
+	c.NoCompressedExec = s.db.cfg.DisableCompressedExec
 	s.mu.Lock()
 	c.Params = s.params
 	s.mu.Unlock()

@@ -68,6 +68,11 @@ type planEntry struct {
 	// (read post-drain; the counters outlive the heap reservation).
 	spillRuns  int64
 	spillBytes int64
+	// analyzeExtra carries operate-on-compressed-data runtime counters
+	// (code-evaluated rows, encoded rows reaching the projection, code
+	// key positions); rendered only in ANALYZE mode, where the counters
+	// are read post-drain.
+	analyzeExtra string
 }
 
 // collectPlan flattens an operator tree (instrumented or not) into plan
@@ -99,6 +104,7 @@ func renderPlan(entries []planEntry, analyze bool) []string {
 			if e.spillRuns > 0 || e.spillBytes > 0 {
 				line += fmt.Sprintf(" [spill: runs=%d, bytes=%d]", e.spillRuns, e.spillBytes)
 			}
+			line += e.analyzeExtra
 		}
 		lines[i] = line
 	}
@@ -181,6 +187,11 @@ func collectOp(op exec.Operator, depth int, st *telemetry.OpStats, out *[]planEn
 	case *exec.HashJoinOp:
 		add(fmt.Sprintf("HASH JOIN (%s)", joinName(o.Type)), nil)
 		addSpill(o.SpillStats())
+		if n := o.CodeKeyCount(); n > 0 {
+			e := &(*out)[len(*out)-1]
+			e.text += " [compressed]"
+			e.analyzeExtra = fmt.Sprintf(" [code-keys=%d]", n)
+		}
 		collectOp(o.Left, depth+1, nil, out)
 		collectOp(o.Right, depth+1, nil, out)
 	case *exec.NestedLoopJoinOp:
@@ -194,10 +205,22 @@ func collectOp(op exec.Operator, depth int, st *telemetry.OpStats, out *[]planEn
 		}
 		add(fmt.Sprintf("GROUP BY [%d keys, %d aggregates]%s", len(o.GroupBy), len(o.Aggs), tag), nil)
 		addSpill(o.SpillStats())
+		if n := o.CodeKeyCount(); n > 0 {
+			e := &(*out)[len(*out)-1]
+			e.text += " [compressed]"
+			e.analyzeExtra = fmt.Sprintf(" [code-keys=%d]", n)
+		}
 		collectOp(o.Child, depth+1, nil, out)
 	case *exec.ParallelGroupByOp:
 		add(fmt.Sprintf("PARALLEL GROUP BY [dop=%d, %d keys, %d aggregates]", o.Dop, len(o.GroupBy), len(o.Aggs)), nil)
 		addSpill(o.SpillStats())
+		if parallelGroupCompressed(o) {
+			e := &(*out)[len(*out)-1]
+			e.text += " [compressed]"
+			if n := o.CodeKeyCount(); n > 0 {
+				e.analyzeExtra = fmt.Sprintf(" [code-keys=%d]", n)
+			}
+		}
 		scan := fmt.Sprintf("PARALLEL COLUMNAR SCAN %s [dop=%d]", o.Table.Name(), o.Dop)
 		if len(o.Preds) > 0 {
 			scan += " [pushdown: " + predString(o.Table, o.Preds) + "]"
@@ -245,15 +268,32 @@ func collectVec(op exec.VecOperator, depth int, st *telemetry.OpStats, out *[]pl
 			desc += fmt.Sprintf(" [dop=%d]", o.Dop)
 		}
 		desc += " [vectorized]"
+		if anyFlag(o.Compressed) {
+			desc += " [compressed]"
+		}
 		if len(o.Preds) > 0 {
 			desc += " [pushdown: " + predString(o.Table, o.Preds) + "]"
 		}
 		add(desc, o.ScanStats)
 	case *exec.VecFilterOp:
-		add("FILTER [vectorized]", nil)
+		text := "FILTER [vectorized]"
+		if exec.PredCompressible(o.Pred, exec.CompressedCols(o.Child)) {
+			text += " [compressed]"
+		}
+		add(text, nil)
+		if o.CodeRows > 0 {
+			(*out)[len(*out)-1].analyzeExtra = fmt.Sprintf(" [code-rows=%d]", o.CodeRows)
+		}
 		collectVec(o.Child, depth+1, nil, out)
 	case *exec.VecProjectOp:
-		add(fmt.Sprintf("PROJECT %s [vectorized]", strings.Join(o.Out.Names(), ", ")), nil)
+		text := fmt.Sprintf("PROJECT %s [vectorized]", strings.Join(o.Out.Names(), ", "))
+		if anyFlag(exec.CompressedCols(o.Child)) {
+			text += " [compressed]"
+		}
+		add(text, nil)
+		if o.EncodedRows > 0 {
+			(*out)[len(*out)-1].analyzeExtra = fmt.Sprintf(" [encoded-rows=%d]", o.EncodedRows)
+		}
 		collectVec(o.Child, depth+1, nil, out)
 	case *exec.VecLimitOp:
 		add(fmt.Sprintf("LIMIT %d OFFSET %d [vectorized]", o.Limit, o.Offset), nil)
@@ -264,6 +304,44 @@ func collectVec(op exec.VecOperator, depth int, st *telemetry.OpStats, out *[]pl
 	default:
 		add(fmt.Sprintf("%T [vectorized]", op), nil)
 	}
+}
+
+// anyFlag reports whether any advisory compressed-column flag is set.
+func anyFlag(flags []bool) bool {
+	for _, f := range flags {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// parallelGroupCompressed reports whether a parallel group-by is eligible
+// to group on dictionary codes: compressed execution enabled and at least
+// one bare-column group key over a dictionary-encoded column. Advisory
+// (the operator adopts dictionaries from the first batch at run time);
+// EXPLAIN uses it so the tag is stable before and after execution.
+func parallelGroupCompressed(o *exec.ParallelGroupByOp) bool {
+	if !o.Compressed {
+		return false
+	}
+	for _, e := range o.GroupBy {
+		cr, ok := e.(exec.ColRef)
+		if !ok {
+			continue
+		}
+		ci := int(cr)
+		if o.Projection != nil {
+			if ci < 0 || ci >= len(o.Projection) {
+				continue
+			}
+			ci = o.Projection[ci]
+		}
+		if o.Table.ColumnDict(ci) != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // predString renders pushed-down scan predicates for plan output.

@@ -28,7 +28,7 @@ func TestExplainAnalyzeFormat(t *testing.T) {
 	r := mustExec(t, s, `EXPLAIN ANALYZE SELECT region, COUNT(*), SUM(amount) FROM sales WHERE amount >= 10 GROUP BY region`)
 	plan := normalizeTimes(planText(r))
 	for _, want := range []string{
-		"PARALLEL GROUP BY [dop=4, 1 keys, 2 aggregates] (actual rows=4 batches=1 time=T)",
+		"PARALLEL GROUP BY [dop=4, 1 keys, 2 aggregates] [compressed] (actual rows=4 batches=1 time=T) [code-keys=1]",
 		"PARALLEL COLUMNAR SCAN SALES [dop=4] [pushdown: AMOUNT >= 10] (actual rows=",
 		"[strides: ",
 		" visited, ",

@@ -21,6 +21,7 @@ import (
 //	SELECT * FROM MON_BUFFERPOOL
 //	SELECT * FROM MON_WLM
 //	SELECT * FROM MON_MEMORY
+//	SELECT * FROM MON_COMPRESSION
 
 // syscatTables lists base tables with row counts and storage.
 type syscatTables struct{ db *DB }
@@ -314,6 +315,59 @@ func (m *monMemory) ScanAll() ([]types.Row, error) {
 	return out, nil
 }
 
+// monCompression is the storage compression monitor: one row per
+// (table, column) with the column's encoder kind, dictionary cardinality
+// and code width, plus the owning table's page/dictionary/synopsis byte
+// breakdown and overall compression ratio. Dictionary columns with a
+// non-zero cardinality are exactly those eligible for
+// operate-on-compressed-data execution (floats excepted).
+type monCompression struct{ db *DB }
+
+func (m *monCompression) Origin() string { return "MON" }
+
+func (m *monCompression) Schema() types.Schema {
+	return types.Schema{
+		{Name: "table_name", Kind: types.KindString},
+		{Name: "column_name", Kind: types.KindString},
+		{Name: "encoding", Kind: types.KindString},
+		{Name: "dict_cardinality", Kind: types.KindInt},
+		{Name: "code_width_bits", Kind: types.KindInt},
+		{Name: "encoder_bytes", Kind: types.KindInt},
+		{Name: "table_raw_bytes", Kind: types.KindInt},
+		{Name: "table_page_bytes", Kind: types.KindInt},
+		{Name: "table_dict_bytes", Kind: types.KindInt},
+		{Name: "table_synopsis_bytes", Kind: types.KindInt},
+		{Name: "table_ratio", Kind: types.KindFloat},
+	}
+}
+
+func (m *monCompression) ScanAll() ([]types.Row, error) {
+	var out []types.Row
+	for _, name := range m.db.cat.TableNames() {
+		t, ok := m.db.cat.Table(name)
+		if !ok {
+			continue
+		}
+		rep := t.Compression()
+		for _, cc := range t.ColumnCompressionReport() {
+			out = append(out, types.Row{
+				types.NewString(name),
+				types.NewString(cc.Name),
+				types.NewString(cc.Encoding),
+				types.NewInt(int64(cc.Cardinality)),
+				types.NewInt(int64(cc.WidthBits)),
+				types.NewInt(int64(cc.DictBytes)),
+				types.NewInt(int64(rep.RawBytes)),
+				types.NewInt(int64(rep.PageBytes)),
+				types.NewInt(int64(rep.DictBytes)),
+				types.NewInt(int64(rep.SynopsisBytes)),
+				types.NewFloat(rep.Ratio),
+			})
+		}
+	}
+	return out, nil
+}
+
 // registerSystemViews installs the SYSCAT nicknames; failures are
 // impossible on a fresh catalog and ignored defensively.
 func (db *DB) registerSystemViews() {
@@ -325,4 +379,5 @@ func (db *DB) registerSystemViews() {
 	db.cat.CreateNickname("mon_bufferpool", &monBufferPool{db: db})
 	db.cat.CreateNickname("mon_wlm", &monWLM{db: db})
 	db.cat.CreateNickname("mon_memory", &monMemory{db: db})
+	db.cat.CreateNickname("mon_compression", &monCompression{db: db})
 }

@@ -2,6 +2,7 @@ package encoding
 
 import (
 	"sort"
+	"sync"
 
 	"dashdb/internal/types"
 )
@@ -19,6 +20,11 @@ import (
 // into an unsorted extension region; predicates over those codes carry a
 // residual value-space recheck.
 type Dict struct {
+	// mu guards all mutable state. Code-carrying vectors hold a *Dict
+	// reference that outlives the table latch under which it was captured,
+	// so a concurrent INSERT may extend the extension region while the
+	// executor translates predicates or decodes group keys.
+	mu        sync.RWMutex
 	kind      types.Kind
 	parts     []dictPartition
 	extension []types.Value
@@ -153,10 +159,16 @@ func (d *Dict) addPartition(sorted []types.Value) {
 func (d *Dict) Kind() Kind { return KindDict }
 
 // Cardinality returns the number of distinct codes assigned so far.
-func (d *Dict) Cardinality() int { return int(d.card) }
+func (d *Dict) Cardinality() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int(d.card)
+}
 
 // Width returns the bits needed for the current highest code.
 func (d *Dict) Width() uint {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.card <= 1 {
 		return 1
 	}
@@ -171,6 +183,8 @@ func (d *Dict) Width() uint {
 
 // MemSize estimates dictionary storage in bytes.
 func (d *Dict) MemSize() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	sz := 0
 	for i := range d.parts {
 		if d.parts[i].strs != nil {
@@ -203,7 +217,9 @@ func (d *Dict) EncodeExisting(v types.Value) (uint64, bool) {
 	if !ok {
 		return 0, false
 	}
+	d.mu.RLock()
 	code, ok := d.lookup[cv]
+	d.mu.RUnlock()
 	return code, ok
 }
 
@@ -214,6 +230,8 @@ func (d *Dict) Encode(v types.Value) uint64 {
 	if !ok {
 		panic("encoding: Dict.Encode value not coercible to dictionary kind")
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if code, ok := d.lookup[cv]; ok {
 		return code
 	}
@@ -227,10 +245,24 @@ func (d *Dict) Encode(v types.Value) uint64 {
 
 // Decode maps a code back to its value via the decode cache.
 func (d *Dict) Decode(code uint64) types.Value {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if code < uint64(len(d.decoded)) {
 		return d.decoded[code]
 	}
 	panic("encoding: Dict.Decode code out of range")
+}
+
+// Snapshot returns a stable view of the code→value cache: codes
+// 0..len(snapshot)-1 decode by plain slice indexing, with no lock taken
+// per element. The slice is capped so concurrent Encode appends can never
+// alias into it; entries themselves are immutable once published. Hot
+// loops (group-key emit, join output, vector materialization) index a
+// snapshot instead of calling Decode per row.
+func (d *Dict) Snapshot() []types.Value {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.decoded[:len(d.decoded):len(d.decoded)]
 }
 
 // Translate converts "column OP v" into code space. Equality is a single
@@ -247,6 +279,8 @@ func (d *Dict) Translate(op CmpOp, v types.Value) Predicate {
 		}
 		return NonePredicate()
 	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	switch op {
 	case OpEQ:
 		code, ok := d.lookup[cv]

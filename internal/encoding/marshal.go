@@ -88,6 +88,7 @@ func MarshalEncoder(e Encoder) ([]byte, error) {
 	case *FloatFOR:
 		snap = encSnapshot{Tag: 3, Kind: uint8(types.KindFloat), Base: enc.inner.base, Limit: enc.inner.limit, Scale: enc.scale}
 	case *Dict:
+		enc.mu.RLock()
 		snap = encSnapshot{Tag: 2, Kind: uint8(enc.kind)}
 		for i := range enc.parts {
 			p := &enc.parts[i]
@@ -100,6 +101,7 @@ func MarshalEncoder(e Encoder) ([]byte, error) {
 		for _, v := range enc.extension {
 			snap.Ext = append(snap.Ext, toWireVal(v))
 		}
+		enc.mu.RUnlock()
 	default:
 		return nil, fmt.Errorf("encoding: cannot marshal encoder %T", e)
 	}

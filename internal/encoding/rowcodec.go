@@ -16,6 +16,14 @@
 //	  uvarint + bytes  KindString payload
 //
 // NULLs carry the kind so a typed NULL survives the round trip.
+//
+// Compressed execution (DESIGN.md §11) stores dictionary-code key cells
+// as plain KindInt values, so code-carrying group and join state spills
+// through this codec unchanged — a deliberate policy: codes are varint
+// ints here (cheaper than the strings they stand for, which is why the
+// HASHHEAP footprint shrinks under compressed flow), and the reader
+// cannot tell a code cell from an ordinary int, so operators must
+// decode codes back to values before results leave them.
 package encoding
 
 import (

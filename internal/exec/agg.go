@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"dashdb/internal/encoding"
 	"dashdb/internal/mem"
 	"dashdb/internal/types"
 	"dashdb/internal/vec"
@@ -322,6 +323,19 @@ type GroupByOp struct {
 	out     types.Schema
 	results []types.Row
 	pos     int
+
+	// Operate-on-compressed group keys: a key position whose vector
+	// arrives dictionary-encoded groups on the code (stored as an INT
+	// cell), so the hash table holds fixed-width codes instead of decoded
+	// values and key cells decode once per distinct group at emit, not
+	// once per row. Adopted from the first batch; the scan latch fixes
+	// one dictionary per column for the whole scan, so spilled runs
+	// round-trip codes losslessly through the value-typed row codec.
+	keyCode    []bool
+	anyKeyCode bool
+	keyDicts   []*encoding.Dict
+	keyDoms    [][]types.Value
+	keyKinds   []types.Kind
 }
 
 // Schema implements Operator: group columns then aggregate columns.
@@ -358,6 +372,7 @@ func (g *GroupByOp) Open() error {
 		return err
 	}
 	defer g.Child.Close()
+	g.keyCode, g.keyDicts, g.keyDoms, g.keyKinds, g.anyKeyCode = nil, nil, nil, nil, false
 	g.res = g.Gov.Acquire(mem.HashHeap)
 	groups := make(map[uint64][]*groupState)
 	var order []*groupState
@@ -387,6 +402,18 @@ func (g *GroupByOp) Open() error {
 	for _, st := range order {
 		row := make(types.Row, 0, len(st.key)+len(g.Aggs))
 		row = append(row, st.key...)
+		// Late materialization: code-valued key cells decode here, once
+		// per distinct group rather than once per input row.
+		if g.anyKeyCode {
+			for k := range st.key {
+				if !g.keyCode[k] || row[k].IsNull() {
+					continue
+				}
+				if c, ok := row[k].AsInt(); ok && c >= 0 && int(c) < len(g.keyDoms[k]) {
+					row[k] = g.keyDoms[k][c]
+				}
+			}
+		}
 		for i := range g.Aggs {
 			row = append(row, st.accs[i].result(g.Aggs[i]))
 		}
@@ -486,6 +513,19 @@ func (g *GroupByOp) VecIngest() bool {
 	return ok && g.vecIngestable()
 }
 
+// CodeKeyCount reports how many group key positions ran in code space
+// (adopted a dictionary from the first input batch). Valid after the
+// operator has consumed its input; EXPLAIN ANALYZE reports it.
+func (g *GroupByOp) CodeKeyCount() int {
+	n := 0
+	for _, c := range g.keyCode {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
 // vecIngestable reports whether every grouping expression and aggregate
 // argument can be evaluated through vector kernels.
 func (g *GroupByOp) vecIngestable() bool {
@@ -530,6 +570,24 @@ func (g *GroupByOp) consumeVec(inner VecOperator, groups map[uint64][]*groupStat
 				return err
 			}
 		}
+		// First batch fixes the grouping scheme per key position; only a
+		// bare column reference can deliver an encoded vector, and the
+		// scan latch guarantees the same dictionary for every batch.
+		if g.keyCode == nil {
+			g.keyCode = make([]bool, len(g.GroupBy))
+			g.keyDicts = make([]*encoding.Dict, len(g.GroupBy))
+			g.keyDoms = make([][]types.Value, len(g.GroupBy))
+			g.keyKinds = make([]types.Kind, len(g.GroupBy))
+			for k, kv := range keyVecs {
+				if kv.Encoded() {
+					g.keyCode[k] = true
+					g.anyKeyCode = true
+					g.keyDicts[k] = kv.Dict
+					g.keyDoms[k] = kv.Dom()
+					g.keyKinds[k] = kv.Kind
+				}
+			}
+		}
 		argVecs := make([]*vec.Vector, len(g.Aggs))
 		arg2Vecs := make([]*vec.Vector, len(g.Aggs))
 		for ai, spec := range g.Aggs {
@@ -547,6 +605,23 @@ func (g *GroupByOp) consumeVec(inner VecOperator, groups map[uint64][]*groupStat
 		for _, i := range vb.Idx() {
 			key := make(types.Row, len(keyVecs))
 			for k, kv := range keyVecs {
+				if g.keyCode[k] {
+					switch {
+					case kv.IsNull(i):
+						key[k] = types.NullOf(g.keyKinds[k])
+					case kv.Encoded() && kv.Dict == g.keyDicts[k]:
+						key[k] = types.NewInt(int64(kv.Codes[i]))
+					default:
+						// Defensive: a batch outside the adopted
+						// dictionary (unreachable within one scan).
+						code, ok := g.keyDicts[k].EncodeExisting(kv.Get(i))
+						if !ok {
+							return fmt.Errorf("exec: group key outside adopted dictionary")
+						}
+						key[k] = types.NewInt(int64(code))
+					}
+					continue
+				}
 				key[k] = kv.Get(i)
 			}
 			st, err := g.governedLookup(groups, order, key, surcharge)

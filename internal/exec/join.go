@@ -7,6 +7,7 @@ import (
 	"dashdb/internal/encoding"
 	"dashdb/internal/mem"
 	"dashdb/internal/types"
+	"dashdb/internal/vec"
 )
 
 // JoinType selects the join semantics.
@@ -60,6 +61,32 @@ type HashJoinOp struct {
 
 	probeDone  bool
 	spillQueue []int // spilled partition indices awaiting drain
+
+	// Operate-on-compressed join keys. When the vectorized build side
+	// delivers a key column dictionary-encoded, build rows store that
+	// cell as its dictionary code (an INT value) instead of the decoded
+	// value: hashing and equality run in code space, the hash heap is
+	// charged for fixed-width codes instead of strings, and the code
+	// decodes back to the original value only when a match reaches the
+	// output. The scheme is adopted from the FIRST build batch — the scan
+	// latch guarantees one dictionary per column for the whole scan — and
+	// a probe value outside the build dictionary is a definite non-match
+	// (skipped, or NULL-padded under LeftJoin) without ever being hashed.
+	codeKeys    []bool           // per key position: build cells hold codes
+	anyCode     bool             // at least one code key adopted
+	buildDicts  []*encoding.Dict // per key position, nil unless codeKeys[k]
+	buildDoms   [][]types.Value  // decode snapshots for output emission
+	remaps      []map[*encoding.Dict]*dictRemap
+	probeVec    *RowAdapter // non-nil: probe reads vec batches directly
+	pkScratch   []types.Value
+	modeScratch []probeKeyMode
+}
+
+// probeKeyMode is the per-batch translation strategy for one key column.
+type probeKeyMode struct {
+	cv       *vec.Vector
+	identity bool      // probe codes ARE build codes (same dictionary)
+	remap    *dictRemap // probe codes remap into build codes
 }
 
 type joinPartition struct {
@@ -92,14 +119,15 @@ func (j *HashJoinOp) Open() error {
 		if err := j.openGoverned(); err != nil {
 			return err
 		}
-		return j.Left.Open()
+		return j.openProbe()
 	}
 	var build []types.Row
 	var err error
 	if ra, ok := j.Right.(*RowAdapter); ok {
 		// Vectorized build side: drop NULL-key rows while the data is
-		// still columnar, so they are never materialized at all.
-		build, err = drainVecBuild(ra, j.RightKeys)
+		// still columnar, so they are never materialized at all, and
+		// adopt dictionary codes for encoded key columns.
+		build, err = j.drainVecBuild(ra)
 	} else {
 		build, err = Drain(j.Right) // Drain opens and closes the build side
 	}
@@ -134,6 +162,17 @@ func (j *HashJoinOp) Open() error {
 			p.table[h] = append(p.table[h], int32(i))
 		}
 	}
+	return j.openProbe()
+}
+
+// openProbe opens the probe child and, when code keys are active and the
+// probe side is vectorized, arranges to read its vec batches directly so
+// probe-side dictionary codes are compared without materializing rows
+// that never match.
+func (j *HashJoinOp) openProbe() error {
+	if ra, ok := j.Left.(*RowAdapter); ok && j.anyCode {
+		j.probeVec = ra
+	}
 	return j.Left.Open()
 }
 
@@ -146,44 +185,46 @@ func (j *HashJoinOp) openGoverned() error {
 		return err
 	}
 	defer j.Right.Close()
-	for {
-		ch, err := j.Right.Next()
-		if err != nil {
-			return err
-		}
-		if ch == nil {
-			break
-		}
-		for _, r := range ch.Rows {
-			h, ok := keyHash(r, j.RightKeys)
-			if !ok {
-				continue // NULL join keys never match
+	if ra, ok := j.Right.(*RowAdapter); ok {
+		// Vectorized build: adopt code keys from the first batch and store
+		// key cells as codes, so spilled build runs round-trip fixed-width
+		// codes and the heap is charged for codes, not decoded values.
+		for {
+			vb, err := ra.Inner.NextVec()
+			if err != nil {
+				return err
 			}
-			p := &j.parts[h&j.mask]
-			if p.build != nil {
-				if _, err := p.bw.WriteRow(r); err != nil {
+			if vb == nil {
+				break
+			}
+			j.adoptBuild(vb)
+			for _, i := range vb.Idx() {
+				r, ok := j.buildRow(vb, i)
+				if !ok {
+					continue // NULL join keys never match
+				}
+				if err := j.ingestBuildRow(r); err != nil {
 					return err
 				}
-				continue
 			}
-			charge := mem.RowBytes(r)
-			if !j.res.Grow(charge) {
-				if err := j.spillVictim(); err != nil {
+		}
+	} else {
+		for {
+			ch, err := j.Right.Next()
+			if err != nil {
+				return err
+			}
+			if ch == nil {
+				break
+			}
+			for _, r := range ch.Rows {
+				if _, ok := keyHash(r, j.RightKeys); !ok {
+					continue // NULL join keys never match
+				}
+				if err := j.ingestBuildRow(r); err != nil {
 					return err
 				}
-				if p.build != nil {
-					if _, err := p.bw.WriteRow(r); err != nil {
-						return err
-					}
-					continue
-				}
-				if !j.res.Grow(charge) {
-					// Single row past the heap: over-grant for progress.
-					j.res.MustGrow(charge)
-				}
 			}
-			p.rows = append(p.rows, r)
-			p.bytes += charge
 		}
 	}
 	// Resident partitions get their probe tables now; spilled partitions
@@ -200,6 +241,35 @@ func (j *HashJoinOp) openGoverned() error {
 			p.table[h] = append(p.table[h], int32(i))
 		}
 	}
+	return nil
+}
+
+// ingestBuildRow places one build row (key cells already translated)
+// into its partition under the hash heap reservation, spilling the
+// largest partition when a Grow is denied.
+func (j *HashJoinOp) ingestBuildRow(r types.Row) error {
+	h, _ := keyHash(r, j.RightKeys)
+	p := &j.parts[h&j.mask]
+	if p.build != nil {
+		_, err := p.bw.WriteRow(r)
+		return err
+	}
+	charge := mem.RowBytes(r)
+	if !j.res.Grow(charge) {
+		if err := j.spillVictim(); err != nil {
+			return err
+		}
+		if p.build != nil {
+			_, err := p.bw.WriteRow(r)
+			return err
+		}
+		if !j.res.Grow(charge) {
+			// Single row past the heap: over-grant for progress.
+			j.res.MustGrow(charge)
+		}
+	}
+	p.rows = append(p.rows, r)
+	p.bytes += charge
 	return nil
 }
 
@@ -235,8 +305,8 @@ func (j *HashJoinOp) spillVictim() error {
 
 // drainVecBuild drains a vectorized build side into rows, skipping rows
 // whose join keys contain NULL (they can never match) before any row is
-// materialized.
-func drainVecBuild(ra *RowAdapter, keys []int) ([]types.Row, error) {
+// materialized, and storing encoded key cells as dictionary codes.
+func (j *HashJoinOp) drainVecBuild(ra *RowAdapter) ([]types.Row, error) {
 	if err := ra.Open(); err != nil {
 		return nil, err
 	}
@@ -250,16 +320,138 @@ func drainVecBuild(ra *RowAdapter, keys []int) ([]types.Row, error) {
 		if vb == nil {
 			return out, nil
 		}
-	scan:
+		j.adoptBuild(vb)
 		for _, i := range vb.Idx() {
-			for _, k := range keys {
-				if vb.Cols[k].IsNull(i) {
-					continue scan
-				}
+			if r, ok := j.buildRow(vb, i); ok {
+				out = append(out, r)
 			}
-			out = append(out, vb.Row(i))
 		}
 	}
+}
+
+// adoptBuild fixes the code-key scheme from the first build batch: a key
+// position whose build vector is encoded (and whose probe column has the
+// same kind, so dictionary translation cannot change comparison
+// semantics) switches to code space. The scan latch holds for the whole
+// build scan, so every later batch of the same scan carries the same
+// dictionary and the adopted decode snapshot covers all of its codes.
+func (j *HashJoinOp) adoptBuild(vb *vec.Batch) {
+	if j.codeKeys != nil {
+		return
+	}
+	j.codeKeys = make([]bool, len(j.RightKeys))
+	j.buildDicts = make([]*encoding.Dict, len(j.RightKeys))
+	j.buildDoms = make([][]types.Value, len(j.RightKeys))
+	lsch := j.Left.Schema()
+	for k, rk := range j.RightKeys {
+		cv := vb.Cols[rk]
+		if cv.Encoded() && lsch[j.LeftKeys[k]].Kind == cv.Kind {
+			j.codeKeys[k] = true
+			j.anyCode = true
+			j.buildDicts[k] = cv.Dict
+			j.buildDoms[k] = cv.Dom()
+		}
+	}
+	if j.anyCode {
+		j.remaps = make([]map[*encoding.Dict]*dictRemap, len(j.RightKeys))
+	}
+}
+
+// buildRow materializes one build-side row with encoded key cells stored
+// as their dictionary codes; ok is false when a key is NULL (or, defensively,
+// when a key value falls outside the adopted dictionary — unreachable
+// within one scan).
+func (j *HashJoinOp) buildRow(vb *vec.Batch, i int) (types.Row, bool) {
+	for _, rk := range j.RightKeys {
+		if vb.Cols[rk].IsNull(i) {
+			return nil, false
+		}
+	}
+	row := make(types.Row, len(vb.Cols))
+	for c, cv := range vb.Cols {
+		row[c] = cv.Get(i)
+	}
+	for k, rk := range j.RightKeys {
+		if !j.codeKeys[k] {
+			continue
+		}
+		cv := vb.Cols[rk]
+		if cv.Encoded() && cv.Dict == j.buildDicts[k] {
+			row[rk] = types.NewInt(int64(cv.Codes[i]))
+			continue
+		}
+		code, ok := j.buildDicts[k].EncodeExisting(row[rk])
+		if !ok {
+			return nil, false
+		}
+		row[rk] = types.NewInt(int64(code))
+	}
+	return row, true
+}
+
+// translateKeys maps a probe row's key columns into the build side's
+// representation (codes for code keys, values otherwise), reusing a
+// scratch slice. ok=false means the row can never match: a NULL key, or
+// a value absent from the build dictionary.
+func (j *HashJoinOp) translateKeys(lrow types.Row) ([]types.Value, bool) {
+	if cap(j.pkScratch) < len(j.LeftKeys) {
+		j.pkScratch = make([]types.Value, len(j.LeftKeys))
+	}
+	pk := j.pkScratch[:len(j.LeftKeys)]
+	for k, lk := range j.LeftKeys {
+		v := lrow[lk]
+		if v.IsNull() {
+			return nil, false
+		}
+		if j.codeKeys[k] {
+			code, ok := j.buildDicts[k].EncodeExisting(v)
+			if !ok {
+				return nil, false
+			}
+			v = types.NewInt(int64(code))
+		}
+		pk[k] = v
+	}
+	return pk, true
+}
+
+// hashKeyVals mixes translated key values with the same seed and stride
+// as keyHash, so probe hashes land in the partitions the (code-valued)
+// build rows were hashed into.
+func hashKeyVals(pk []types.Value) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range pk {
+		h = h*0x100000001b3 ^ v.Hash()
+	}
+	return h
+}
+
+// keysEqualVals verifies a candidate match against translated probe keys.
+func keysEqualVals(pk []types.Value, rrow types.Row, rk []int) bool {
+	for i := range pk {
+		if !types.Equal(pk[i], rrow[rk[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// emitJoin concatenates a matched pair, decoding code-valued build key
+// cells back to their dictionary values — the join's late
+// materialization point.
+func (j *HashJoinOp) emitJoin(lrow, rrow types.Row) types.Row {
+	out := make(types.Row, 0, len(lrow)+len(rrow))
+	out = append(append(out, lrow...), rrow...)
+	if j.anyCode {
+		base := len(lrow)
+		for k, rk := range j.RightKeys {
+			if j.codeKeys[k] {
+				c, _ := out[base+rk].AsInt()
+				out[base+rk] = j.buildDoms[k][c]
+			}
+		}
+	}
+	return out
 }
 
 // keyHash hashes the join key columns; ok is false when any key is NULL.
@@ -308,6 +500,21 @@ func (j *HashJoinOp) Next() (*Chunk, error) {
 			}
 			return nil, nil
 		}
+		if j.probeVec != nil {
+			vb, err := j.probeVec.Inner.NextVec()
+			if err != nil {
+				return nil, err
+			}
+			if vb == nil {
+				j.probeDone = true
+				j.sealProbeFiles()
+				continue
+			}
+			if err := j.probeBatch(vb); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		lch, err := j.Left.Next()
 		if err != nil {
 			return nil, err
@@ -319,38 +526,173 @@ func (j *HashJoinOp) Next() (*Chunk, error) {
 		}
 		rightWidth := len(j.Right.Schema())
 		for _, lrow := range lch.Rows {
-			matched := false
-			if h, ok := keyHash(lrow, j.LeftKeys); ok {
-				p := &j.parts[h&j.mask]
-				if p.build != nil {
-					// Partition lives on disk: park the probe row and
-					// join it during the drain phase.
-					if p.probe == nil {
-						f, err := j.res.NewSpillFile("join-probe")
-						if err != nil {
-							return nil, err
-						}
-						p.probe, p.pw = f, encoding.NewRowWriter(f)
-					}
-					if _, err := p.pw.WriteRow(lrow); err != nil {
-						return nil, err
-					}
-					continue
-				}
-				for _, ri := range p.table[h] {
-					rrow := p.rows[ri]
-					if keysEqual(lrow, j.LeftKeys, rrow, j.RightKeys) {
-						matched = true
-						out := make(types.Row, 0, len(lrow)+len(rrow))
-						out = append(append(out, lrow...), rrow...)
-						j.pending = append(j.pending, out)
-					}
-				}
-			}
-			if !matched && j.Type == LeftJoin {
-				j.pending = append(j.pending, j.padRight(lrow, rightWidth))
+			if err := j.probeRow(lrow, rightWidth); err != nil {
+				return nil, err
 			}
 		}
+	}
+}
+
+// probeRow probes one materialized left row, translating its keys into
+// build representation when code keys are active. An untranslatable key
+// is a definite non-match: no hash, no parking, immediate NULL padding
+// under LeftJoin.
+func (j *HashJoinOp) probeRow(lrow types.Row, rightWidth int) error {
+	matched := false
+	var (
+		h  uint64
+		pk []types.Value
+		ok bool
+	)
+	if j.anyCode {
+		pk, ok = j.translateKeys(lrow)
+		if ok {
+			h = hashKeyVals(pk)
+		}
+	} else {
+		h, ok = keyHash(lrow, j.LeftKeys)
+	}
+	if ok {
+		p := &j.parts[h&j.mask]
+		if p.build != nil {
+			// Partition lives on disk: park the probe row (original
+			// values; keys re-translate deterministically at drain) and
+			// join it during the drain phase.
+			if p.probe == nil {
+				f, err := j.res.NewSpillFile("join-probe")
+				if err != nil {
+					return err
+				}
+				p.probe, p.pw = f, encoding.NewRowWriter(f)
+			}
+			_, err := p.pw.WriteRow(lrow)
+			return err
+		}
+		for _, ri := range p.table[h] {
+			rrow := p.rows[ri]
+			eq := false
+			if j.anyCode {
+				eq = keysEqualVals(pk, rrow, j.RightKeys)
+			} else {
+				eq = keysEqual(lrow, j.LeftKeys, rrow, j.RightKeys)
+			}
+			if eq {
+				matched = true
+				j.pending = append(j.pending, j.emitJoin(lrow, rrow))
+			}
+		}
+	}
+	if !matched && j.Type == LeftJoin {
+		j.pending = append(j.pending, j.padRight(lrow, rightWidth))
+	}
+	return nil
+}
+
+// probeBatch probes a vec batch directly: per key column it fixes a
+// translation mode once per batch (identity when the probe dictionary IS
+// the build dictionary, a cached code→code remap when it differs, value
+// lookup otherwise) and materializes a probe row only when it matches,
+// parks, or needs LEFT JOIN padding.
+func (j *HashJoinOp) probeBatch(vb *vec.Batch) error {
+	nk := len(j.LeftKeys)
+	if cap(j.modeScratch) < nk {
+		j.modeScratch = make([]probeKeyMode, nk)
+	}
+	modes := j.modeScratch[:nk]
+	for k, lk := range j.LeftKeys {
+		cv := vb.Cols[lk]
+		modes[k] = probeKeyMode{cv: cv}
+		if j.codeKeys[k] && cv.Encoded() {
+			if cv.Dict == j.buildDicts[k] {
+				modes[k].identity = true
+			} else {
+				if j.remaps[k] == nil {
+					j.remaps[k] = make(map[*encoding.Dict]*dictRemap)
+				}
+				r := j.remaps[k][cv.Dict]
+				if r == nil {
+					r = newDictRemap(j.buildDicts[k], cv.Dom())
+					j.remaps[k][cv.Dict] = r
+				}
+				modes[k].remap = r
+			}
+		}
+	}
+	if cap(j.pkScratch) < nk {
+		j.pkScratch = make([]types.Value, nk)
+	}
+	pk := j.pkScratch[:nk]
+	rightWidth := len(j.Right.Schema())
+	for _, i := range vb.Idx() {
+		ok := true
+		for k := range modes {
+			v, valid := j.probeKeyAt(&modes[k], k, i)
+			if !valid {
+				ok = false
+				break
+			}
+			pk[k] = v
+		}
+		matched := false
+		if ok {
+			h := hashKeyVals(pk)
+			p := &j.parts[h&j.mask]
+			if p.build != nil {
+				if p.probe == nil {
+					f, err := j.res.NewSpillFile("join-probe")
+					if err != nil {
+						return err
+					}
+					p.probe, p.pw = f, encoding.NewRowWriter(f)
+				}
+				if _, err := p.pw.WriteRow(vb.Row(i)); err != nil {
+					return err
+				}
+				continue
+			}
+			var lrow types.Row
+			for _, ri := range p.table[h] {
+				rrow := p.rows[ri]
+				if keysEqualVals(pk, rrow, j.RightKeys) {
+					matched = true
+					if lrow == nil {
+						lrow = vb.Row(i)
+					}
+					j.pending = append(j.pending, j.emitJoin(lrow, rrow))
+				}
+			}
+		}
+		if !matched && j.Type == LeftJoin {
+			j.pending = append(j.pending, j.padRight(vb.Row(i), rightWidth))
+		}
+	}
+	return nil
+}
+
+// probeKeyAt translates one probe key position of batch row i.
+func (j *HashJoinOp) probeKeyAt(m *probeKeyMode, k, i int) (types.Value, bool) {
+	cv := m.cv
+	if cv.IsNull(i) {
+		return types.Null, false
+	}
+	if !j.codeKeys[k] {
+		return cv.Get(i), true
+	}
+	switch {
+	case m.identity:
+		return types.NewInt(int64(cv.Codes[i])), true
+	case m.remap != nil:
+		bc, ok := m.remap.lookup(cv.Codes[i])
+		if !ok {
+			return types.Null, false
+		}
+		return types.NewInt(int64(bc)), true
+	default:
+		bc, ok := j.buildDicts[k].EncodeExisting(cv.Get(i))
+		if !ok {
+			return types.Null, false
+		}
+		return types.NewInt(int64(bc)), true
 	}
 }
 
@@ -431,14 +773,35 @@ func (j *HashJoinOp) drainSpilled(pi int) error {
 			return err
 		}
 		matched := false
-		h, _ := keyHash(lrow, j.LeftKeys) // parked rows never have NULL keys
-		for _, ri := range p.table[h] {
-			rrow := p.rows[ri]
-			if keysEqual(lrow, j.LeftKeys, rrow, j.RightKeys) {
-				matched = true
-				out := make(types.Row, 0, len(lrow)+len(rrow))
-				out = append(append(out, lrow...), rrow...)
-				j.pending = append(j.pending, out)
+		var (
+			h  uint64
+			pk []types.Value
+			ok bool
+		)
+		if j.anyCode {
+			// Parked rows hold original values; keys re-translate
+			// deterministically (the dictionaries are frozen for the
+			// query's scans).
+			pk, ok = j.translateKeys(lrow)
+			if ok {
+				h = hashKeyVals(pk)
+			}
+		} else {
+			h, ok = keyHash(lrow, j.LeftKeys) // parked rows never have NULL keys
+		}
+		if ok {
+			for _, ri := range p.table[h] {
+				rrow := p.rows[ri]
+				eq := false
+				if j.anyCode {
+					eq = keysEqualVals(pk, rrow, j.RightKeys)
+				} else {
+					eq = keysEqual(lrow, j.LeftKeys, rrow, j.RightKeys)
+				}
+				if eq {
+					matched = true
+					j.pending = append(j.pending, j.emitJoin(lrow, rrow))
+				}
 			}
 		}
 		if !matched && j.Type == LeftJoin {
@@ -446,6 +809,18 @@ func (j *HashJoinOp) drainSpilled(pi int) error {
 		}
 	}
 	return nil
+}
+
+// CodeKeyCount reports how many join key positions ran in code space.
+// Valid after Open; EXPLAIN ANALYZE reports it.
+func (j *HashJoinOp) CodeKeyCount() int {
+	n := 0
+	for _, c := range j.codeKeys {
+		if c {
+			n++
+		}
+	}
+	return n
 }
 
 // SpillStats reports runs and bytes spilled, for EXPLAIN ANALYZE. Valid

@@ -46,6 +46,13 @@ type ParallelGroupByOp struct {
 	Dop        int // worker count; <=1 degenerates to a serial scan
 	Gov        *mem.Governor
 
+	// Compressed enables operate-on-compressed group keys: a GROUP BY
+	// column that is dictionary-encoded groups on its code (fixed-width
+	// INT cells in the hash tables and spill runs) and decodes once per
+	// distinct group before the emit sort. The compiler sets it unless
+	// compressed execution is disabled.
+	Compressed bool
+
 	// ScanStats, when set by exec.Instrument, receives per-worker stride
 	// visit/skip and row counters for the fused scan. Nil = uninstrumented.
 	ScanStats *telemetry.ScanStats
@@ -56,6 +63,17 @@ type ParallelGroupByOp struct {
 	out     types.Schema
 	results []types.Row
 	pos     int
+
+	// Code-key scheme, adopted from the first scanned batch under the
+	// scan's read latch (a plan-time dictionary lookup could race an
+	// insert-triggered re-analysis between compile and Open). adoptOnce
+	// publishes the scheme to every worker before any row is absorbed.
+	adoptOnce  sync.Once
+	keyCode    []bool
+	anyKeyCode bool
+	keyCols    []int // table ordinal per code key
+	keyDoms    [][]types.Value
+	keyKinds   []types.Kind
 }
 
 // Schema implements Operator: group columns then aggregate columns
@@ -92,17 +110,10 @@ type aggWorker struct {
 	err       error
 }
 
-// absorb accumulates one row into the worker's partials, spilling the
-// worker's largest partition when the shared reservation denies growth.
-func (w *aggWorker) absorb(g *ParallelGroupByOp, row types.Row) error {
-	key := make(types.Row, len(g.GroupBy))
-	for i, e := range g.GroupBy {
-		v, err := e.Eval(row)
-		if err != nil {
-			return err
-		}
-		key[i] = v
-	}
+// absorb accumulates one row under a prebuilt group key (codes for
+// adopted key positions, values otherwise), spilling the worker's largest
+// partition when the shared reservation denies growth.
+func (w *aggWorker) absorb(g *ParallelGroupByOp, key, row types.Row) error {
 	h := key.Hash()
 	p := h & (aggPartitions - 1)
 	if w.parts[p] == nil {
@@ -195,6 +206,8 @@ func (g *ParallelGroupByOp) Open() error {
 	if dop < 1 {
 		dop = 1
 	}
+	g.adoptOnce = sync.Once{}
+	g.keyCode, g.keyCols, g.keyDoms, g.keyKinds, g.anyKeyCode = nil, nil, nil, nil, false
 	g.res = g.Gov.Acquire(mem.HashHeap)
 	surcharge := rowSurcharge(g.Aggs)
 	workers := make([]*aggWorker, dop)
@@ -204,6 +217,7 @@ func (g *ParallelGroupByOp) Open() error {
 
 	// Build phase: dop scan workers, each feeding its own partials.
 	scanErr := g.Table.ParallelScanWithStats(g.Preds, dop, g.ScanStats, func(w int, b *columnar.Batch) bool {
+		g.adoptOnce.Do(func() { g.adopt(b) })
 		ws := workers[w]
 		for i := 0; i < b.Len(); i++ {
 			var row types.Row
@@ -215,7 +229,12 @@ func (g *ParallelGroupByOp) Open() error {
 					row[j] = b.Value(ci, i)
 				}
 			}
-			if err := ws.absorb(g, row); err != nil {
+			key, err := g.workerKey(b, i, row)
+			if err != nil {
+				ws.err = err
+				return false
+			}
+			if err := ws.absorb(g, key, row); err != nil {
 				ws.err = err
 				return false
 			}
@@ -315,6 +334,22 @@ func (g *ParallelGroupByOp) Open() error {
 		// Global aggregate over empty input still yields one row, per SQL.
 		groups = append(groups, &groupState{accs: make([]accumulator, len(g.Aggs))})
 	}
+	// Late materialization: code-valued key cells decode once per distinct
+	// group. This must happen BEFORE the emit sort — frequency-partitioned
+	// dictionary codes are not globally order-preserving, so sorting by
+	// code would not be sorting by value.
+	if g.anyKeyCode {
+		for _, st := range groups {
+			for k := range st.key {
+				if !g.keyCode[k] || st.key[k].IsNull() {
+					continue
+				}
+				if c, ok := st.key[k].AsInt(); ok && c >= 0 && int(c) < len(g.keyDoms[k]) {
+					st.key[k] = g.keyDoms[k][c]
+				}
+			}
+		}
+	}
 	// Deterministic output: sort by group key (NULLs first). The serial
 	// operator emits first-arrival order; parallel arrival order is a race,
 	// so key order is the stable choice.
@@ -333,6 +368,78 @@ func (g *ParallelGroupByOp) Open() error {
 	}
 	g.pos = 0
 	return nil
+}
+
+// adopt fixes the code-key scheme from the first scanned batch. Only a
+// bare column reference over a dictionary-encoded column (float columns
+// excluded by ColumnDict) groups on codes. Runs under adoptOnce inside
+// the scan callback: the scan's read latch guarantees the dictionary it
+// snapshots covers every code any worker will see.
+func (g *ParallelGroupByOp) adopt(b *columnar.Batch) {
+	g.keyCode = make([]bool, len(g.GroupBy))
+	g.keyCols = make([]int, len(g.GroupBy))
+	g.keyDoms = make([][]types.Value, len(g.GroupBy))
+	g.keyKinds = make([]types.Kind, len(g.GroupBy))
+	if !g.Compressed {
+		return
+	}
+	for k, e := range g.GroupBy {
+		cr, ok := e.(ColRef)
+		if !ok {
+			continue
+		}
+		ci := int(cr)
+		if g.Projection != nil {
+			if ci < 0 || ci >= len(g.Projection) {
+				continue
+			}
+			ci = g.Projection[ci]
+		}
+		d := b.ColumnDict(ci)
+		if d == nil {
+			continue
+		}
+		g.keyCode[k] = true
+		g.anyKeyCode = true
+		g.keyCols[k] = ci
+		g.keyDoms[k] = d.Snapshot()
+		g.keyKinds[k] = g.GroupCols[k].Kind
+	}
+}
+
+// workerKey builds one row's group key: dictionary codes (as INT cells)
+// for adopted positions read straight off the batch, expression
+// evaluation for the rest.
+func (g *ParallelGroupByOp) workerKey(b *columnar.Batch, i int, row types.Row) (types.Row, error) {
+	key := make(types.Row, len(g.GroupBy))
+	for k, e := range g.GroupBy {
+		if g.keyCode[k] {
+			if code, ok := b.Code(g.keyCols[k], i); ok {
+				key[k] = types.NewInt(int64(code))
+			} else {
+				key[k] = types.NullOf(g.keyKinds[k])
+			}
+			continue
+		}
+		v, err := e.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		key[k] = v
+	}
+	return key, nil
+}
+
+// CodeKeyCount reports how many group key positions ran in code space.
+// Valid after Open; EXPLAIN ANALYZE reports it.
+func (g *ParallelGroupByOp) CodeKeyCount() int {
+	n := 0
+	for _, c := range g.keyCode {
+		if c {
+			n++
+		}
+	}
+	return n
 }
 
 // groupKeyLess orders group keys column-by-column with NULLs first (the

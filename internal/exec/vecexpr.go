@@ -191,6 +191,10 @@ func (e *CmpExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Encoded operands reaching a generic comparison kernel decode here;
+	// predicates the compressed filter path can answer never get this far.
+	lv.Materialize()
+	rv.Materialize()
 	out := vec.New(types.KindBool, b.N)
 	op := e.Op
 	idx := b.Idx()
@@ -352,6 +356,8 @@ func (e *ArithExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
+	lv.Materialize()
+	rv.Materialize()
 	idx := b.Idx()
 	op := e.Op
 	lk, rk := lv.Kind, rv.Kind
@@ -680,6 +686,7 @@ func (e *NegExpr) EvalVec(b *vec.Batch) (*vec.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
+	ev.Materialize()
 	idx := b.Idx()
 	switch {
 	case ev.Kind == types.KindInt:

@@ -30,6 +30,12 @@ type VecScanOp struct {
 	Projection []int
 	Dop        int // 0/1 = serial, in row-id order
 
+	// Compressed, aligned to output positions, marks columns the scan
+	// emits as code-carrying vectors (dictionary codes + *Dict reference)
+	// instead of materialized values — the operate-on-compressed-data
+	// hand-off. Nil = decode everything. Set via EnableCompressed.
+	Compressed []bool
+
 	// ScanStats, when set by exec.Instrument, receives per-worker stride
 	// visit/skip and row counters for this scan. Nil = uninstrumented.
 	ScanStats *telemetry.ScanStats
@@ -56,6 +62,31 @@ func NewVecScan(t *columnar.Table, preds []columnar.Pred, projection []int, dop 
 // Schema implements VecOperator.
 func (s *VecScanOp) Schema() types.Schema { return s.out }
 
+// EnableCompressed marks every dictionary-encoded output column for
+// code-vector emission and reports whether any column qualified. The
+// planner's view of "dictionary-encoded" is advisory — an insert-triggered
+// re-analysis can swap encoders before Open — so downstream operators
+// always adopt dictionaries from the batches themselves, and VectorsEnc
+// falls back to decoding if a flagged column is no longer a Dict.
+func (s *VecScanOp) EnableCompressed() bool {
+	flags := make([]bool, len(s.out))
+	any := false
+	for j := range s.out {
+		ci := j
+		if s.Projection != nil {
+			ci = s.Projection[j]
+		}
+		if s.Table.ColumnDict(ci) != nil {
+			flags[j] = true
+			any = true
+		}
+	}
+	if any {
+		s.Compressed = flags
+	}
+	return any
+}
+
 // Open implements VecOperator: like ScanOp, a producer goroutine runs the
 // scan and vectorizes each columnar.Batch inside the callback (batches
 // are only valid during the callback).
@@ -68,7 +99,7 @@ func (s *VecScanOp) Open() error {
 	s.errc = make(chan error, 1)
 	s.stop = make(chan struct{})
 	deliver := func(b *columnar.Batch) bool {
-		vb := &vec.Batch{Schema: s.out, Cols: b.Vectors(s.Projection), N: b.Len()}
+		vb := &vec.Batch{Schema: s.out, Cols: b.VectorsEnc(s.Projection, s.Compressed), N: b.Len()}
 		select {
 		case s.chunks <- vb:
 			return true
@@ -128,6 +159,10 @@ func (s *VecScanOp) Close() error {
 type VecFilterOp struct {
 	Child VecOperator
 	Pred  Expr // must satisfy Vectorizable
+
+	// CodeRows counts live rows whose qualifying set was computed entirely
+	// in code space (no value decoded); EXPLAIN ANALYZE reports it.
+	CodeRows int64
 }
 
 // Schema implements VecOperator.
@@ -142,6 +177,18 @@ func (f *VecFilterOp) NextVec() (*vec.Batch, error) {
 		vb, err := f.Child.NextVec()
 		if err != nil || vb == nil {
 			return nil, err
+		}
+		// Operate-on-compressed fast path: dictionary-translated predicates
+		// narrow the selection by comparing codes, never touching values.
+		if sel, ok, err := compressedSel(f.Pred, vb, vb.Idx()); err != nil {
+			return nil, err
+		} else if ok {
+			f.CodeRows += int64(vb.Rows())
+			if len(sel) == 0 {
+				continue
+			}
+			vb.Sel = sel
+			return vb, nil
 		}
 		pv, err := evalVec(f.Pred, vb)
 		if err != nil {
@@ -184,6 +231,11 @@ type VecProjectOp struct {
 	Child VecOperator
 	Exprs []Expr // each must satisfy Vectorizable
 	Out   types.Schema
+
+	// EncodedRows counts live rows that arrived still dictionary-encoded
+	// in at least one column — i.e. rows late-materialized here rather
+	// than decoded upstream. EXPLAIN ANALYZE reports it.
+	EncodedRows int64
 }
 
 // Schema implements VecOperator.
@@ -199,10 +251,22 @@ func (p *VecProjectOp) NextVec() (*vec.Batch, error) {
 		return nil, err
 	}
 	cols := make([]*vec.Vector, len(p.Exprs))
+	encoded := false
 	for j, e := range p.Exprs {
 		cols[j], err = evalVec(e, vb)
 		if err != nil {
 			return nil, err
+		}
+		if cols[j].Encoded() {
+			encoded = true
+		}
+	}
+	// Late materialization point: everything upstream ran on codes; the
+	// projection decodes each surviving output column exactly once.
+	if encoded {
+		p.EncodedRows += int64(vb.Rows())
+		for _, cv := range cols {
+			cv.Materialize()
 		}
 	}
 	return &vec.Batch{Schema: p.Out, Cols: cols, N: vb.N, Sel: vb.Sel}, nil
@@ -365,51 +429,64 @@ func (r *RowsToVecOp) Close() error { return r.Child.Close() }
 // (Sort, Distinct, grouping, joins, UDF/func expressions) keeps the row
 // contract and reads through a RowAdapter at the boundary. Unknown
 // operators (library extensions) pass through untouched.
-func Vectorize(op Operator) Operator {
+func Vectorize(op Operator) Operator { return VectorizeMode(op, true) }
+
+// VectorizeMode is Vectorize with explicit control over compressed
+// execution: when compressed is true, scans emit dictionary-encoded
+// columns as code vectors and the pipeline operates on codes until the
+// projection (or another kernel that genuinely needs values)
+// materializes them. false forces eager decode at the scan — the
+// "decode then evaluate" baseline used for ablations and as an
+// escape hatch (core.Config.DisableCompressedExec).
+func VectorizeMode(op Operator, compressed bool) Operator {
 	switch o := op.(type) {
 	case *ScanOp:
-		return &RowAdapter{Inner: NewVecScan(o.Table, o.Preds, o.Projection, o.Dop)}
+		vs := NewVecScan(o.Table, o.Preds, o.Projection, o.Dop)
+		if compressed {
+			vs.EnableCompressed()
+		}
+		return &RowAdapter{Inner: vs}
 	case *FilterOp:
-		child := Vectorize(o.Child)
+		child := VectorizeMode(o.Child, compressed)
 		if ra, ok := child.(*RowAdapter); ok && Vectorizable(o.Pred) {
 			return &RowAdapter{Inner: &VecFilterOp{Child: ra.Inner, Pred: o.Pred}}
 		}
 		o.Child = child
 		return o
 	case *ProjectOp:
-		child := Vectorize(o.Child)
+		child := VectorizeMode(o.Child, compressed)
 		if ra, ok := child.(*RowAdapter); ok && allVectorizable(o.Exprs) {
 			return &RowAdapter{Inner: &VecProjectOp{Child: ra.Inner, Exprs: o.Exprs, Out: o.Out}}
 		}
 		o.Child = child
 		return o
 	case *LimitOp:
-		child := Vectorize(o.Child)
+		child := VectorizeMode(o.Child, compressed)
 		if ra, ok := child.(*RowAdapter); ok {
 			return &RowAdapter{Inner: &VecLimitOp{Child: ra.Inner, Offset: o.Offset, Limit: o.Limit}}
 		}
 		o.Child = child
 		return o
 	case *SortOp:
-		o.Child = Vectorize(o.Child)
+		o.Child = VectorizeMode(o.Child, compressed)
 		return o
 	case *DistinctOp:
-		o.Child = Vectorize(o.Child)
+		o.Child = VectorizeMode(o.Child, compressed)
 		return o
 	case *GroupByOp:
-		o.Child = Vectorize(o.Child)
+		o.Child = VectorizeMode(o.Child, compressed)
 		return o
 	case *HashJoinOp:
-		o.Left = Vectorize(o.Left)
-		o.Right = Vectorize(o.Right)
+		o.Left = VectorizeMode(o.Left, compressed)
+		o.Right = VectorizeMode(o.Right, compressed)
 		return o
 	case *NestedLoopJoinOp:
-		o.Left = Vectorize(o.Left)
-		o.Right = Vectorize(o.Right)
+		o.Left = VectorizeMode(o.Left, compressed)
+		o.Right = VectorizeMode(o.Right, compressed)
 		return o
 	case *UnionAllOp:
 		for i := range o.Children {
-			o.Children[i] = Vectorize(o.Children[i])
+			o.Children[i] = VectorizeMode(o.Children[i], compressed)
 		}
 		return o
 	}

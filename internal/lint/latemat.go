@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	gotypes "go/types"
+	"strings"
+)
+
+// AnalyzerLateMat polices the late-materialization invariant of
+// operate-on-compressed-data execution: inside //dashdb:hotpath executor
+// kernels, dictionary codes must stay codes. A per-element Dict.Decode in
+// a filter, join, or group-by inner loop silently re-creates the decoded
+// path the compressed engine exists to avoid — the query still returns
+// the right answer, which is exactly why only a linter catches it. The
+// designated materialization sites (functions whose name mentions emit,
+// materialize, or project) are exempt, as is anything outside the
+// executor packages.
+var AnalyzerLateMat = &Analyzer{
+	Name:  "latemat",
+	Doc:   "//dashdb:hotpath executor kernels must not call encoding.Dict.Decode outside emit/materialize/project sites",
+	Match: matchPath("/exec", "/vec"),
+	Run:   runLateMat,
+}
+
+// lateMatExemptSites are name fragments marking sanctioned decode points.
+var lateMatExemptSites = []string{"emit", "materialize", "project"}
+
+func lateMatExempt(name string) bool {
+	n := strings.ToLower(name)
+	for _, site := range lateMatExemptSites {
+		if strings.Contains(n, site) {
+			return true
+		}
+	}
+	return false
+}
+
+// isDictDecode reports whether the resolved callee is the Decode method
+// of a type named Dict from the encoding package (or a fixture's local
+// stand-in).
+func isDictDecode(obj gotypes.Object) bool {
+	fn, ok := obj.(*gotypes.Func)
+	if !ok || fn.Name() != "Decode" {
+		return false
+	}
+	sig, ok := fn.Type().(*gotypes.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*gotypes.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*gotypes.Named)
+	if !ok || named.Obj().Name() != "Dict" {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return strings.HasSuffix(pkg.Path(), "internal/encoding") ||
+		strings.HasPrefix(pkg.Path(), "fixture/")
+}
+
+func runLateMat(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !hasDirective(fd.Doc, "hotpath") || fd.Body == nil {
+				continue
+			}
+			if lateMatExempt(funcKey(fd)) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := info.Uses[sel.Sel]
+				if obj == nil || !isDictDecode(obj) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"hotpath kernel %s decodes dictionary codes per element: operate on codes and materialize once at the projection/emit site (or rename the function to mark it a sanctioned decode point)",
+					funcKey(fd))
+				return true
+			})
+		}
+	}
+}

@@ -125,6 +125,7 @@ func All() []*Analyzer {
 		AnalyzerDroppedErr,
 		AnalyzerGoroutine,
 		AnalyzerSpillFile,
+		AnalyzerLateMat,
 	}
 }
 

@@ -35,6 +35,11 @@ type Compiler struct {
 	// heap reservations through it and spill when denied. Nil keeps the
 	// legacy unbounded in-memory paths.
 	Gov *mem.Governor
+	// NoCompressedExec disables operate-on-compressed-data execution:
+	// scans decode every dictionary column up front and predicates, join
+	// keys, and group keys all run over values. Used for parity testing
+	// and as an escape hatch.
+	NoCompressedExec bool
 }
 
 type cteData struct {
@@ -119,7 +124,7 @@ func (c *Compiler) CompileSelect(sel *SelectStmt) (exec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.Vectorize(cpl.op), nil
+	return exec.VectorizeMode(cpl.op, !c.NoCompressedExec), nil
 }
 
 func (c *Compiler) compileSelect(sel *SelectStmt) (*compiled, error) {

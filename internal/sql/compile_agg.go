@@ -256,6 +256,7 @@ func (c *Compiler) compileAggregate(sel *SelectStmt, items []SelectItem, cur *co
 				Aggs:       g.Aggs,
 				Dop:        c.Parallelism,
 				Gov:        c.Gov,
+				Compressed: !c.NoCompressedExec,
 			}
 		}
 	}

@@ -9,6 +9,7 @@ package vec
 
 import (
 	"dashdb/internal/bitpack"
+	"dashdb/internal/encoding"
 	"dashdb/internal/types"
 )
 
@@ -24,6 +25,13 @@ import (
 // Nulls is allocated lazily on the first NULL; a nil bitmap means no
 // NULLs have been set. A Const vector holds a single value at payload
 // index 0 broadcast to every row (literal operands).
+// A code-carrying vector (paper §II.B.2, operate on compressed data) has
+// Codes/Dict set instead of a value payload: Codes holds dictionary codes
+// for each row and Dict identifies the dictionary that assigned them.
+// Encoded vectors flow through filters, joins, and grouping without
+// decoding; Materialize converts to the value payload in place, and Get
+// decodes single rows on demand. Set must not be called on an encoded
+// vector.
 type Vector struct {
 	Kind  types.Kind
 	Const bool
@@ -32,6 +40,13 @@ type Vector struct {
 	Str   []string
 	Any   []types.Value
 	Nulls *bitpack.Bitmap
+
+	// Codes/Dict form the compressed payload. dom is the dictionary
+	// snapshot captured at construction: every code in Codes is < len(dom),
+	// so per-row decode is a bounds-free slice index with no lock.
+	Codes []uint64
+	Dict  *encoding.Dict
+	dom   []types.Value
 }
 
 // New allocates a dense vector of n values of the given kind, all
@@ -59,9 +74,88 @@ func NewConst(val types.Value) *Vector {
 	return v
 }
 
+// NewCodes returns an encoded vector of n dictionary codes over dict. The
+// caller fills Codes and the null bitmap; positions whose null bit is set
+// carry code 0 as a placeholder and are never decoded.
+func NewCodes(kind types.Kind, n int, dict *encoding.Dict) *Vector {
+	return &Vector{
+		Kind:  kind,
+		Codes: make([]uint64, n),
+		Dict:  dict,
+		dom:   dict.Snapshot(),
+	}
+}
+
+// Encoded reports whether the vector carries dictionary codes instead of
+// materialized values.
+//
+//dashdb:hotpath
+func (v *Vector) Encoded() bool { return v.Codes != nil }
+
+// Dom returns the dictionary snapshot the vector decodes through: for any
+// non-NULL position i, Dom()[Codes[i]] is the row's value. Hot loops use
+// it for lock-free batch decode.
+//
+//dashdb:hotpath
+func (v *Vector) Dom() []types.Value { return v.dom }
+
+// Materialize decodes an encoded vector into its value payload in place;
+// it is a no-op on already-materialized vectors. Batches share column
+// vectors across WithSel copies, so materialization is visible through
+// every view of the batch. This is the executor's single decode point:
+// VecProjectOp (and kernels that genuinely need values) call it; filters,
+// joins, and grouping operate on Codes directly.
+func (v *Vector) Materialize() {
+	if v.Codes == nil {
+		return
+	}
+	codes, dom, nulls := v.Codes, v.dom, v.Nulls
+	v.Codes, v.Dict, v.dom = nil, nil, nil
+	n := len(codes)
+	switch v.Kind {
+	case types.KindInt, types.KindBool, types.KindDate, types.KindTimestamp:
+		v.I64 = make([]int64, n)
+		for i, c := range codes {
+			if nulls != nil && nulls.Get(i) {
+				continue
+			}
+			x, _ := dom[c].AsInt()
+			v.I64[i] = x
+		}
+	case types.KindFloat:
+		v.F64 = make([]float64, n)
+		for i, c := range codes {
+			if nulls != nil && nulls.Get(i) {
+				continue
+			}
+			f, _ := dom[c].AsFloat()
+			v.F64[i] = f
+		}
+	case types.KindString:
+		v.Str = make([]string, n)
+		for i, c := range codes {
+			if nulls != nil && nulls.Get(i) {
+				continue
+			}
+			v.Str[i] = dom[c].Str()
+		}
+	default:
+		v.Any = make([]types.Value, n)
+		for i, c := range codes {
+			if nulls != nil && nulls.Get(i) {
+				v.Any[i] = types.Null
+				continue
+			}
+			v.Any[i] = dom[c]
+		}
+	}
+}
+
 // Len returns the payload length (1 for Const vectors).
 func (v *Vector) Len() int {
 	switch {
+	case v.Codes != nil:
+		return len(v.Codes)
 	case v.I64 != nil:
 		return len(v.I64)
 	case v.F64 != nil:
@@ -115,6 +209,9 @@ func (v *Vector) SetNull(i int) {
 //
 //dashdb:hotpath
 func (v *Vector) Set(i int, val types.Value) {
+	if v.Codes != nil {
+		panic("vec: Set on an encoded vector (Materialize first)")
+	}
 	if val.IsNull() {
 		v.SetNull(i)
 		return
@@ -143,6 +240,9 @@ func (v *Vector) Get(i int) types.Value {
 	}
 	if v.Nulls != nil && v.Nulls.Get(i) {
 		return types.NullOf(v.Kind)
+	}
+	if v.Codes != nil {
+		return v.dom[v.Codes[i]]
 	}
 	switch v.Kind {
 	case types.KindBool:
