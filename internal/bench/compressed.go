@@ -10,6 +10,7 @@ import (
 	"dashdb/internal/encoding"
 	"dashdb/internal/exec"
 	"dashdb/internal/mem"
+	"dashdb/internal/plan"
 	"dashdb/internal/types"
 )
 
@@ -79,14 +80,10 @@ func ocFilterPred(cats ...string) exec.Expr {
 // table's footprint — string keys decoded vs 8-byte codes — is what the
 // HASHHEAP peak measures.
 func governedJoin(fact, dim *columnar.Table, compressed bool, gov *mem.Governor) *exec.HashJoinOp {
-	return &exec.HashJoinOp{
-		Left:      exec.VectorizeMode(exec.NewScan(dim, nil, nil), compressed),
-		Right:     exec.VectorizeMode(exec.NewScan(fact, nil, nil), compressed),
-		LeftKeys:  []int{0},
-		RightKeys: []int{0},
-		Type:      exec.InnerJoin,
-		Gov:       gov,
-	}
+	return plan.HashJoin(
+		exec.VectorizeMode(exec.NewScan(dim, nil, nil), compressed),
+		exec.VectorizeMode(exec.NewScan(fact, nil, nil), compressed),
+		[]int{0}, []int{0}, exec.InnerJoin, gov)
 }
 
 // joinPeak drains a fresh governed join (best of two runs, damping GC

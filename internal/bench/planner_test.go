@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigurePlannerShape runs F-J at smoke scale: both join orders must
+// return identical row counts (FigurePlanner errors otherwise) and the
+// report must carry one line per planner query plus the planning-cost
+// lines. Speedup factors are asserted by the acceptance run in
+// cmd/benchrunner at real scale, not here.
+func TestFigurePlannerShape(t *testing.T) {
+	rep, err := FigurePlanner(20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"planner_q1_item_fact", "planner_q2_store_fact_item", "planner_q3_full_star",
+		"avg greedy speedup", "plan+explain",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("F-J report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// BenchmarkJoinOrder measures the planning path itself — parse, logical
+// plan build, synopsis-driven estimation, greedy reorder, lowering, and
+// EXPLAIN rendering — with no execution. The greedy-vs-syntactic delta is
+// the optimizer's overhead budget (target: well under 100µs/query).
+func BenchmarkJoinOrder(b *testing.B) {
+	db, gen, err := plannerDB(100_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := gen.PlannerQueries()
+	sql := "EXPLAIN " + qs[len(qs)-1].SQL()
+	for _, mode := range []string{"SYNTACTIC", "GREEDY"} {
+		b.Run(mode, func(b *testing.B) {
+			s := db.NewSession()
+			if _, err := s.Exec("SET JOIN_ORDER " + mode); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"dashdb/internal/columnar"
 	"dashdb/internal/exec"
 	"dashdb/internal/mem"
+	"dashdb/internal/plan"
 	"dashdb/internal/types"
 )
 
@@ -33,14 +34,9 @@ func spillWorkloads(tbl *columnar.Table) []spillWorkload {
 			}
 		}},
 		{name: "grace join", heap: mem.HashHeap, build: func(gov *mem.Governor) exec.Operator {
-			return &exec.HashJoinOp{
-				Left:      exec.NewScan(tbl, nil, nil),
-				Right:     exec.NewScan(tbl, nil, nil),
-				LeftKeys:  []int{1},
-				RightKeys: []int{1},
-				Type:      exec.InnerJoin,
-				Gov:       gov,
-			}
+			return plan.HashJoin(
+				exec.NewScan(tbl, nil, nil), exec.NewScan(tbl, nil, nil),
+				[]int{1}, []int{1}, exec.InnerJoin, gov)
 		}},
 		{name: "group-by spill", heap: mem.HashHeap, build: func(gov *mem.Governor) exec.Operator {
 			return &exec.GroupByOp{

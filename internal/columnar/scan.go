@@ -443,6 +443,7 @@ func (t *Table) DeleteWhere(preds []Pred) (int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.statsVer++
 	for _, rid := range rids {
 		if !t.deleted.Get(int(rid)) {
 			t.deleted.Set(int(rid))
@@ -458,6 +459,7 @@ func (t *Table) DeleteWhere(preds []Pred) (int, error) {
 func (t *Table) DeleteRows(rids []int64) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.statsVer++
 	n := 0
 	for _, rid := range rids {
 		if rid < 0 || int(rid) >= t.rows {
@@ -493,6 +495,7 @@ func (t *Table) UpdateWhere(preds []Pred, set map[int]types.Value) (int, error) 
 		return 0, err
 	}
 	t.mu.Lock()
+	t.statsVer++
 	for _, rid := range rids {
 		if !t.deleted.Get(int(rid)) {
 			t.deleted.Set(int(rid))

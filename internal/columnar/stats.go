@@ -1,0 +1,139 @@
+package columnar
+
+import (
+	"dashdb/internal/encoding"
+	"dashdb/internal/types"
+)
+
+// ColumnStats summarizes one column for the query planner: row and NULL
+// counts, an estimated distinct-value count, and — for order-preserving
+// encodings — the column's value-space bounds. Everything is derived from
+// state the engine already maintains (the per-stride synopsis, the
+// distinct-count sketch fed at seal time, and the encoder itself), so
+// gathering stats is O(strides) with no data pages touched: the same
+// "statistics for free" property the zone maps provide for skipping.
+type ColumnStats struct {
+	// Rows is the table's live row count.
+	Rows int
+	// Nulls is the column's NULL count over sealed and open strides.
+	Nulls int
+	// Distinct estimates the number of distinct non-NULL values,
+	// clamped to [1, Rows-Nulls] when the column has any non-NULL rows.
+	// Dictionary-encoded columns report the exact dictionary cardinality;
+	// other encodings use the seal-time sketch plus the open stride.
+	Distinct float64
+	// HasBounds reports whether Min/Max carry value-space bounds. Only
+	// order-preserving encoders (frame-of-reference integer and float)
+	// admit them: dictionary codes are assignment-ordered, so min/max
+	// code says nothing about min/max value.
+	HasBounds bool
+	Min, Max  types.Value
+}
+
+// ColumnStats gathers planner statistics for column ci. Results are
+// cached until the table mutates, so steady-state planning costs one map
+// lookup per column rather than a re-fold of the open-stride buffer.
+func (t *Table) ColumnStats(ci int) ColumnStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ver := t.statsVer
+	t.statsMu.Lock()
+	if t.statsCacheVer != ver {
+		t.statsCache = nil
+		t.statsCacheVer = ver
+	}
+	if st, ok := t.statsCache[ci]; ok {
+		t.statsMu.Unlock()
+		return st
+	}
+	t.statsMu.Unlock()
+	st := t.columnStatsLocked(ci)
+	t.statsMu.Lock()
+	if t.statsCacheVer == ver {
+		if t.statsCache == nil {
+			t.statsCache = make(map[int]ColumnStats)
+		}
+		t.statsCache[ci] = st
+	}
+	t.statsMu.Unlock()
+	return st
+}
+
+// columnStatsLocked computes column ci's statistics under mu.RLock.
+func (t *Table) columnStatsLocked(ci int) ColumnStats {
+	st := ColumnStats{Rows: t.live}
+	if ci < 0 || ci >= len(t.cols) {
+		return st
+	}
+	c := t.cols[ci]
+
+	// Code-space bounds and NULL count from the synopsis entries plus the
+	// open stride buffers.
+	var minCode, maxCode uint64
+	haveSpan := false
+	for s := 0; s < c.syn.Strides(); s++ {
+		e := c.syn.Entry(s)
+		st.Nulls += int(e.NullCnt)
+		if e.AllNulls || e.RowCnt == 0 {
+			continue
+		}
+		if !haveSpan {
+			minCode, maxCode = e.MinCode, e.MaxCode
+			haveSpan = true
+			continue
+		}
+		if e.MinCode < minCode {
+			minCode = e.MinCode
+		}
+		if e.MaxCode > maxCode {
+			maxCode = e.MaxCode
+		}
+	}
+	sk := c.syn.SketchCopy()
+	for i, code := range c.openCodes {
+		if c.openNulls[i] {
+			st.Nulls++
+			continue
+		}
+		sk.AddCode(code)
+		if !haveSpan {
+			minCode, maxCode = code, code
+			haveSpan = true
+			continue
+		}
+		if code < minCode {
+			minCode = code
+		}
+		if code > maxCode {
+			maxCode = code
+		}
+	}
+
+	st.Distinct = sk.Estimate()
+	switch enc := c.enc.(type) {
+	case *encoding.Dict:
+		// Dictionaries know their cardinality exactly.
+		st.Distinct = float64(enc.Cardinality())
+	case *encoding.IntFOR:
+		if haveSpan {
+			st.HasBounds = true
+			st.Min, st.Max = enc.Decode(minCode), enc.Decode(maxCode)
+		}
+	case *encoding.FloatFOR:
+		if haveSpan {
+			st.HasBounds = true
+			st.Min, st.Max = enc.Decode(minCode), enc.Decode(maxCode)
+		}
+	}
+	if nonNull := st.Rows - st.Nulls; nonNull > 0 {
+		if st.Distinct > float64(nonNull) {
+			st.Distinct = float64(nonNull)
+		}
+		if st.Distinct < 1 {
+			st.Distinct = 1
+		}
+	} else {
+		st.Distinct = 0
+	}
+	return st
+}

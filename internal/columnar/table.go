@@ -128,6 +128,16 @@ type Table struct {
 
 	analyzeSample int
 	rawBytes      int // naive row-format bytes, for compression accounting
+
+	// Planner-statistics cache. ColumnStats folds the open stride into a
+	// sketch copy, so planning every query against an unchanged table
+	// would re-hash the same buffered values; entries are stamped with
+	// statsVer (bumped under mu on any row mutation) and recomputed only
+	// after the table actually changes.
+	statsVer      uint64 // guarded by mu
+	statsMu       sync.Mutex
+	statsCache    map[int]ColumnStats // guarded by statsMu
+	statsCacheVer uint64              // guarded by statsMu
 }
 
 // NewTable creates an empty columnar table with the given unique id.
@@ -282,6 +292,7 @@ func (t *Table) insertLocked(checked types.Row) error {
 	}
 	t.rows++
 	t.live++
+	t.statsVer++
 	t.growDeletedLocked()
 	if t.openLen() == 0 { // stride just filled
 		if err := t.sealStrideLocked(t.sealedStrides() - 1); err != nil {
@@ -353,6 +364,7 @@ func (t *Table) sealStrideLocked(s int) error {
 		}
 		nulls := c.openNulls
 		c.syn.Set(s, synopsis.Summarize(c.openCodes, func(i int) bool { return nulls[i] }))
+		c.syn.Observe(c.openCodes, func(i int) bool { return nulls[i] })
 		if err := t.store.WritePage(pg.ID, pg.Marshal()); err != nil {
 			return fmt.Errorf("columnar: seal %v: %w", pg.ID, err)
 		}
@@ -450,6 +462,7 @@ func (t *Table) rebuildColumnLocked(ci int, extra types.Value) error {
 		}
 		ns := nulls
 		c.syn.Set(s, synopsis.Summarize(codes, func(i int) bool { return ns[i] }))
+		c.syn.Observe(codes, func(i int) bool { return ns[i] })
 		if err := t.store.WritePage(pg.ID, pg.Marshal()); err != nil {
 			return err
 		}
@@ -491,6 +504,7 @@ func (t *Table) Truncate() error {
 	}
 	t.rows, t.live = 0, 0
 	t.rawBytes = 0
+	t.statsVer++
 	t.deleted = bitpack.NewBitmap(0)
 	return nil
 }

@@ -65,6 +65,12 @@ type Config struct {
 	// escape hatch; the default (false) evaluates over codes with late
 	// materialization at the projection.
 	DisableCompressedExec bool
+	// DisableJoinReorder turns off the planner's greedy join ordering
+	// and build/probe side selection: FROM clauses lower in syntactic
+	// order with the fixed right-side build. Ablation baseline for the
+	// planner experiment (F-J); per-session override via
+	// SET JOIN_ORDER SYNTACTIC|GREEDY.
+	DisableJoinReorder bool
 }
 
 // Procedure is a stored procedure callable via SQL CALL (the Spark
@@ -230,6 +236,10 @@ type Session struct {
 	// budget from auto-configuration.
 	sortHeap int64
 	hashHeap int64
+	// joinOrder overrides the engine's join-ordering mode for this
+	// session (SET JOIN_ORDER): "GREEDY", "SYNTACTIC", or "" for the
+	// engine default from Config.DisableJoinReorder.
+	joinOrder string
 }
 
 // Parallelism returns the session's effective intra-query parallelism
@@ -329,6 +339,13 @@ func (s *Session) compiler() *sql.Compiler {
 	c.Parallelism = s.Parallelism()
 	c.Gov = &mem.Governor{Broker: s.db.broker, SortLimit: s.sortHeap, HashLimit: s.hashHeap}
 	c.NoCompressedExec = s.db.cfg.DisableCompressedExec
+	c.DisableJoinReorder = s.db.cfg.DisableJoinReorder
+	switch s.joinOrder {
+	case "GREEDY":
+		c.DisableJoinReorder = false
+	case "SYNTACTIC":
+		c.DisableJoinReorder = true
+	}
 	s.mu.Lock()
 	c.Params = s.params
 	s.mu.Unlock()

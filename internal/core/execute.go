@@ -485,6 +485,24 @@ func (s *Session) executeSet(stmt *sql.SetStmt) (*Result, error) {
 			return &Result{Message: name + " AUTO"}, nil
 		}
 		return &Result{Message: fmt.Sprintf("%s %d", name, limit)}, nil
+	case "JOIN_ORDER":
+		// Join-ordering mode: GREEDY runs the planner's synopsis-driven
+		// reordering and build-side selection, SYNTACTIC lowers FROM
+		// clauses as written (the F-J ablation baseline).
+		v := strings.ToUpper(strings.TrimSpace(stmt.Value))
+		switch v {
+		case "GREEDY", "SYNTACTIC":
+			s.joinOrder = v
+		case "DEFAULT", "AUTO":
+			s.joinOrder = ""
+			v = "GREEDY"
+			if s.db.cfg.DisableJoinReorder {
+				v = "SYNTACTIC"
+			}
+		default:
+			return nil, fmt.Errorf("core: SET %s expects GREEDY, SYNTACTIC or DEFAULT, got %q", name, stmt.Value)
+		}
+		return &Result{Message: "JOIN_ORDER " + v}, nil
 	}
 	// Other session variables are accepted and ignored (config surface).
 	return &Result{Message: "OK"}, nil

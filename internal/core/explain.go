@@ -73,6 +73,9 @@ type planEntry struct {
 	// key positions); rendered only in ANALYZE mode, where the counters
 	// are read post-drain.
 	analyzeExtra string
+	// est is the planner's estimated output cardinality (scans and
+	// joins); 0 = unplanned. ANALYZE lines pair it with actual counts.
+	est float64
 }
 
 // collectPlan flattens an operator tree (instrumented or not) into plan
@@ -90,6 +93,9 @@ func renderPlan(entries []planEntry, analyze bool) []string {
 	lines := make([]string, len(entries))
 	for i, e := range entries {
 		line := strings.Repeat("  ", e.depth) + e.text
+		if e.est > 0 {
+			line += fmt.Sprintf(" (est rows=%d)", int64(e.est+0.5))
+		}
 		if analyze {
 			if e.stats != nil {
 				line += fmt.Sprintf(" (actual rows=%d batches=%d time=%s)",
@@ -176,6 +182,7 @@ func collectOp(op exec.Operator, depth int, st *telemetry.OpStats, out *[]planEn
 			desc += " [pushdown: " + predString(o.Table, o.Preds) + "]"
 		}
 		add(desc, o.ScanStats)
+		(*out)[len(*out)-1].est = o.EstRows
 	case *exec.RowScanOp:
 		add(fmt.Sprintf("ROW SCAN %s", o.Table.Name()), nil)
 	case *exec.FilterOp:
@@ -192,10 +199,25 @@ func collectOp(op exec.Operator, depth int, st *telemetry.OpStats, out *[]planEn
 			e.text += " [compressed]"
 			e.analyzeExtra = fmt.Sprintf(" [code-keys=%d]", n)
 		}
+		// Planner annotations follow the compressed tag so plan-reading
+		// tools keep matching "HASH JOIN (<type>) [compressed]".
+		e := &(*out)[len(*out)-1]
+		if o.BuildSide != "" {
+			e.text += " [build=" + o.BuildSide + "]"
+		}
+		if o.Reordered {
+			e.text += " [reordered]"
+		}
+		e.est = o.EstRows
 		collectOp(o.Left, depth+1, nil, out)
 		collectOp(o.Right, depth+1, nil, out)
 	case *exec.NestedLoopJoinOp:
 		add(fmt.Sprintf("NESTED LOOP JOIN (%s)", joinName(o.Type)), nil)
+		e := &(*out)[len(*out)-1]
+		if o.Reordered {
+			e.text += " [reordered]"
+		}
+		e.est = o.EstRows
 		collectOp(o.Left, depth+1, nil, out)
 		collectOp(o.Right, depth+1, nil, out)
 	case *exec.GroupByOp:
@@ -275,6 +297,7 @@ func collectVec(op exec.VecOperator, depth int, st *telemetry.OpStats, out *[]pl
 			desc += " [pushdown: " + predString(o.Table, o.Preds) + "]"
 		}
 		add(desc, o.ScanStats)
+		(*out)[len(*out)-1].est = o.EstRows
 	case *exec.VecFilterOp:
 		text := "FILTER [vectorized]"
 		if exec.PredCompressible(o.Pred, exec.CompressedCols(o.Child)) {

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The join-order invariance suite: greedy reordering and build/probe side
+// selection are pure physical-plan decisions, so every multi-join query
+// must return bit-identical results (modulo row order) under SYNTACTIC
+// and GREEDY lowering, at any parallelism degree, on the compressed and
+// row execution flows, and with the hash heap squeezed down to 8KB so
+// Grace spills — including outer-join padding after a side swap — stay on
+// the reordered plan's path.
+
+// seedStarSchema loads a small star: fact rows carry some NULL and some
+// dangling foreign keys so inner, LEFT and RIGHT joins all produce
+// distinct shapes (dropped rows, probe-side padding, build-side padding).
+func seedStarSchema(t testing.TB, s *Session, factRows int) {
+	t.Helper()
+	mustExec(t, s, `CREATE TABLE dima (a_id BIGINT NOT NULL, a_name VARCHAR(24))`)
+	mustExec(t, s, `CREATE TABLE dimb (b_id BIGINT NOT NULL, b_name VARCHAR(24))`)
+	mustExec(t, s, `CREATE TABLE fact (fk_a BIGINT, fk_b BIGINT, v BIGINT NOT NULL)`)
+	var b strings.Builder
+	b.WriteString("INSERT INTO dima VALUES ")
+	for i := 0; i < 40; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "(%d, 'alpha-%02d')", i, i)
+	}
+	mustExec(t, s, b.String())
+	b.Reset()
+	b.WriteString("INSERT INTO dimb VALUES ")
+	for i := 0; i < 15; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, "(%d, 'beta-%02d')", i, i)
+	}
+	mustExec(t, s, b.String())
+	b.Reset()
+	b.WriteString("INSERT INTO fact VALUES ")
+	for i := 0; i < factRows; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		// fk_a ranges past dima's keys (dangling rows); fk_b goes NULL
+		// every 7th row and dangles past dimb every 11th.
+		fkA := fmt.Sprint(i % 50)
+		fkB := fmt.Sprint(i % 18)
+		if i%7 == 0 {
+			fkB = "NULL"
+		}
+		fmt.Fprintf(&b, "(%s, %s, %d)", fkA, fkB, i%997)
+	}
+	mustExec(t, s, b.String())
+}
+
+// joinOrderQueries are the invariance subjects: fact-first and
+// dimension-first multi-joins, outer joins on both sides, comma joins
+// with equi-predicates in WHERE, and a genuine cross join.
+var joinOrderQueries = []string{
+	`SELECT a_name, b_name, v FROM fact JOIN dima ON fk_a = a_id JOIN dimb ON fk_b = b_id WHERE v < 500`,
+	`SELECT a_name, v FROM dima JOIN fact ON a_id = fk_a JOIN dimb ON fk_b = b_id`,
+	`SELECT a_name, b_name, v FROM fact JOIN dima ON fk_a = a_id LEFT JOIN dimb ON fk_b = b_id`,
+	`SELECT a_name, v FROM fact RIGHT JOIN dima ON fk_a = a_id`,
+	`SELECT a_name, b_name, COUNT(*), SUM(v) FROM fact, dima, dimb WHERE fk_a = a_id AND fk_b = b_id GROUP BY a_name, b_name`,
+	`SELECT COUNT(*) FROM dima, dimb`,
+}
+
+// canonicalRows renders a result set order-independently.
+func canonicalRows(r *Result) []string {
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = fmt.Sprint(row)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestJoinOrderInvariance(t *testing.T) {
+	const factRows = 2000
+	engines := []struct {
+		name string
+		db   *DB
+	}{
+		{"compressed", Open(Config{BufferPoolBytes: 16 << 20})},
+		{"row", Open(Config{BufferPoolBytes: 16 << 20, DisableCompressedExec: true})},
+	}
+	for _, e := range engines {
+		seedStarSchema(t, e.db.NewSession(), factRows)
+	}
+
+	for qi, q := range joinOrderQueries {
+		ref := mustExec(t, engines[0].db.NewSession(), q)
+		want := canonicalRows(ref)
+		for _, e := range engines {
+			for _, order := range []string{"SYNTACTIC", "GREEDY"} {
+				for _, dop := range []int{1, 2, 8} {
+					for _, heap := range []string{"DEFAULT", "8192"} {
+						s := e.db.NewSession()
+						mustExec(t, s, "SET JOIN_ORDER "+order)
+						mustExec(t, s, fmt.Sprintf("SET PARALLELISM %d", dop))
+						mustExec(t, s, "SET HASHHEAP "+heap)
+						got := canonicalRows(mustExec(t, s, q))
+						if len(got) != len(want) {
+							t.Fatalf("q%d [%s %s dop=%d heap=%s]: %d rows, want %d\n%s",
+								qi+1, e.name, order, dop, heap, len(got), len(want), q)
+						}
+						for i := range got {
+							if got[i] != want[i] {
+								t.Fatalf("q%d [%s %s dop=%d heap=%s] row %d: %s != %s\n%s",
+									qi+1, e.name, order, dop, heap, i, got[i], want[i], q)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJoinOrderExplainTags checks the planner's EXPLAIN surface: greedy
+// plans report estimates and tag reordered/side-swapped joins, syntactic
+// plans stay untagged, and ANALYZE pairs estimates with actuals.
+func TestJoinOrderExplainTags(t *testing.T) {
+	s := newDB(t).NewSession()
+	seedStarSchema(t, s, 500)
+	dimFirst := `SELECT a_name, v FROM dima JOIN fact ON a_id = fk_a`
+
+	mustExec(t, s, "SET JOIN_ORDER GREEDY")
+	out := strings.Join(explainLines(t, s, "EXPLAIN "+dimFirst), "\n")
+	if !strings.Contains(out, "(est rows=") {
+		t.Errorf("greedy EXPLAIN missing estimates:\n%s", out)
+	}
+	if !strings.Contains(out, "[build=") && !strings.Contains(out, "[reordered]") {
+		t.Errorf("greedy EXPLAIN on dim-first join missing planner tags:\n%s", out)
+	}
+
+	out = strings.Join(explainLines(t, s, "EXPLAIN ANALYZE "+dimFirst), "\n")
+	if !strings.Contains(out, "(est rows=") || !strings.Contains(out, "(actual rows=") {
+		t.Errorf("EXPLAIN ANALYZE should pair estimates with actuals:\n%s", out)
+	}
+
+	mustExec(t, s, "SET JOIN_ORDER SYNTACTIC")
+	out = strings.Join(explainLines(t, s, "EXPLAIN "+dimFirst), "\n")
+	if strings.Contains(out, "[build=") || strings.Contains(out, "[reordered]") {
+		t.Errorf("syntactic EXPLAIN must not carry planner tags:\n%s", out)
+	}
+}
+
+func TestSetJoinOrder(t *testing.T) {
+	s := newDB(t).NewSession()
+	if r := mustExec(t, s, "SET JOIN_ORDER GREEDY"); r.Message != "JOIN_ORDER GREEDY" {
+		t.Errorf("message %q", r.Message)
+	}
+	if r := mustExec(t, s, "SET JOIN_ORDER syntactic"); r.Message != "JOIN_ORDER SYNTACTIC" {
+		t.Errorf("message %q", r.Message)
+	}
+	if r := mustExec(t, s, "SET JOIN_ORDER DEFAULT"); r.Message != "JOIN_ORDER GREEDY" {
+		t.Errorf("default should report the effective mode, got %q", r.Message)
+	}
+	if _, err := s.Exec("SET JOIN_ORDER SIDEWAYS"); err == nil {
+		t.Error("bad JOIN_ORDER value should error")
+	}
+
+	// Config-level ablation: reordering disabled makes DEFAULT syntactic.
+	s2 := Open(Config{BufferPoolBytes: 16 << 20, DisableJoinReorder: true}).NewSession()
+	if r := mustExec(t, s2, "SET JOIN_ORDER DEFAULT"); r.Message != "JOIN_ORDER SYNTACTIC" {
+		t.Errorf("disabled-reorder default should be syntactic, got %q", r.Message)
+	}
+}
+
+// explainLines runs an EXPLAIN statement and returns the plan lines.
+func explainLines(t testing.TB, s *Session, q string) []string {
+	t.Helper()
+	r := mustExec(t, s, q)
+	lines := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		lines[i] = row[0].Str()
+	}
+	return lines
+}

@@ -53,6 +53,16 @@ type HashJoinOp struct {
 	Type                JoinType
 	Gov                 *mem.Governor
 
+	// Planner annotations, surfaced by EXPLAIN. EstRows is the estimated
+	// output cardinality (0 = unplanned). BuildSide names the join's
+	// build input in the query's syntactic orientation ("left" means the
+	// planner swapped the inputs so the syntactically-left relation
+	// builds; "" = no build-side selection ran). Reordered marks joins
+	// whose position differs from the query's syntactic join order.
+	EstRows   float64
+	BuildSide string
+	Reordered bool
+
 	res     *mem.Reservation
 	parts   []joinPartition
 	mask    uint64
@@ -85,7 +95,7 @@ type HashJoinOp struct {
 // probeKeyMode is the per-batch translation strategy for one key column.
 type probeKeyMode struct {
 	cv       *vec.Vector
-	identity bool      // probe codes ARE build codes (same dictionary)
+	identity bool       // probe codes ARE build codes (same dictionary)
 	remap    *dictRemap // probe codes remap into build codes
 }
 
@@ -855,6 +865,10 @@ type NestedLoopJoinOp struct {
 	Left, Right Operator
 	Pred        Expr // evaluated on the concatenated row; nil = cross join
 	Type        JoinType
+
+	// Planner annotations, surfaced by EXPLAIN (see HashJoinOp).
+	EstRows   float64
+	Reordered bool
 
 	right   []types.Row
 	out     types.Schema

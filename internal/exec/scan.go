@@ -22,6 +22,10 @@ type ScanOp struct {
 	Projection []int
 	Dop        int // 0/1 = serial, in row-id order
 
+	// EstRows is the planner's output-cardinality estimate, surfaced by
+	// EXPLAIN next to actuals. 0 = unplanned (library-built scans).
+	EstRows float64
+
 	// ScanStats, when set by exec.Instrument, receives per-worker stride
 	// visit/skip and row counters for this scan. Nil = uninstrumented.
 	ScanStats *telemetry.ScanStats

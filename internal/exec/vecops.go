@@ -36,6 +36,10 @@ type VecScanOp struct {
 	// hand-off. Nil = decode everything. Set via EnableCompressed.
 	Compressed []bool
 
+	// EstRows is the planner's output-cardinality estimate, carried over
+	// from the row ScanOp when the plan vectorizes. 0 = unplanned.
+	EstRows float64
+
 	// ScanStats, when set by exec.Instrument, receives per-worker stride
 	// visit/skip and row counters for this scan. Nil = uninstrumented.
 	ScanStats *telemetry.ScanStats
@@ -442,6 +446,7 @@ func VectorizeMode(op Operator, compressed bool) Operator {
 	switch o := op.(type) {
 	case *ScanOp:
 		vs := NewVecScan(o.Table, o.Preds, o.Projection, o.Dop)
+		vs.EstRows = o.EstRows
 		if compressed {
 			vs.EnableCompressed()
 		}

@@ -126,6 +126,7 @@ func All() []*Analyzer {
 		AnalyzerGoroutine,
 		AnalyzerSpillFile,
 		AnalyzerLateMat,
+		AnalyzerPlanLower,
 	}
 }
 

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	gotypes "go/types"
+	"strings"
+)
+
+// AnalyzerPlanLower enforces the logical-plan layering invariant: physical
+// join operators (exec.HashJoinOp, exec.NestedLoopJoinOp) are constructed
+// only by the lowering pass in internal/plan — which owns join ordering,
+// build/probe side selection, and the column-order restore projection —
+// and by internal/exec itself. A composite literal elsewhere silently
+// bypasses those passes: the join still returns correct rows, which is
+// exactly why only a linter catches it. Library callers that assemble
+// executor trees directly (workload simulators, benchmarks) go through
+// plan.HashJoin / plan.NestedLoopJoin instead.
+var AnalyzerPlanLower = &Analyzer{
+	Name: "planlower",
+	Doc:  "exec join operators are constructed only in internal/plan and internal/exec; use plan.Lower or the plan constructors elsewhere",
+	Match: func(path string) bool {
+		if strings.HasPrefix(path, "fixture/") {
+			return true
+		}
+		// The lowering pass and the executor itself are the sanctioned
+		// construction sites.
+		if strings.Contains(path, "internal/plan") || strings.Contains(path, "internal/exec") {
+			return false
+		}
+		return true
+	},
+	Run: runPlanLower,
+}
+
+// isJoinOpType reports whether t is a *JoinOp-named operator type from
+// the executor package (or a fixture's local stand-in).
+func isJoinOpType(t gotypes.Type) bool {
+	if p, ok := t.(*gotypes.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*gotypes.Named)
+	if !ok || !strings.HasSuffix(named.Obj().Name(), "JoinOp") {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return false
+	}
+	return strings.HasSuffix(pkg.Path(), "internal/exec") ||
+		strings.HasPrefix(pkg.Path(), "fixture/")
+}
+
+func runPlanLower(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(cl)
+			if t == nil || !isJoinOpType(t) {
+				return true
+			}
+			name := t
+			if p, ok := name.(*gotypes.Pointer); ok {
+				name = p.Elem()
+			}
+			pass.Reportf(cl.Pos(),
+				"%s constructed outside the physical-lowering package: route through plan.Lower (SQL) or plan.HashJoin/plan.NestedLoopJoin (library callers) so join ordering and build-side selection apply",
+				name.(*gotypes.Named).Obj().Name())
+			return true
+		})
+	}
+}

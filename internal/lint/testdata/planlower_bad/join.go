@@ -1,0 +1,41 @@
+// Package lowering exercises the planlower analyzer: physical join
+// operators must not be constructed outside the lowering package, or the
+// planner's join-ordering and build-side passes silently stop applying.
+package lowering
+
+// Operator is a local stand-in for exec.Operator (fixtures are
+// stdlib-only).
+type Operator interface{ Open() error }
+
+// HashJoinOp is a local stand-in for exec.HashJoinOp.
+type HashJoinOp struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []int
+}
+
+// Open implements Operator.
+func (j *HashJoinOp) Open() error { return nil }
+
+// NestedLoopJoinOp is a local stand-in for exec.NestedLoopJoinOp.
+type NestedLoopJoinOp struct {
+	Left, Right Operator
+}
+
+// Open implements Operator.
+func (j *NestedLoopJoinOp) Open() error { return nil }
+
+// buildStarJoin hand-assembles a hash join, bypassing build-side
+// selection — the exact anti-pattern the invariant forbids.
+func buildStarJoin(fact, dim Operator) Operator {
+	return &HashJoinOp{ //lint:expect planlower
+		Left:     fact,
+		Right:    dim,
+		LeftKeys: []int{0}, RightKeys: []int{0},
+	}
+}
+
+// crossProduct hand-assembles a nested-loop join.
+func crossProduct(l, r Operator) Operator {
+	j := NestedLoopJoinOp{Left: l, Right: r} //lint:expect planlower
+	return &j
+}

@@ -1,0 +1,131 @@
+package plan
+
+// edge is one equi-join key pair between two region leaves, with
+// leaf-local column ordinals.
+type edge struct {
+	a, b   int // leaf indices
+	ac, bc int // column ordinal within each leaf's output
+}
+
+// flattenable reports whether a join node can dissolve into its region:
+// inner and cross joins with no residual predicate. Outer joins and
+// residual-carrying joins are barriers that lower as self-contained
+// leaves (their own subtrees flatten independently).
+func flattenable(n Node) (*Join, bool) {
+	j, ok := n.(*Join)
+	if !ok {
+		return nil, false
+	}
+	if (j.Kind == InnerJoin || j.Kind == CrossJoin) && j.Residual == nil {
+		return j, true
+	}
+	return nil, false
+}
+
+// flatten dissolves a tree of inner/cross joins into its region: leaves
+// in syntactic order and equi-join edges with leaf-local columns. Key
+// ordinals stored on Join nodes are child-relative; because a flattened
+// subtree's output is the concatenation of its leaves in order, a
+// child-relative ordinal plus the subtree's base offset is the absolute
+// region ordinal, which then maps into (leaf, local column).
+func flatten(root *Join) (leaves []Node, edges []edge) {
+	type absEdge struct{ l, r int }
+	var bases []int
+	var abs []absEdge
+	var gather func(n Node, base int) int
+	gather = func(n Node, base int) int {
+		if j, ok := flattenable(n); ok {
+			al := gather(j.Left, base)
+			ar := gather(j.Right, base+al)
+			for i := range j.LeftKeys {
+				abs = append(abs, absEdge{base + j.LeftKeys[i], base + al + j.RightKeys[i]})
+			}
+			return al + ar
+		}
+		leaves = append(leaves, n)
+		bases = append(bases, base)
+		return n.arity()
+	}
+	gather(root, 0)
+
+	locate := func(col int) (leaf, local int) {
+		for i := len(bases) - 1; i >= 0; i-- {
+			if col >= bases[i] {
+				return i, col - bases[i]
+			}
+		}
+		return 0, col
+	}
+	for _, e := range abs {
+		la, ca := locate(e.l)
+		lb, cb := locate(e.r)
+		edges = append(edges, edge{a: la, ac: ca, b: lb, bc: cb})
+	}
+	return leaves, edges
+}
+
+// greedyOrder picks the join order for a region: start from the smallest
+// relation, then repeatedly join the connected relation that minimizes
+// the estimated intermediate size, falling back to the smallest
+// unconnected relation (a forced cross join) only when nothing connects.
+// Ties break toward syntactic order, so plans are deterministic.
+func greedyOrder(leaves []*leafInfo, edges []edge) []int {
+	n := len(leaves)
+	order := make([]int, 0, n)
+	inSet := make([]bool, n)
+
+	start := 0
+	for i := 1; i < n; i++ {
+		if leaves[i].est < leaves[start].est {
+			start = i
+		}
+	}
+	order = append(order, start)
+	inSet[start] = true
+	curEst := leaves[start].est
+
+	for len(order) < n {
+		best := -1
+		bestEst := 0.0
+		bestConnected := false
+		for cand := 0; cand < n; cand++ {
+			if inSet[cand] {
+				continue
+			}
+			setDs, candCols := connectingKeys(leaves, edges, inSet, cand)
+			connected := len(candCols) > 0
+			var est float64
+			if connected {
+				est = joinEst(curEst, leaves[cand], setDs, candCols)
+			} else {
+				est = curEst * leaves[cand].est
+			}
+			if best < 0 ||
+				(connected && !bestConnected) ||
+				(connected == bestConnected && est < bestEst) {
+				best, bestEst, bestConnected = cand, est, connected
+			}
+		}
+		order = append(order, best)
+		inSet[best] = true
+		curEst = bestEst
+	}
+	return order
+}
+
+// connectingKeys collects the key columns of every edge between the
+// current set and candidate leaf cand: the set-side distinct estimates
+// and the candidate-local key ordinals, aligned by index.
+func connectingKeys(leaves []*leafInfo, edges []edge, inSet []bool, cand int) (setDistincts []float64, candCols []int) {
+	for _, e := range edges {
+		switch {
+		case e.a == cand && inSet[e.b]:
+			setDistincts = append(setDistincts, leaves[e.b].distinct(e.bc))
+			candCols = append(candCols, e.ac)
+		case e.b == cand && inSet[e.a]:
+			setDistincts = append(setDistincts, leaves[e.a].distinct(e.ac))
+			candCols = append(candCols, e.bc)
+		}
+	}
+	return setDistincts, candCols
+}

@@ -1,0 +1,154 @@
+package plan
+
+import (
+	"dashdb/internal/columnar"
+	"dashdb/internal/encoding"
+	"dashdb/internal/exec"
+)
+
+// defaultEstRows is the cardinality guess for opaque inputs (subqueries,
+// views, remote nicknames) that expose no statistics.
+const defaultEstRows = 1000
+
+// leafInfo is one join-graph relation during lowering: the physical
+// operator plus everything estimation needs.
+type leafInfo struct {
+	op    exec.Operator
+	arity int
+	est   float64
+	// scan is non-nil when op is a bare columnar scan — the case where
+	// column statistics exist and bounds pushdown can add predicates.
+	scan *exec.ScanOp
+	// stats returns column statistics for a leaf-local column ordinal
+	// (projection already applied); nil when the leaf is opaque.
+	stats func(col int) columnar.ColumnStats
+}
+
+// distinct estimates the number of distinct values in a leaf column,
+// falling back to "every row distinct" for opaque inputs.
+func (l *leafInfo) distinct(col int) float64 {
+	if l.stats != nil {
+		if d := l.stats(col).Distinct; d >= 1 {
+			return d
+		}
+	}
+	if l.est >= 1 {
+		return l.est
+	}
+	return 1
+}
+
+// analyzeLeaf builds the leafInfo for a lowered region leaf, attaching
+// statistics when the operator is a bare columnar scan and recording the
+// cardinality estimate on the operator for EXPLAIN.
+func analyzeLeaf(op exec.Operator, est float64) *leafInfo {
+	l := &leafInfo{op: op, arity: len(op.Schema()), est: est}
+	switch o := op.(type) {
+	case *exec.ScanOp:
+		l.scan = o
+		cache := map[int]columnar.ColumnStats{}
+		tableCol := func(c int) int {
+			if o.Projection == nil {
+				return c
+			}
+			return o.Projection[c]
+		}
+		l.stats = func(c int) columnar.ColumnStats {
+			tc := tableCol(c)
+			s, ok := cache[tc]
+			if !ok {
+				s = o.Table.ColumnStats(tc)
+				cache[tc] = s
+			}
+			return s
+		}
+		rows := float64(o.Table.Rows())
+		sel := 1.0
+		for _, p := range o.Preds {
+			st, ok := cache[p.Col]
+			if !ok {
+				st = o.Table.ColumnStats(p.Col)
+				cache[p.Col] = st
+			}
+			sel *= predSelectivity(p, st)
+		}
+		l.est = rows * sel
+		if rows >= 1 && l.est < 1 {
+			l.est = 1
+		}
+		o.EstRows = l.est
+	case *exec.ValuesOp:
+		l.est = float64(len(o.Data))
+	}
+	if l.est <= 0 {
+		l.est = defaultEstRows
+	}
+	return l
+}
+
+// predSelectivity estimates the fraction of rows a pushed-down scan
+// predicate keeps, from the column's distinct count and value bounds.
+func predSelectivity(p columnar.Pred, st columnar.ColumnStats) float64 {
+	switch p.Op {
+	case encoding.OpEQ:
+		if st.Distinct >= 1 {
+			return 1 / st.Distinct
+		}
+		return 0.1
+	case encoding.OpNE:
+		return 1
+	case encoding.OpLT, encoding.OpLE, encoding.OpGT, encoding.OpGE:
+		if !st.HasBounds {
+			return 1.0 / 3
+		}
+		lo, okLo := st.Min.AsFloat()
+		hi, okHi := st.Max.AsFloat()
+		v, okV := p.Val.AsFloat()
+		if !okLo || !okHi || !okV || hi <= lo {
+			return 1.0 / 3
+		}
+		frac := (v - lo) / (hi - lo)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		if p.Op == encoding.OpGT || p.Op == encoding.OpGE {
+			frac = 1 - frac
+		}
+		return frac
+	}
+	return 1.0 / 3
+}
+
+// joinEst estimates the output of joining the current intermediate
+// (cardinality curEst) with leaf cand over the given key pairs, using the
+// classic |L|·|R| / max(d_L, d_R) formula per key. setDistinct supplies
+// the distinct count of the set-side key column (already capped by the
+// intermediate's cardinality).
+func joinEst(curEst float64, cand *leafInfo, setDistincts []float64, candCols []int) float64 {
+	est := curEst * cand.est
+	for i, sc := range setDistincts {
+		dl := sc
+		if dl > curEst {
+			dl = curEst
+		}
+		dr := cand.distinct(candCols[i])
+		if dr > cand.est {
+			dr = cand.est
+		}
+		d := dl
+		if dr > d {
+			d = dr
+		}
+		if d < 1 {
+			d = 1
+		}
+		est /= d
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}

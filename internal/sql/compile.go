@@ -9,6 +9,7 @@ import (
 	"dashdb/internal/encoding"
 	"dashdb/internal/exec"
 	"dashdb/internal/mem"
+	"dashdb/internal/plan"
 	"dashdb/internal/types"
 )
 
@@ -40,6 +41,17 @@ type Compiler struct {
 	// keys, and group keys all run over values. Used for parity testing
 	// and as an escape hatch.
 	NoCompressedExec bool
+	// DisableJoinReorder lowers FROM clauses in syntactic order with the
+	// historical fixed build side instead of running the planner's
+	// greedy join-ordering and build-side-selection passes. Settable per
+	// session via SET JOIN_ORDER SYNTACTIC, and used by the
+	// join-order-invariance suite as the ablation baseline.
+	DisableJoinReorder bool
+}
+
+// planOptions translates compiler knobs into lowering options.
+func (c *Compiler) planOptions() plan.Options {
+	return plan.Options{Greedy: !c.DisableJoinReorder, Gov: c.Gov}
 }
 
 type cteData struct {
@@ -112,6 +124,14 @@ func (s *scope) merge(other *scope) *scope {
 // compiled is an operator plus its name scope.
 type compiled struct {
 	op    exec.Operator
+	scope *scope
+}
+
+// planned is a logical-plan node plus its name scope. The FROM clause
+// and the upper query pipeline compile into plan nodes; one plan.Lower
+// call per SELECT block turns the tree into physical operators.
+type planned struct {
+	node  plan.Node
 	scope *scope
 }
 
@@ -188,12 +208,15 @@ func (c *Compiler) compileSelectCore(sel *SelectStmt) (*compiled, error) {
 	defer func() { c.usage = savedUsage }()
 
 	// --- FROM ---
-	var cur *compiled
+	// The FROM clause compiles to a logical plan.Node tree; physical
+	// join operators are produced by plan.Lower below, after the
+	// planner's join-ordering and build-side passes.
+	var cur *planned
 	var err error
 	if len(sel.From) == 0 {
 		// SELECT without FROM: a single empty row (like DUAL).
-		cur = &compiled{
-			op:    exec.NewValues(types.Schema{}, []types.Row{{}}),
+		cur = &planned{
+			node:  &plan.Input{Op: exec.NewValues(types.Schema{}, []types.Row{{}})},
 			scope: &scope{},
 		}
 	}
@@ -225,10 +248,10 @@ func (c *Compiler) compileSelectCore(sel *SelectStmt) (*compiled, error) {
 		if err != nil {
 			return nil, err
 		}
-		cur = &compiled{op: &exec.FilterOp{Child: cur.op, Pred: pred}, scope: cur.scope}
+		cur = &planned{node: &plan.Filter{Child: cur.node, Pred: pred}, scope: cur.scope}
 	}
 	if rownumLimit >= 0 {
-		cur = &compiled{op: &exec.LimitOp{Child: cur.op, Limit: rownumLimit}, scope: cur.scope}
+		cur = &planned{node: &plan.Limit{Child: cur.node, Limit: rownumLimit}, scope: cur.scope}
 	}
 
 	// Expand stars in the select list.
@@ -244,15 +267,21 @@ func (c *Compiler) compileSelectCore(sel *SelectStmt) (*compiled, error) {
 			hasAgg = true
 		}
 	}
-	var outOp exec.Operator
+	var outNode plan.Node
 	var outSchema types.Schema
 	hiddenSort := 0 // extra projected sort-key columns, dropped after Sort
 	var sortKeys []exec.SortKey
 	if hasAgg {
-		outOp, outSchema, sortKeys, err = c.compileAggregateWithOrder(sel, items, cur)
+		// Aggregation still assembles its fused scan/group pipelines over
+		// physical operators, so lower the FROM tree first and hand the
+		// aggregate compiler a physical input.
+		fromCpl := &compiled{op: plan.Lower(cur.node, c.planOptions()), scope: cur.scope}
+		var outOp exec.Operator
+		outOp, outSchema, sortKeys, err = c.compileAggregateWithOrder(sel, items, fromCpl)
 		if err != nil {
 			return nil, err
 		}
+		outNode = &plan.Input{Op: outOp}
 	} else {
 		exprs := make([]exec.Expr, len(items))
 		outSchema = make(types.Schema, len(items))
@@ -304,18 +333,18 @@ func (c *Compiler) compileSelectCore(sel *SelectStmt) (*compiled, error) {
 			}
 			sortKeys = append(sortKeys, exec.SortKey{Expr: e, Desc: oi.Desc})
 		}
-		outOp = &exec.ProjectOp{Child: cur.op, Exprs: exprs, Out: outSchema}
+		outNode = &plan.Project{Child: cur.node, Exprs: exprs, Out: outSchema}
 	}
 
 	if sel.Distinct {
 		if hiddenSort > 0 {
 			return nil, fmt.Errorf("sql: ORDER BY over non-selected columns cannot combine with DISTINCT")
 		}
-		outOp = &exec.DistinctOp{Child: outOp}
+		outNode = &plan.Distinct{Child: outNode}
 	}
 
 	if len(sortKeys) > 0 {
-		outOp = &exec.SortOp{Child: outOp, Keys: sortKeys, Gov: c.Gov}
+		outNode = &plan.Sort{Child: outNode, Keys: sortKeys}
 	}
 	if hiddenSort > 0 {
 		visible := len(outSchema) - hiddenSort
@@ -324,7 +353,7 @@ func (c *Compiler) compileSelectCore(sel *SelectStmt) (*compiled, error) {
 			exprs[i] = exec.ColRef(i)
 		}
 		outSchema = outSchema[:visible]
-		outOp = &exec.ProjectOp{Child: outOp, Exprs: exprs, Out: outSchema}
+		outNode = &plan.Project{Child: outNode, Exprs: exprs, Out: outSchema}
 	}
 
 	if sel.Limit >= 0 || sel.Offset > 0 {
@@ -332,14 +361,14 @@ func (c *Compiler) compileSelectCore(sel *SelectStmt) (*compiled, error) {
 		if limit < 0 {
 			limit = -1
 		}
-		outOp = &exec.LimitOp{Child: outOp, Offset: sel.Offset, Limit: limit}
+		outNode = &plan.Limit{Child: outNode, Offset: sel.Offset, Limit: limit}
 	}
 
 	outScope := &scope{}
 	for _, col := range outSchema {
 		outScope.add("", col.Name, col.Kind)
 	}
-	return &compiled{op: outOp, scope: outScope}, nil
+	return &compiled{op: plan.Lower(outNode, c.planOptions()), scope: outScope}, nil
 }
 
 // itemName derives an output column name.
@@ -382,12 +411,20 @@ func (c *Compiler) expandStars(items []SelectItem, sc *scope) ([]SelectItem, err
 
 // --- FROM compilation -------------------------------------------------------
 
-// compileFromItem builds one FROM entry, pushing pushable conjuncts into
-// base-table scans.
-func (c *Compiler) compileFromItem(fi FromItem, conjuncts *[]Expr) (*compiled, error) {
+// compileFromItem builds one FROM entry as a logical-plan leaf or join
+// subtree, pushing pushable conjuncts into base-table scans.
+func (c *Compiler) compileFromItem(fi FromItem, conjuncts *[]Expr) (*planned, error) {
 	switch f := fi.(type) {
 	case *TableRef:
-		return c.compileTableRef(f, conjuncts)
+		cpl, err := c.compileTableRef(f, conjuncts)
+		if err != nil {
+			return nil, err
+		}
+		name := f.Alias
+		if name == "" {
+			name = f.Name
+		}
+		return &planned{node: &plan.Input{Op: cpl.op, Name: name}, scope: cpl.scope}, nil
 	case *SubqueryRef:
 		sub, err := c.compileSelect(f.Sub)
 		if err != nil {
@@ -398,7 +435,7 @@ func (c *Compiler) compileFromItem(fi FromItem, conjuncts *[]Expr) (*compiled, e
 		for _, col := range sub.op.Schema() {
 			sc.add(alias, col.Name, col.Kind)
 		}
-		return &compiled{op: sub.op, scope: sc}, nil
+		return &planned{node: &plan.Input{Op: sub.op, Name: alias}, scope: sc}, nil
 	case *JoinRef:
 		return c.compileJoin(f, conjuncts)
 	}
@@ -612,8 +649,11 @@ func flipCmp(op encoding.CmpOp) encoding.CmpOp {
 	}
 }
 
-// compileJoin handles explicit JOIN ... ON / USING.
-func (c *Compiler) compileJoin(j *JoinRef, conjuncts *[]Expr) (*compiled, error) {
+// compileJoin handles explicit JOIN ... ON / USING, producing a logical
+// plan.Join. Join orientation stays syntactic here: lowering maps RIGHT
+// joins onto the executor's left-preserving operators and the planner
+// picks build sides and join order.
+func (c *Compiler) compileJoin(j *JoinRef, conjuncts *[]Expr) (*planned, error) {
 	left, err := c.compileFromItem(j.Left, conjuncts)
 	if err != nil {
 		return nil, err
@@ -625,8 +665,8 @@ func (c *Compiler) compileJoin(j *JoinRef, conjuncts *[]Expr) (*compiled, error)
 	merged := left.scope.merge(right.scope)
 
 	if j.Type == "CROSS" {
-		return &compiled{
-			op:    &exec.NestedLoopJoinOp{Left: left.op, Right: right.op, Type: exec.InnerJoin},
+		return &planned{
+			node:  &plan.Join{Left: left.node, Right: right.node, Kind: plan.CrossJoin},
 			scope: merged,
 		}, nil
 	}
@@ -647,17 +687,12 @@ func (c *Compiler) compileJoin(j *JoinRef, conjuncts *[]Expr) (*compiled, error)
 		}
 	}
 
-	jt := exec.InnerJoin
-	swap := false
+	kind := plan.InnerJoin
 	switch j.Type {
 	case "LEFT":
-		jt = exec.LeftJoin
+		kind = plan.LeftOuterJoin
 	case "RIGHT":
-		jt = exec.LeftJoin
-		swap = true
-	}
-	if swap {
-		left, right = right, left
+		kind = plan.RightOuterJoin
 	}
 
 	lk, rk, residual, err := c.extractEquiKeys(splitConjuncts(on), left.scope, right.scope)
@@ -665,46 +700,38 @@ func (c *Compiler) compileJoin(j *JoinRef, conjuncts *[]Expr) (*compiled, error)
 		return nil, err
 	}
 
-	var op exec.Operator
+	jn := &plan.Join{Left: left.node, Right: right.node, Kind: kind, LeftKeys: lk, RightKeys: rk}
 	if len(lk) > 0 {
-		op = &exec.HashJoinOp{Left: left.op, Right: right.op, LeftKeys: lk, RightKeys: rk, Type: jt, Gov: c.Gov}
 		if len(residual) > 0 {
-			pred, err := c.compileConjuncts(residual, left.scope.merge(right.scope))
-			if err != nil {
-				return nil, err
-			}
-			if jt == exec.LeftJoin {
+			if kind != plan.InnerJoin {
 				return nil, fmt.Errorf("sql: non-equi residual on outer join is not supported")
 			}
-			op = &exec.FilterOp{Child: op, Pred: pred}
-		}
-	} else {
-		var pred exec.Expr
-		if on != nil {
-			pred, err = c.compileExpr(on, left.scope.merge(right.scope))
+			pred, err := c.compileConjuncts(residual, merged)
 			if err != nil {
 				return nil, err
 			}
+			jn.Residual = pred
 		}
-		op = &exec.NestedLoopJoinOp{Left: left.op, Right: right.op, Pred: pred, Type: jt}
+	} else {
+		// No equi keys: the whole ON predicate drives a nested-loop
+		// join, bound against the execution layout (preserved side
+		// first — see plan.Join).
+		sc := merged
+		if kind == plan.RightOuterJoin {
+			sc = right.scope.merge(left.scope)
+		}
+		if on != nil {
+			pred, perr := c.compileExpr(on, sc)
+			if perr != nil {
+				return nil, perr
+			}
+			jn.Residual = pred
+		}
+		if kind == plan.InnerJoin && jn.Residual == nil {
+			jn.Kind = plan.CrossJoin
+		}
 	}
-
-	if swap {
-		// Restore the user-visible column order (left-then-right of the
-		// original RIGHT JOIN text).
-		nl, nr := len(left.scope.cols), len(right.scope.cols)
-		exprs := make([]exec.Expr, 0, nl+nr)
-		for i := 0; i < nr; i++ {
-			exprs = append(exprs, exec.ColRef(nl+i))
-		}
-		for i := 0; i < nl; i++ {
-			exprs = append(exprs, exec.ColRef(i))
-		}
-		restored := right.scope.merge(left.scope)
-		op = &exec.ProjectOp{Child: op, Exprs: exprs, Out: restored.schema()}
-		return &compiled{op: op, scope: restored}, nil
-	}
-	return &compiled{op: op, scope: merged}, nil
+	return &planned{node: jn, scope: merged}, nil
 }
 
 // tableOfScope finds which alias exposes the column (for USING).
@@ -756,7 +783,7 @@ func (c *Compiler) extractEquiKeys(conjuncts []Expr, left, right *scope) (lk, rk
 
 // combineComma joins two comma-separated FROM items, using WHERE
 // conjuncts as join predicates (including Oracle (+) outer joins).
-func (c *Compiler) combineComma(left, right *compiled, conjuncts *[]Expr) (*compiled, error) {
+func (c *Compiler) combineComma(left, right *planned, conjuncts *[]Expr) (*planned, error) {
 	// Find join conjuncts connecting the two scopes; detect (+).
 	var joinCjs, rest []Expr
 	outerRight := false // (+) on right side → LEFT JOIN
@@ -808,9 +835,10 @@ func (c *Compiler) combineComma(left, right *compiled, conjuncts *[]Expr) (*comp
 
 	merged := left.scope.merge(right.scope)
 	if len(joinCjs) == 0 {
-		// Pure cross join.
-		return &compiled{
-			op:    &exec.NestedLoopJoinOp{Left: left.op, Right: right.op, Type: exec.InnerJoin},
+		// Pure cross join (the planner may still connect the two sides
+		// transitively once later comma items bring join conjuncts).
+		return &planned{
+			node:  &plan.Join{Left: left.node, Right: right.node, Kind: plan.CrossJoin},
 			scope: merged,
 		}, nil
 	}
@@ -818,34 +846,25 @@ func (c *Compiler) combineComma(left, right *compiled, conjuncts *[]Expr) (*comp
 	if err != nil {
 		return nil, err
 	}
-	jt := exec.InnerJoin
+	kind := plan.InnerJoin
 	if outerRight && !outerLeft {
-		jt = exec.LeftJoin
+		// (+) on the right side: preserve the left input.
+		kind = plan.LeftOuterJoin
 	}
 	if outerLeft && !outerRight {
-		// (+) on the left side: preserve the right input. Swap, join
-		// LEFT, then restore order.
-		swapped := &exec.HashJoinOp{Left: right.op, Right: left.op, LeftKeys: rk, RightKeys: lk, Type: exec.LeftJoin, Gov: c.Gov}
-		nl, nr := len(left.scope.cols), len(right.scope.cols)
-		exprs := make([]exec.Expr, 0, nl+nr)
-		for i := 0; i < nl; i++ {
-			exprs = append(exprs, exec.ColRef(nr+i))
-		}
-		for i := 0; i < nr; i++ {
-			exprs = append(exprs, exec.ColRef(i))
-		}
-		op := &exec.ProjectOp{Child: swapped, Exprs: exprs, Out: merged.schema()}
-		return &compiled{op: op, scope: merged}, nil
+		// (+) on the left side: preserve the right input. Lowering maps
+		// this onto a swapped LEFT join and restores column order.
+		kind = plan.RightOuterJoin
 	}
-	var op exec.Operator = &exec.HashJoinOp{Left: left.op, Right: right.op, LeftKeys: lk, RightKeys: rk, Type: jt, Gov: c.Gov}
+	jn := &plan.Join{Left: left.node, Right: right.node, Kind: kind, LeftKeys: lk, RightKeys: rk}
 	if len(residual) > 0 {
-		pred, err := c.compileConjuncts(residual, merged)
-		if err != nil {
-			return nil, err
+		pred, perr := c.compileConjuncts(residual, merged)
+		if perr != nil {
+			return nil, perr
 		}
-		op = &exec.FilterOp{Child: op, Pred: pred}
+		jn.Residual = pred
 	}
-	return &compiled{op: op, scope: merged}, nil
+	return &planned{node: jn, scope: merged}, nil
 }
 
 // --- helpers ----------------------------------------------------------------

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"dashdb/internal/exec"
+	"dashdb/internal/plan"
 	"dashdb/internal/types"
 )
 
@@ -33,11 +34,7 @@ func BuildPlan(q *QuerySpec, scan ScanFactory) (exec.Operator, error) {
 		if li < 0 || ri < 0 {
 			return nil, fmt.Errorf("workload: join columns %s/%s not found", j.LeftCol, j.RightCol)
 		}
-		op = &exec.HashJoinOp{
-			Left: op, Right: dimOp,
-			LeftKeys: []int{li}, RightKeys: []int{ri},
-			Type: exec.InnerJoin,
-		}
+		op = plan.HashJoin(op, dimOp, []int{li}, []int{ri}, exec.InnerJoin, nil)
 		schema = append(append(types.Schema{}, schema...), dimSchema...)
 	}
 

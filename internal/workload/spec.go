@@ -42,10 +42,11 @@ type Agg struct {
 
 // Join joins the query's current result to another table on equality.
 type Join struct {
-	Table    string
-	LeftCol  string // column of the fact/base table
-	RightCol string // column of the joined table
-	Preds    []Pred // predicates on the joined table
+	Table     string
+	LeftTable string // table owning LeftCol; empty = the query's base table
+	LeftCol   string // column of the base (or LeftTable) side
+	RightCol  string // column of the joined table
+	Preds     []Pred // predicates on the joined table
 }
 
 // QuerySpec is a read query: scan/filter/join/group/aggregate/order/limit.
@@ -169,7 +170,11 @@ func (q *QuerySpec) SQL() string {
 	b.WriteString(" FROM ")
 	b.WriteString(q.Table)
 	for _, j := range q.Joins {
-		fmt.Fprintf(&b, " JOIN %s ON %s.%s = %s.%s", j.Table, q.Table, j.LeftCol, j.Table, j.RightCol)
+		lt := j.LeftTable
+		if lt == "" {
+			lt = q.Table
+		}
+		fmt.Fprintf(&b, " JOIN %s ON %s.%s = %s.%s", j.Table, lt, j.LeftCol, j.Table, j.RightCol)
 	}
 	var where []string
 	if len(q.Preds) > 0 {

@@ -155,6 +155,55 @@ func (t *TPCDS) StoreSales() []types.Row {
 	return rows
 }
 
+// PlannerQueries returns the multi-way star-join templates used by the
+// join-order experiment (F-J). They are written with a dimension as the
+// syntactic base and the fact table as the first JOIN, so a planner that
+// lowers the FROM clause literally puts the 1M-row fact on the build side
+// of the first hash join; synopsis-driven greedy ordering must discover
+// the dimension-builds plan to win.
+func (t *TPCDS) PlannerQueries() []QuerySpec {
+	return []QuerySpec{
+		{
+			// 2-way: item ⋈ store_sales — the minimal bad-build-side shape.
+			Name:  "planner_q1_item_fact",
+			Table: "item",
+			Joins: []Join{{
+				Table: "store_sales", LeftCol: "i_item_sk", RightCol: "ss_item_sk",
+			}},
+			GroupBy: []string{"i_category"},
+			Aggs:    []Agg{{Func: "COUNT"}, {Func: "SUM", Col: "ss_net_paid"}},
+			OrderBy: []string{"i_category"},
+		},
+		{
+			// 3-way chain through the fact: store ⋈ store_sales ⋈ item.
+			Name:  "planner_q2_store_fact_item",
+			Table: "store",
+			Joins: []Join{
+				{Table: "store_sales", LeftCol: "s_store_sk", RightCol: "ss_store_sk"},
+				{Table: "item", LeftTable: "store_sales", LeftCol: "ss_item_sk", RightCol: "i_item_sk"},
+			},
+			GroupBy: []string{"s_state", "i_category"},
+			Aggs:    []Agg{{Func: "COUNT"}, {Func: "SUM", Col: "ss_net_paid"}},
+			OrderBy: []string{"s_state", "i_category"},
+		},
+		{
+			// 4-way star, dimension predicates shrink the probe stream.
+			Name:  "planner_q3_full_star",
+			Table: "customer",
+			Preds: []Pred{{Col: "c_segment", Op: encoding.OpEQ, Val: types.NewString("consumer")}},
+			Joins: []Join{
+				{Table: "store_sales", LeftCol: "c_customer_sk", RightCol: "ss_customer_sk"},
+				{Table: "item", LeftTable: "store_sales", LeftCol: "ss_item_sk", RightCol: "i_item_sk",
+					Preds: []Pred{{Col: "i_category", Op: encoding.OpEQ, Val: types.NewString("Books")}}},
+				{Table: "store", LeftTable: "store_sales", LeftCol: "ss_store_sk", RightCol: "s_store_sk"},
+			},
+			GroupBy: []string{"s_state"},
+			Aggs:    []Agg{{Func: "COUNT"}, {Func: "SUM", Col: "ss_net_paid"}, {Func: "AVG", Col: "ss_quantity"}},
+			OrderBy: []string{"s_state"},
+		},
+	}
+}
+
 // Queries returns the 20 representative query templates.
 func (t *TPCDS) Queries() []QuerySpec {
 	rng := rand.New(rand.NewSource(55))
