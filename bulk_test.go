@@ -1,0 +1,134 @@
+package dashdb_test
+
+import (
+	"sync"
+	"testing"
+
+	"dashdb"
+)
+
+func TestBulkLoader(t *testing.T) {
+	db := dashdb.Open(dashdb.Options{BufferPoolBytes: 8 << 20})
+	if _, err := db.Exec(`CREATE TABLE events (id BIGINT NOT NULL, kind VARCHAR(8), amt DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.Bulk("events", dashdb.BulkOptions{MaxRows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []string{"click", "view", "buy"}
+	const n = 3503
+	for i := 0; i < n; i++ {
+		row := dashdb.Row{
+			dashdb.NewInt(int64(i)),
+			dashdb.NewString(kinds[i%3]),
+			dashdb.NewFloat(float64(i) * 0.25),
+		}
+		if err := b.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Pending() >= 1000 {
+		t.Fatalf("auto-flush did not run: %d pending", b.Pending())
+	}
+	total, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != n {
+		t.Fatalf("finish total %d, want %d", total, n)
+	}
+	r, err := db.Query(`SELECT COUNT(*) FROM events`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Int() != n {
+		t.Fatalf("count %d, want %d", r.Rows[0][0].Int(), n)
+	}
+	// Flush stats surfaced through the snapshot monitor.
+	info, ok := db.SnapshotInfo("events")
+	if !ok {
+		t.Fatal("SnapshotInfo missing")
+	}
+	if info.BulkFlushes < 3 || info.BulkRows != n {
+		t.Fatalf("bulk counters: %+v", info)
+	}
+	// Bad rows fail at Add and don't poison flushed data.
+	if err := b.Add(dashdb.Row{dashdb.NewInt(1)}); err == nil {
+		t.Fatal("Add after Finish must fail")
+	}
+	b2, _ := db.Bulk("events", dashdb.BulkOptions{})
+	if err := b2.Add(dashdb.Row{dashdb.Null, dashdb.NewString("x"), dashdb.NewFloat(0)}); err == nil {
+		t.Fatal("NULL into NOT NULL column must fail at Add")
+	}
+	if _, err := db.Bulk("nope", dashdb.BulkOptions{}); err == nil {
+		t.Fatal("Bulk on a missing table must fail")
+	}
+}
+
+// TestBulkLoaderRacingQueries: loader goroutines flush while queries run;
+// every count is a whole number of flushes (MaxRows-sized batches except
+// the final partial, which only appears after Finish).
+func TestBulkLoaderRacingQueries(t *testing.T) {
+	db := dashdb.Open(dashdb.Options{BufferPoolBytes: 8 << 20})
+	if _, err := db.Exec(`CREATE TABLE stream (id BIGINT NOT NULL, v DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		flushRows = 512
+		total     = 16 * flushRows
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b, err := db.Bulk("stream", dashdb.BulkOptions{MaxRows: flushRows})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < total; i++ {
+			if err := b.Add(dashdb.Row{dashdb.NewInt(int64(i)), dashdb.NewFloat(float64(i))}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if _, err := b.Finish(); err != nil {
+			t.Error(err)
+		}
+	}()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := db.NewSession()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := sess.Query(`SELECT COUNT(*) FROM stream`)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n := res.Rows[0][0].Int(); n%flushRows != 0 {
+					t.Errorf("count %d is not a whole number of %d-row flushes", n, flushRows)
+					return
+				}
+			}
+		}()
+	}
+	<-done
+	close(stop)
+	wg.Wait()
+	r, err := db.Query(`SELECT COUNT(*) FROM stream`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Int() != total {
+		t.Fatalf("final count %d, want %d", r.Rows[0][0].Int(), total)
+	}
+}

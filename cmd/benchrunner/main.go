@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|test1|test2|test3|test4|colvsrow|deploy|compression|skipping|bufferpool|simd|parallel|vector|compressed|telemetry|spill|planner|ha|spark")
+	exp := flag.String("exp", "all", "experiment: all|test1|test2|test3|test4|colvsrow|deploy|compression|skipping|bufferpool|simd|parallel|vector|compressed|telemetry|spill|ingest|planner|ha|spark")
 	scale := flag.Int("scale", 400_000, "fact-table rows for Tests 1-4")
 	queries := flag.Int("queries", 30, "analytic queries for Test 1 / F-C")
 	flag.Parse()
@@ -117,6 +117,12 @@ func main() {
 	}
 	if run("spill") {
 		s, err := bench.FigureS(*scale)
+		fail(err)
+		fmt.Println()
+		fmt.Print(s)
+	}
+	if run("ingest") {
+		s, err := bench.FigureIngest(*scale/2, *queries)
 		fail(err)
 		fmt.Println()
 		fmt.Print(s)

@@ -1,0 +1,109 @@
+package driver
+
+import (
+	"database/sql"
+	"fmt"
+	"strings"
+)
+
+// BulkInserter batches rows into multi-row INSERT statements:
+//
+//	INSERT INTO t VALUES (?,?,...),(?,?,...),...
+//
+// and executes each batch as one statement through any database/sql
+// handle. The engine applies a multi-row INSERT atomically in a single
+// snapshot epoch, so concurrent readers see whole batches or nothing —
+// the driver-level counterpart of the embedded dashdb.Bulk loader.
+//
+//	ins := driver.NewBulkInserter(db, "sales", 4, 1000)
+//	for _, r := range rows {
+//	    if err := ins.Add(r...); err != nil { ... }
+//	}
+//	n, err := ins.Finish()
+//
+// A BulkInserter is not safe for concurrent use.
+type BulkInserter struct {
+	db        *sql.DB
+	table     string
+	width     int
+	batchRows int
+
+	args  []any
+	count int
+	total int64
+	done  bool
+}
+
+// DefaultBulkBatchRows is the flush threshold when NewBulkInserter is
+// given batchRows <= 0.
+const DefaultBulkBatchRows = 500
+
+// NewBulkInserter builds a batching inserter for the named table with
+// width columns per row, flushing every batchRows rows.
+func NewBulkInserter(db *sql.DB, table string, width, batchRows int) *BulkInserter {
+	if batchRows <= 0 {
+		batchRows = DefaultBulkBatchRows
+	}
+	return &BulkInserter{db: db, table: table, width: width, batchRows: batchRows}
+}
+
+// Add buffers one row's values, flushing when the batch is full.
+func (b *BulkInserter) Add(vals ...any) error {
+	if b.done {
+		return fmt.Errorf("dashdb driver: bulk inserter already finished")
+	}
+	if len(vals) != b.width {
+		return fmt.Errorf("dashdb driver: bulk insert into %s: row has %d values, want %d",
+			b.table, len(vals), b.width)
+	}
+	b.args = append(b.args, vals...)
+	b.count++
+	if b.count >= b.batchRows {
+		return b.Flush()
+	}
+	return nil
+}
+
+// Flush executes the buffered rows as one multi-row INSERT. A no-op when
+// the buffer is empty.
+func (b *BulkInserter) Flush() error {
+	if b.count == 0 {
+		return nil
+	}
+	res, err := b.db.Exec(b.statement(), b.args...)
+	if err != nil {
+		return err
+	}
+	if n, err := res.RowsAffected(); err == nil {
+		b.total += n
+	}
+	b.args = b.args[:0]
+	b.count = 0
+	return nil
+}
+
+// Finish flushes any remaining rows and returns the total inserted. The
+// inserter may not be reused afterwards.
+func (b *BulkInserter) Finish() (int64, error) {
+	if err := b.Flush(); err != nil {
+		return b.total, err
+	}
+	b.done = true
+	return b.total, nil
+}
+
+// statement renders the multi-row INSERT text for the current batch.
+func (b *BulkInserter) statement() string {
+	row := "(" + strings.TrimSuffix(strings.Repeat("?,", b.width), ",") + ")"
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO ")
+	sb.WriteString(b.table)
+	sb.WriteString(" VALUES ")
+	for i := 0; i < b.count; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,48 @@
+package driver
+
+import (
+	"testing"
+)
+
+func TestBulkInserter(t *testing.T) {
+	db := openDB(t, "mem://t_bulk")
+	if _, err := db.Exec(`CREATE TABLE load (id BIGINT NOT NULL, tag VARCHAR(8), v DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	ins := NewBulkInserter(db, "load", 3, 100)
+	const n = 1234
+	for i := 0; i < n; i++ {
+		if err := ins.Add(int64(i), "t", float64(i)/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total, err := ins.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != n {
+		t.Fatalf("finish total %d, want %d", total, n)
+	}
+	var count int64
+	if err := db.QueryRow(`SELECT COUNT(*) FROM load`).Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("count %d, want %d", count, n)
+	}
+	var distinct int64
+	if err := db.QueryRow(`SELECT COUNT(DISTINCT id) FROM load`).Scan(&distinct); err != nil {
+		t.Fatal(err)
+	}
+	if distinct != n {
+		t.Fatalf("distinct ids %d, want %d", distinct, n)
+	}
+	// Width mismatch fails at Add; finished inserters refuse reuse.
+	if err := ins.Add(int64(1), "x", 0.0); err == nil {
+		t.Fatal("Add after Finish must fail")
+	}
+	ins2 := NewBulkInserter(db, "load", 3, 0)
+	if err := ins2.Add(int64(1)); err == nil {
+		t.Fatal("width mismatch must fail")
+	}
+}

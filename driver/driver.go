@@ -107,6 +107,31 @@ func (c *conn) Prepare(query string) (driver.Stmt, error) {
 // Close implements driver.Conn.
 func (c *conn) Close() error { return nil }
 
+// Exec implements driver.Execer: one-shot execution without a prepared
+// statement, the path database/sql takes for db.Exec. Bulk-built
+// multi-row INSERTs go through here so each statement is parsed once and
+// applied as a single atomic batch.
+func (c *conn) Exec(query string, args []driver.Value) (driver.Result, error) {
+	r, err := c.sess.ExecParams(query, bind(args)...)
+	if err != nil {
+		return nil, err
+	}
+	return result{rowsAffected: r.RowsAffected}, nil
+}
+
+// Query implements driver.Queryer: one-shot queries without a prepared
+// statement.
+func (c *conn) Query(query string, args []driver.Value) (driver.Rows, error) {
+	r, err := c.sess.ExecParams(query, bind(args)...)
+	if err != nil {
+		return nil, err
+	}
+	if r.Columns == nil {
+		return &rows{res: &core.Result{Columns: []string{}}}, nil
+	}
+	return &rows{res: r}, nil
+}
+
 // Begin implements driver.Conn. The engine is autocommit-only (analytic
 // workloads), so transactions are a no-op shim.
 func (c *conn) Begin() (driver.Tx, error) { return noopTx{}, nil }

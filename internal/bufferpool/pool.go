@@ -137,6 +137,19 @@ func (p *Pool) UsedBytes() int {
 	return p.used
 }
 
+// Evict drops one cached page (page-generation reclamation: superseded
+// generations are removed precisely, without disturbing the live
+// generation's cache residency).
+func (p *Pool) Evict(id page.ID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pg, ok := p.frames[id]; ok {
+		p.used -= pg.MemSize()
+		delete(p.frames, id)
+		p.policy.Forget(id)
+	}
+}
+
 // Invalidate drops any cached pages of the given table (DROP/TRUNCATE).
 func (p *Pool) Invalidate(table uint32) {
 	p.mu.Lock()

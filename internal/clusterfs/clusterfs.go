@@ -159,6 +159,11 @@ func (s *shardStore) ReadPage(id page.ID) ([]byte, error) {
 	return s.fs.ReadFile(s.pagePath(id))
 }
 
+func (s *shardStore) DeletePage(id page.ID) error {
+	s.fs.Remove(s.pagePath(id))
+	return nil
+}
+
 func (s *shardStore) DeletePages(table uint32) error {
 	s.fs.RemovePrefix(fmt.Sprintf("%sT%08d/", s.prefix, table))
 	return nil

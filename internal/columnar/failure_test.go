@@ -33,6 +33,8 @@ func (f *faultStore) ReadPage(id page.ID) ([]byte, error) {
 	return f.inner.ReadPage(id)
 }
 
+func (f *faultStore) DeletePage(id page.ID) error { return f.inner.DeletePage(id) }
+
 func (f *faultStore) DeletePages(table uint32) error { return f.inner.DeletePages(table) }
 
 func TestSealFailureSurfacesOnInsert(t *testing.T) {

@@ -26,17 +26,18 @@ type encPredicates []encoding.Predicate
 // callers can keep per-worker state without locking; one worker never
 // runs fn concurrently with itself. Every Batch is confined to the
 // delivering worker and owns a private lazy page map (see Batch), so
-// callbacks must not share a batch across goroutines, must not retain it
-// after returning, and must not mutate the table (the scan holds the
-// table read lock — mutating calls would deadlock). fn returning false
-// cancels the whole scan; in-flight workers stop at their next morsel
-// boundary. Batches arrive in no particular order across workers; within
-// one worker they arrive in ascending stride order.
+// callbacks must not share a batch across goroutines and must not retain
+// it past the snapshot's lifetime. All workers read the same pinned
+// epoch: concurrent writers are invisible, and mutating the table from
+// inside fn is allowed (it affects later epochs, not this scan). fn
+// returning false cancels the whole scan; in-flight workers stop at their
+// next morsel boundary. Batches arrive in no particular order across
+// workers; within one worker they arrive in ascending stride order.
 //
 // Storage failures in any worker (including lazy materialization inside
 // fn) abort the scan and are returned as an error.
-func (t *Table) ParallelScan(preds []Pred, dop int, fn func(worker int, b *Batch) bool) error {
-	return t.ParallelScanWithStats(preds, dop, nil, fn)
+func (s *Snapshot) ParallelScan(preds []Pred, dop int, fn func(worker int, b *Batch) bool) error {
+	return s.ParallelScanWithStats(preds, dop, nil, fn)
 }
 
 // ParallelScanWithStats is ParallelScan with a per-query telemetry sink:
@@ -44,26 +45,22 @@ func (t *Table) ParallelScan(preds []Pred, dop int, fn func(worker int, b *Batch
 // its own ScanShard of ss with plain (non-atomic) increments — the scan's
 // WaitGroup provides the happens-before edge before anyone reads the sums.
 // ss may be nil, which makes this identical to ParallelScan.
-func (t *Table) ParallelScanWithStats(preds []Pred, dop int, ss *telemetry.ScanStats, fn func(worker int, b *Batch) bool) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.rows == 0 {
+func (s *Snapshot) ParallelScanWithStats(preds []Pred, dop int, ss *telemetry.ScanStats, fn func(worker int, b *Batch) bool) error {
+	t, st := s.t, s.state()
+	if st.rows == 0 {
 		return nil
 	}
-	t.ensureEncodersLocked()
-	for _, p := range preds {
-		if p.Col < 0 || p.Col >= len(t.cols) {
-			return fmt.Errorf("columnar: predicate on column %d of %d-column table %s", p.Col, len(t.cols), t.name)
-		}
+	if err := t.checkPreds(preds); err != nil {
+		return err
 	}
-	trans, none := t.translatePredsLocked(preds)
+	trans, none := st.translatePreds(preds)
 	if none {
 		return nil
 	}
 
-	sealed := t.sealedStrides()
+	sealed := st.sealedStrides()
 	morsels := sealed
-	if t.openLen() > 0 {
+	if st.openLen() > 0 {
 		morsels++
 	}
 	if dop > morsels {
@@ -75,7 +72,7 @@ func (t *Table) ParallelScanWithStats(preds []Pred, dop int, ss *telemetry.ScanS
 		var err error
 		func() {
 			defer recoverScanPanic(&err)
-			err = t.scanLocked(preds, ss.Shard(0), func(b *Batch) bool { return fn(0, b) })
+			err = s.scanState(preds, ss.Shard(0), func(b *Batch) bool { return fn(0, b) })
 		}()
 		return err
 	}
@@ -112,7 +109,7 @@ func (t *Table) ParallelScanWithStats(preds []Pred, dop int, ss *telemetry.ScanS
 					// The open-stride morsel.
 					t.stats.stridesVisited.Add(1)
 					sh.Visit()
-					b := t.evalOpenStride(preds)
+					b := evalOpenStride(t, st, preds)
 					if b.Len() > 0 {
 						sh.Rows(b.Len())
 						if !fn(worker, b) {
@@ -121,14 +118,14 @@ func (t *Table) ParallelScanWithStats(preds []Pred, dop int, ss *telemetry.ScanS
 					}
 					continue
 				}
-				if t.skipStride(m, preds, trans) {
+				if st.skipStride(m, preds, trans) {
 					t.stats.stridesSkipped.Add(1)
 					sh.Skip()
 					continue
 				}
 				t.stats.stridesVisited.Add(1)
 				sh.Visit()
-				b, err := t.evalSealedStride(m, preds, trans)
+				b, err := evalSealedStride(t, st, m, preds, trans)
 				if err != nil {
 					fail(err)
 					return
@@ -146,12 +143,27 @@ func (t *Table) ParallelScanWithStats(preds []Pred, dop int, ss *telemetry.ScanS
 	return firstErr
 }
 
-// translatePredsLocked translates predicates to code space once per scan.
+// ParallelScan runs the morsel-driven scan over a freshly pinned epoch.
+func (t *Table) ParallelScan(preds []Pred, dop int, fn func(worker int, b *Batch) bool) error {
+	snap := t.Snapshot()
+	defer snap.Release()
+	return snap.ParallelScan(preds, dop, fn)
+}
+
+// ParallelScanWithStats runs the morsel-driven scan with telemetry over a
+// freshly pinned epoch.
+func (t *Table) ParallelScanWithStats(preds []Pred, dop int, ss *telemetry.ScanStats, fn func(worker int, b *Batch) bool) error {
+	snap := t.Snapshot()
+	defer snap.Release()
+	return snap.ParallelScanWithStats(preds, dop, ss, fn)
+}
+
+// translatePreds translates predicates to code space once per scan.
 // none is true when some conjunct can never match (empty result).
-func (t *Table) translatePredsLocked(preds []Pred) (encPredicates, bool) {
+func (st *tableState) translatePreds(preds []Pred) (encPredicates, bool) {
 	trans := make(encPredicates, len(preds))
 	for i, p := range preds {
-		trans[i] = t.cols[p.Col].enc.Translate(p.Op, p.Val)
+		trans[i] = st.cols[p.Col].enc.Translate(p.Op, p.Val)
 		if trans[i].None {
 			return nil, true
 		}
@@ -161,9 +173,9 @@ func (t *Table) translatePredsLocked(preds []Pred) (encPredicates, bool) {
 
 // skipStride applies data skipping: the stride can be skipped when any
 // conjunct is unsatisfiable in the stride's synopsis span.
-func (t *Table) skipStride(s int, preds []Pred, trans encPredicates) bool {
+func (st *tableState) skipStride(s int, preds []Pred, trans encPredicates) bool {
 	for i, p := range preds {
-		if !synopsis.MayMatch(trans[i], t.cols[p.Col].syn.Entry(s)) {
+		if !synopsis.MayMatch(trans[i], st.cols[p.Col].syn[s]) {
 			return true
 		}
 	}

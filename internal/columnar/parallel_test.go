@@ -186,6 +186,7 @@ type failAfterStore struct {
 }
 
 func (f *failAfterStore) WritePage(id page.ID, data []byte) error { return f.inner.WritePage(id, data) }
+func (f *failAfterStore) DeletePage(id page.ID) error             { return f.inner.DeletePage(id) }
 func (f *failAfterStore) DeletePages(table uint32) error          { return f.inner.DeletePages(table) }
 func (f *failAfterStore) ReadPage(id page.ID) ([]byte, error) {
 	if f.reads.Add(1) > f.limit {

@@ -30,6 +30,7 @@ func metaID(table uint32) page.ID {
 type colMeta struct {
 	Encoder  []byte
 	Synopsis []synopsis.Entry
+	Gen      uint32 // page generation the sealed strides live under
 }
 
 // tableMetaBlob is the serialized table state.
@@ -38,7 +39,8 @@ type tableMetaBlob struct {
 	Rows     int
 	Live     int
 	RawBytes int
-	Deleted  []int // set tombstone positions
+	GenSeq   uint32 // page-generation allocator position
+	Deleted  []int  // set tombstone positions
 	Cols     []colMeta
 	OpenRows [][]encodingWire // open-stride rows, row-major
 }
@@ -106,7 +108,7 @@ func wireToRow(ws []encodingWire) types.Row {
 
 // SaveMeta persists the table's non-page state into the page store.
 func (t *Table) SaveMeta() error {
-	t.mu.Lock() // full lock: ensureEncodersLocked may install encoders
+	t.mu.Lock() // writer lock: ensureEncodersLocked may install encoders
 	defer t.mu.Unlock()
 	t.ensureEncodersLocked()
 	blob := tableMetaBlob{
@@ -114,6 +116,7 @@ func (t *Table) SaveMeta() error {
 		Rows:     t.rows,
 		Live:     t.live,
 		RawBytes: t.rawBytes,
+		GenSeq:   t.genSeq,
 	}
 	t.deleted.ForEach(func(i int) { blob.Deleted = append(blob.Deleted, i) })
 	for _, c := range t.cols {
@@ -121,7 +124,7 @@ func (t *Table) SaveMeta() error {
 		if err != nil {
 			return fmt.Errorf("columnar: save %s: %w", t.name, err)
 		}
-		cm := colMeta{Encoder: encBytes}
+		cm := colMeta{Encoder: encBytes, Gen: c.gen}
 		for s := 0; s < c.syn.Strides(); s++ {
 			cm.Synopsis = append(cm.Synopsis, c.syn.Entry(s))
 		}
@@ -167,6 +170,7 @@ func OpenTable(id uint32, schema types.Schema, cfg Config) (*Table, error) {
 	t.rows = sealedRows
 	t.live = sealedRows // adjusted below by tombstones and open rows
 	t.rawBytes = blob.RawBytes
+	t.genSeq = blob.GenSeq
 	for ci, cm := range blob.Cols {
 		enc, err := encoding.UnmarshalEncoder(cm.Encoder)
 		if err != nil {
@@ -174,6 +178,7 @@ func OpenTable(id uint32, schema types.Schema, cfg Config) (*Table, error) {
 		}
 		t.cols[ci].enc = enc
 		t.cols[ci].analyzed = true
+		t.cols[ci].gen = cm.Gen
 		for s, e := range cm.Synopsis {
 			t.cols[ci].syn.Set(s, e)
 		}
@@ -199,5 +204,8 @@ func OpenTable(id uint32, schema types.Schema, cfg Config) (*Table, error) {
 	if t.live != blob.Live {
 		return nil, fmt.Errorf("columnar: open table %d: live count mismatch (%d vs %d)", id, t.live, blob.Live)
 	}
+	// Publish the restored state as the table's first real epoch (the
+	// constructor published an empty one before the rows were replayed).
+	t.publishLocked()
 	return t, nil
 }

@@ -18,8 +18,9 @@ type Pred struct {
 }
 
 // Batch is one stride's worth of selected tuples handed to the scan
-// callback. A batch is only valid during the callback; it references
-// table-internal state guarded by the scan's read lock.
+// callback. A batch references only the scan's pinned epoch state, so it
+// stays consistent no matter what writers commit meanwhile; it is valid
+// for the lifetime of the snapshot it was scanned under.
 //
 // Concurrency invariant: a Batch is confined to a single goroutine. Value
 // populates the batch's private pages map lazily and without locking, so
@@ -30,6 +31,7 @@ type Pred struct {
 // copy values out (Row/Column materialize copies).
 type Batch struct {
 	t      *Table
+	st     *tableState
 	stride int   // stride index; -1 for the open stride
 	base   int   // global row id of stride start
 	sel    []int // selected offsets within the stride, ascending
@@ -46,19 +48,11 @@ func (b *Batch) RowID(i int) int64 { return int64(b.base + b.sel[i]) }
 // Value returns column ci of the i'th selected tuple, decoding lazily.
 func (b *Batch) Value(ci, i int) types.Value {
 	off := b.sel[i]
-	c := b.t.cols[ci]
+	c := &b.st.cols[ci]
 	if b.stride < 0 {
 		return c.openVals[off]
 	}
-	pg, ok := b.pages[ci]
-	if !ok {
-		var err error
-		pg, err = b.t.loadPage(ci, b.stride)
-		if err != nil {
-			panic(fmt.Sprintf("columnar: batch page load %v: %v", b.t.pageID(ci, b.stride), err))
-		}
-		b.pages[ci] = pg
-	}
+	pg := b.page(ci)
 	if pg.Nulls.Get(off) {
 		return types.NullOf(b.t.schema[ci].Kind)
 	}
@@ -81,15 +75,11 @@ func (b *Batch) Value(ci, i int) types.Value {
 // ColumnDict returns column ci's dictionary, or nil when the column is
 // not dictionary-encoded. Float columns report nil even when
 // dict-encoded: NaN breaks the value↔code bijection compressed execution
-// relies on (same gate as Table.ColumnDict). Unlike Table.ColumnDict it
-// takes no lock, so it is safe inside a scan callback, which already
-// holds the table's read latch.
+// relies on (same gate as Table.ColumnDict). The dictionary comes from
+// the batch's pinned epoch, so it is the one that assigned every code in
+// the batch.
 func (b *Batch) ColumnDict(ci int) *encoding.Dict {
-	if ci < 0 || ci >= len(b.t.schema) || b.t.schema[ci].Kind == types.KindFloat {
-		return nil
-	}
-	d, _ := b.t.cols[ci].enc.(*encoding.Dict)
-	return d
+	return b.st.columnDict(ci)
 }
 
 // Code returns column ci's dictionary code for the i'th selected tuple
@@ -97,14 +87,14 @@ func (b *Batch) ColumnDict(ci int) *encoding.Dict {
 // columns whose encoder assigns codes (any analyzed column); the caller
 // pairs the codes with the column's dictionary from ColumnDict. Within
 // one scan every batch of a column shares a single dictionary: the scan
-// holds the table read lock for its whole duration, so the encoder cannot
-// be swapped or extended mid-scan.
+// pins one epoch for its whole duration, so the encoder cannot be swapped
+// mid-scan (dictionaries only ever grow, and codes are stable).
 //
 //dashdb:hotpath
 func (b *Batch) Code(ci, i int) (uint64, bool) {
 	off := b.sel[i]
 	if b.stride < 0 {
-		c := b.t.cols[ci]
+		c := &b.st.cols[ci]
 		if c.openNulls[off] {
 			return 0, false
 		}
@@ -137,23 +127,39 @@ func (b *Batch) Row(i int) types.Row {
 
 // Scan streams batches of tuples satisfying the conjunction of preds to
 // fn, in row-id order, applying data skipping and SWAR evaluation over
-// compressed codes. fn returning false stops the scan. The callback must
-// not mutate the table (the scan holds a read lock) and must not retain
-// the batch. Storage failures during lazy batch materialization are
+// compressed codes. fn returning false stops the scan. The scan reads the
+// snapshot's pinned epoch only: concurrent INSERT/bulk-load/TRUNCATE are
+// invisible to it. Storage failures during lazy batch materialization are
 // converted into a returned error.
-func (t *Table) Scan(preds []Pred, fn func(b *Batch) bool) (err error) {
-	return t.ScanWithStats(preds, nil, fn)
+func (s *Snapshot) Scan(preds []Pred, fn func(b *Batch) bool) (err error) {
+	return s.ScanWithStats(preds, nil, fn)
 }
 
 // ScanWithStats is Scan with a per-query telemetry sink: stride visits,
 // synopsis skips and delivered rows are additionally recorded into ss
 // (shard 0, since the serial scan is one worker). ss may be nil, which
 // makes this identical to Scan.
-func (t *Table) ScanWithStats(preds []Pred, ss *telemetry.ScanStats, fn func(b *Batch) bool) (err error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+func (s *Snapshot) ScanWithStats(preds []Pred, ss *telemetry.ScanStats, fn func(b *Batch) bool) (err error) {
 	defer recoverScanPanic(&err)
-	return t.scanLocked(preds, ss.Shard(0), fn)
+	return s.scanState(preds, ss.Shard(0), fn)
+}
+
+// Scan pins the current epoch for the scan's duration and delegates to
+// Snapshot.Scan. Query execution should scan an explicitly pinned
+// Snapshot instead, so that planning and multiple operators of one query
+// agree on the epoch.
+func (t *Table) Scan(preds []Pred, fn func(b *Batch) bool) error {
+	snap := t.Snapshot()
+	defer snap.Release()
+	return snap.Scan(preds, fn)
+}
+
+// ScanWithStats is Scan with a per-query telemetry sink, over a
+// freshly pinned epoch.
+func (t *Table) ScanWithStats(preds []Pred, ss *telemetry.ScanStats, fn func(b *Batch) bool) error {
+	snap := t.Snapshot()
+	defer snap.Release()
+	return snap.ScanWithStats(preds, ss, fn)
 }
 
 // recoverScanPanic converts page-load panics raised inside batch
@@ -164,34 +170,42 @@ func recoverScanPanic(err *error) {
 	}
 }
 
-func (t *Table) scanLocked(preds []Pred, sh *telemetry.ScanShard, fn func(b *Batch) bool) error {
-	if t.rows == 0 {
-		return nil
-	}
-	t.ensureEncodersLocked()
+// checkPreds validates predicate column ordinals against the schema.
+func (t *Table) checkPreds(preds []Pred) error {
 	for _, p := range preds {
-		if p.Col < 0 || p.Col >= len(t.cols) {
-			return fmt.Errorf("columnar: predicate on column %d of %d-column table %s", p.Col, len(t.cols), t.name)
+		if p.Col < 0 || p.Col >= len(t.schema) {
+			return fmt.Errorf("columnar: predicate on column %d of %d-column table %s", p.Col, len(t.schema), t.name)
 		}
 	}
+	return nil
+}
+
+func (s *Snapshot) scanState(preds []Pred, sh *telemetry.ScanShard, fn func(b *Batch) bool) error {
+	t, st := s.t, s.state()
+	if st.rows == 0 {
+		return nil
+	}
+	if err := t.checkPreds(preds); err != nil {
+		return err
+	}
 	// Translate every predicate to code space once.
-	translated, none := t.translatePredsLocked(preds)
+	translated, none := st.translatePreds(preds)
 	if none {
 		return nil // a false conjunct kills the whole scan
 	}
 
-	sealed := t.sealedStrides()
-	for s := 0; s < sealed; s++ {
+	sealed := st.sealedStrides()
+	for strideIdx := 0; strideIdx < sealed; strideIdx++ {
 		// Data skipping: every conjunct must be satisfiable in this
 		// stride's code span.
-		if t.skipStride(s, preds, translated) {
+		if st.skipStride(strideIdx, preds, translated) {
 			t.stats.stridesSkipped.Add(1)
 			sh.Skip()
 			continue
 		}
 		t.stats.stridesVisited.Add(1)
 		sh.Visit()
-		b, err := t.evalSealedStride(s, preds, translated)
+		b, err := evalSealedStride(t, st, strideIdx, preds, translated)
 		if err != nil {
 			return err
 		}
@@ -203,10 +217,10 @@ func (t *Table) scanLocked(preds []Pred, sh *telemetry.ScanShard, fn func(b *Bat
 		}
 	}
 	// Open stride: value-space evaluation over the unpacked buffers.
-	if n := t.openLen(); n > 0 {
+	if n := st.openLen(); n > 0 {
 		t.stats.stridesVisited.Add(1)
 		sh.Visit()
-		b := t.evalOpenStride(preds)
+		b := evalOpenStride(t, st, preds)
 		if b.Len() > 0 {
 			sh.Rows(b.Len())
 			if !fn(b) {
@@ -221,7 +235,7 @@ func (t *Table) scanLocked(preds []Pred, sh *telemetry.ScanShard, fn func(b *Bat
 // the SWAR kernels, returning the selected offsets.
 //
 //dashdb:hotpath
-func (t *Table) evalSealedStride(s int, preds []Pred, translated []encoding.Predicate) (*Batch, error) {
+func evalSealedStride(t *Table, st *tableState, s int, preds []Pred, translated []encoding.Predicate) (*Batch, error) {
 	base := s * page.StrideSize
 	var sel *bitpack.Bitmap
 	pages := make(map[int]*page.Page, len(preds))
@@ -230,7 +244,7 @@ func (t *Table) evalSealedStride(s int, preds []Pred, translated []encoding.Pred
 		pg, ok := pages[p.Col]
 		if !ok {
 			var err error
-			pg, err = t.loadPage(p.Col, s)
+			pg, err = t.loadPageGen(p.Col, st.cols[p.Col].gen, s)
 			if err != nil {
 				return nil, err
 			}
@@ -238,7 +252,7 @@ func (t *Table) evalSealedStride(s int, preds []Pred, translated []encoding.Pred
 			t.stats.pagesRead.Add(1)
 		}
 		match := bitpack.NewBitmap(pg.Rows())
-		applyPredicate(pg, t.cols[p.Col].enc, translated[i], preds[i], match)
+		applyPredicate(pg, st.cols[p.Col].enc, translated[i], preds[i], match)
 		// Comparison predicates never match NULL.
 		match.AndNot(pg.Nulls)
 		if sel == nil {
@@ -247,7 +261,7 @@ func (t *Table) evalSealedStride(s int, preds []Pred, translated []encoding.Pred
 			sel.And(match)
 		}
 		if !sel.Any() {
-			return &Batch{t: t, stride: s, base: base, pages: pages}, nil
+			return &Batch{t: t, st: st, stride: s, base: base, pages: pages}, nil
 		}
 	}
 	rows := page.StrideSize
@@ -260,11 +274,11 @@ func (t *Table) evalSealedStride(s int, preds []Pred, translated []encoding.Pred
 	// Mask tombstones.
 	selIdx := make([]int, 0, sel.Count())
 	sel.ForEach(func(off int) {
-		if !t.deleted.Get(base + off) {
+		if !st.deleted.Get(base + off) {
 			selIdx = append(selIdx, off)
 		}
 	})
-	return &Batch{t: t, stride: s, base: base, sel: selIdx, pages: pages}, nil
+	return &Batch{t: t, st: st, stride: s, base: base, sel: selIdx, pages: pages}, nil
 }
 
 // applyPredicate ORs matching positions into match: SWAR range kernels for
@@ -308,17 +322,17 @@ func applyPredicate(pg *page.Page, enc encoding.Encoder, tp encoding.Predicate, 
 
 // evalOpenStride evaluates predicates over the open stride's buffered
 // values in value space.
-func (t *Table) evalOpenStride(preds []Pred) *Batch {
-	n := t.openLen()
-	base := t.sealedStrides() * page.StrideSize
+func evalOpenStride(t *Table, st *tableState, preds []Pred) *Batch {
+	n := st.openLen()
+	base := st.sealedStrides() * page.StrideSize
 	sel := make([]int, 0, n)
 	for off := 0; off < n; off++ {
-		if t.deleted.Get(base + off) {
+		if st.deleted.Get(base + off) {
 			continue
 		}
 		ok := true
 		for _, p := range preds {
-			c := t.cols[p.Col]
+			c := &st.cols[p.Col]
 			if c.openNulls[off] || !p.Op.Eval(c.openVals[off], p.Val) {
 				ok = false
 				break
@@ -329,7 +343,7 @@ func (t *Table) evalOpenStride(preds []Pred) *Batch {
 		}
 	}
 	t.stats.rowsScanned.Add(uint64(n))
-	return &Batch{t: t, stride: -1, base: base, sel: sel}
+	return &Batch{t: t, st: st, stride: -1, base: base, sel: sel}
 }
 
 // ScanNaive is the decode-then-evaluate ablation (DESIGN.md §6): it
@@ -338,27 +352,23 @@ func (t *Table) evalOpenStride(preds []Pred) *Batch {
 // data). The cloud column-store baseline of Test 4 runs its scans through
 // this path; benchmarking it against Scan isolates exactly the techniques
 // of §II.B.2/4/6.
-func (t *Table) ScanNaive(preds []Pred, fn func(b *Batch) bool) (err error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+func (s *Snapshot) ScanNaive(preds []Pred, fn func(b *Batch) bool) (err error) {
 	defer recoverScanPanic(&err)
-	if t.rows == 0 {
+	t, st := s.t, s.state()
+	if st.rows == 0 {
 		return nil
 	}
-	t.ensureEncodersLocked()
-	for _, p := range preds {
-		if p.Col < 0 || p.Col >= len(t.cols) {
-			return fmt.Errorf("columnar: predicate on column %d of %d-column table %s", p.Col, len(t.cols), t.name)
-		}
+	if err := t.checkPreds(preds); err != nil {
+		return err
 	}
-	sealed := t.sealedStrides()
-	for s := 0; s < sealed; s++ {
+	sealed := st.sealedStrides()
+	for strideIdx := 0; strideIdx < sealed; strideIdx++ {
 		t.stats.stridesVisited.Add(1)
-		base := s * page.StrideSize
+		base := strideIdx * page.StrideSize
 		pages := make(map[int]*page.Page, len(preds))
 		sel := make([]int, 0, page.StrideSize)
 		for off := 0; off < page.StrideSize; off++ {
-			if t.deleted.Get(base + off) {
+			if st.deleted.Get(base + off) {
 				continue
 			}
 			ok := true
@@ -366,7 +376,7 @@ func (t *Table) ScanNaive(preds []Pred, fn func(b *Batch) bool) (err error) {
 				pg, have := pages[p.Col]
 				if !have {
 					var err error
-					pg, err = t.loadPage(p.Col, s)
+					pg, err = t.loadPageGen(p.Col, st.cols[p.Col].gen, strideIdx)
 					if err != nil {
 						return err
 					}
@@ -377,7 +387,7 @@ func (t *Table) ScanNaive(preds []Pred, fn func(b *Batch) bool) (err error) {
 					ok = false
 					break
 				}
-				v := t.cols[p.Col].enc.Decode(pg.Codes.Get(off))
+				v := st.cols[p.Col].enc.Decode(pg.Codes.Get(off))
 				if !p.Op.Eval(v, p.Val) {
 					ok = false
 					break
@@ -389,15 +399,15 @@ func (t *Table) ScanNaive(preds []Pred, fn func(b *Batch) bool) (err error) {
 		}
 		t.stats.rowsScanned.Add(page.StrideSize)
 		if len(sel) > 0 {
-			b := &Batch{t: t, stride: s, base: base, sel: sel, pages: pages}
+			b := &Batch{t: t, st: st, stride: strideIdx, base: base, sel: sel, pages: pages}
 			if !fn(b) {
 				return nil
 			}
 		}
 	}
-	if n := t.openLen(); n > 0 {
+	if n := st.openLen(); n > 0 {
 		t.stats.stridesVisited.Add(1)
-		b := t.evalOpenStride(preds)
+		b := evalOpenStride(t, st, preds)
 		if b.Len() > 0 && !fn(b) {
 			return nil
 		}
@@ -405,22 +415,36 @@ func (t *Table) ScanNaive(preds []Pred, fn func(b *Batch) bool) (err error) {
 	return nil
 }
 
+// ScanNaive runs the ablation scan over a freshly pinned epoch.
+func (t *Table) ScanNaive(preds []Pred, fn func(b *Batch) bool) error {
+	snap := t.Snapshot()
+	defer snap.Release()
+	return snap.ScanNaive(preds, fn)
+}
+
 // CountWhere returns the number of live rows satisfying the conjunction,
 // without materializing values (COUNT(*) fast path).
-func (t *Table) CountWhere(preds []Pred) (int, error) {
+func (s *Snapshot) CountWhere(preds []Pred) (int, error) {
 	total := 0
-	err := t.Scan(preds, func(b *Batch) bool {
+	err := s.Scan(preds, func(b *Batch) bool {
 		total += b.Len()
 		return true
 	})
 	return total, err
 }
 
+// CountWhere counts matching rows in a freshly pinned epoch.
+func (t *Table) CountWhere(preds []Pred) (int, error) {
+	snap := t.Snapshot()
+	defer snap.Release()
+	return snap.CountWhere(preds)
+}
+
 // SelectWhere materializes all matching rows (convenience for small
 // results and tests; the executor streams batches instead).
-func (t *Table) SelectWhere(preds []Pred) ([]types.Row, error) {
+func (s *Snapshot) SelectWhere(preds []Pred) ([]types.Row, error) {
 	var out []types.Row
-	err := t.Scan(preds, func(b *Batch) bool {
+	err := s.Scan(preds, func(b *Batch) bool {
 		for i := 0; i < b.Len(); i++ {
 			out = append(out, b.Row(i))
 		}
@@ -429,7 +453,36 @@ func (t *Table) SelectWhere(preds []Pred) ([]types.Row, error) {
 	return out, err
 }
 
+// SelectWhere materializes matching rows from a freshly pinned epoch.
+func (t *Table) SelectWhere(preds []Pred) ([]types.Row, error) {
+	snap := t.Snapshot()
+	defer snap.Release()
+	return snap.SelectWhere(preds)
+}
+
+// tombstoneLocked sets tombstones for the given row ids on a private copy
+// of the bitmap (copy-on-write: published epochs keep the old bitmap) and
+// returns how many were live. Caller holds mu and publishes after.
+func (t *Table) tombstoneLocked(rids []int64) int {
+	nb := t.deleted.Clone()
+	n := 0
+	for _, rid := range rids {
+		if rid < 0 || int(rid) >= t.rows {
+			continue // e.g. the table was truncated since the rids were collected
+		}
+		if !nb.Get(int(rid)) {
+			nb.Set(int(rid))
+			t.live--
+			n++
+		}
+	}
+	t.deleted = nb
+	return n
+}
+
 // DeleteWhere tombstones matching rows, returning how many were deleted.
+// Matches are collected against a pinned snapshot; the tombstones commit
+// as one epoch.
 func (t *Table) DeleteWhere(preds []Pred) (int, error) {
 	var rids []int64
 	err := t.Scan(preds, func(b *Batch) bool {
@@ -443,13 +496,8 @@ func (t *Table) DeleteWhere(preds []Pred) (int, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.statsVer++
-	for _, rid := range rids {
-		if !t.deleted.Get(int(rid)) {
-			t.deleted.Set(int(rid))
-			t.live--
-		}
-	}
+	t.tombstoneLocked(rids)
+	t.publishLocked()
 	return len(rids), nil
 }
 
@@ -459,24 +507,17 @@ func (t *Table) DeleteWhere(preds []Pred) (int, error) {
 func (t *Table) DeleteRows(rids []int64) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.statsVer++
-	n := 0
-	for _, rid := range rids {
-		if rid < 0 || int(rid) >= t.rows {
-			continue
-		}
-		if !t.deleted.Get(int(rid)) {
-			t.deleted.Set(int(rid))
-			t.live--
-			n++
-		}
-	}
+	n := t.tombstoneLocked(rids)
+	t.publishLocked()
 	return n
 }
 
 // UpdateWhere rewrites matching rows: columnar updates are implemented as
 // delete + re-insert of the modified row, the standard approach for
-// column-organized storage. set maps column ordinals to new values.
+// column-organized storage. set maps column ordinals to new values. The
+// delete and the re-insert commit together in a single epoch, so readers
+// never observe the in-between state where rows have vanished but their
+// replacements are not yet visible.
 func (t *Table) UpdateWhere(preds []Pred, set map[int]types.Value) (int, error) {
 	var updated []types.Row
 	var rids []int64
@@ -494,19 +535,16 @@ func (t *Table) UpdateWhere(preds []Pred, set map[int]types.Value) (int, error) 
 	if err != nil {
 		return 0, err
 	}
-	t.mu.Lock()
-	t.statsVer++
-	for _, rid := range rids {
-		if !t.deleted.Get(int(rid)) {
-			t.deleted.Set(int(rid))
-			t.live--
-		}
+	checked, err := t.validateAll(updated)
+	if err != nil {
+		return 0, err
 	}
-	t.mu.Unlock()
-	for _, row := range updated {
-		if err := t.Insert(row); err != nil {
-			return 0, err
-		}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer t.publishLocked()
+	t.tombstoneLocked(rids)
+	if err := t.appendRowsLocked(checked); err != nil {
+		return 0, err
 	}
 	return len(updated), nil
 }

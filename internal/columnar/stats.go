@@ -30,50 +30,59 @@ type ColumnStats struct {
 	Min, Max  types.Value
 }
 
-// ColumnStats gathers planner statistics for column ci. Results are
-// cached until the table mutates, so steady-state planning costs one map
-// lookup per column rather than a re-fold of the open-stride buffer.
-func (t *Table) ColumnStats(ci int) ColumnStats {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	ver := t.statsVer
-	t.statsMu.Lock()
-	if t.statsCacheVer != ver {
-		t.statsCache = nil
-		t.statsCacheVer = ver
-	}
-	if st, ok := t.statsCache[ci]; ok {
-		t.statsMu.Unlock()
-		return st
-	}
-	t.statsMu.Unlock()
-	st := t.columnStatsLocked(ci)
-	t.statsMu.Lock()
-	if t.statsCacheVer == ver {
-		if t.statsCache == nil {
-			t.statsCache = make(map[int]ColumnStats)
-		}
-		t.statsCache[ci] = st
-	}
-	t.statsMu.Unlock()
-	return st
+// ColumnStats gathers planner statistics for column ci in the pinned
+// epoch. Statements that plan and execute against the same snapshot get
+// estimates that exactly describe the data the scan will see.
+func (s *Snapshot) ColumnStats(ci int) ColumnStats {
+	return s.state().columnStats(ci)
 }
 
-// columnStatsLocked computes column ci's statistics under mu.RLock.
-func (t *Table) columnStatsLocked(ci int) ColumnStats {
-	st := ColumnStats{Rows: t.live}
-	if ci < 0 || ci >= len(t.cols) {
-		return st
+// ColumnStats gathers planner statistics for column ci in the current
+// epoch. The epoch state is immutable, so no pin is needed: a result is
+// internally consistent even if a writer publishes mid-call.
+func (t *Table) ColumnStats(ci int) ColumnStats {
+	return t.epochs.Current().State().columnStats(ci)
+}
+
+// columnStats serves column ci's statistics from the state's lazy cache.
+// The cache needs no version stamp: the state it describes can never
+// change, so planning every query of an epoch costs one computation per
+// column, however many statements race.
+func (st *tableState) columnStats(ci int) ColumnStats {
+	st.statsMu.Lock()
+	if cached, ok := st.statsCache[ci]; ok {
+		st.statsMu.Unlock()
+		return cached
 	}
-	c := t.cols[ci]
+	st.statsMu.Unlock()
+	computed := st.computeColumnStats(ci)
+	st.statsMu.Lock()
+	if st.statsCache == nil {
+		st.statsCache = make(map[int]ColumnStats)
+	}
+	st.statsCache[ci] = computed
+	st.statsMu.Unlock()
+	return computed
+}
+
+// computeColumnStats folds the synopsis entries, the seal-time sketch and
+// the open-stride buffers into column ci's statistics.
+func (st *tableState) computeColumnStats(ci int) ColumnStats {
+	out := ColumnStats{Rows: st.live}
+	if ci < 0 || ci >= len(st.cols) {
+		return out
+	}
+	c := &st.cols[ci]
+	if c.enc == nil {
+		return out
+	}
 
 	// Code-space bounds and NULL count from the synopsis entries plus the
 	// open stride buffers.
 	var minCode, maxCode uint64
 	haveSpan := false
-	for s := 0; s < c.syn.Strides(); s++ {
-		e := c.syn.Entry(s)
-		st.Nulls += int(e.NullCnt)
+	for _, e := range c.syn {
+		out.Nulls += int(e.NullCnt)
 		if e.AllNulls || e.RowCnt == 0 {
 			continue
 		}
@@ -89,10 +98,10 @@ func (t *Table) columnStatsLocked(ci int) ColumnStats {
 			maxCode = e.MaxCode
 		}
 	}
-	sk := c.syn.SketchCopy()
+	sk := c.sketch // value copy: folding the open stride leaves the epoch's sketch untouched
 	for i, code := range c.openCodes {
 		if c.openNulls[i] {
-			st.Nulls++
+			out.Nulls++
 			continue
 		}
 		sk.AddCode(code)
@@ -109,31 +118,31 @@ func (t *Table) columnStatsLocked(ci int) ColumnStats {
 		}
 	}
 
-	st.Distinct = sk.Estimate()
+	out.Distinct = sk.Estimate()
 	switch enc := c.enc.(type) {
 	case *encoding.Dict:
 		// Dictionaries know their cardinality exactly.
-		st.Distinct = float64(enc.Cardinality())
+		out.Distinct = float64(enc.Cardinality())
 	case *encoding.IntFOR:
 		if haveSpan {
-			st.HasBounds = true
-			st.Min, st.Max = enc.Decode(minCode), enc.Decode(maxCode)
+			out.HasBounds = true
+			out.Min, out.Max = enc.Decode(minCode), enc.Decode(maxCode)
 		}
 	case *encoding.FloatFOR:
 		if haveSpan {
-			st.HasBounds = true
-			st.Min, st.Max = enc.Decode(minCode), enc.Decode(maxCode)
+			out.HasBounds = true
+			out.Min, out.Max = enc.Decode(minCode), enc.Decode(maxCode)
 		}
 	}
-	if nonNull := st.Rows - st.Nulls; nonNull > 0 {
-		if st.Distinct > float64(nonNull) {
-			st.Distinct = float64(nonNull)
+	if nonNull := out.Rows - out.Nulls; nonNull > 0 {
+		if out.Distinct > float64(nonNull) {
+			out.Distinct = float64(nonNull)
 		}
-		if st.Distinct < 1 {
-			st.Distinct = 1
+		if out.Distinct < 1 {
+			out.Distinct = 1
 		}
 	} else {
-		st.Distinct = 0
+		out.Distinct = 0
 	}
-	return st
+	return out
 }

@@ -5,6 +5,17 @@
 // per-stride synopsis for data skipping (§II.B.4), cached by the buffer
 // pool (§II.B.5), and scanned with word-parallel SWAR predicate kernels
 // (§II.B.6) a stride at a time (§II.B.7).
+//
+// Concurrency model (DESIGN.md §13): the table is split into a
+// writer-private build side and immutable published epochs. All mutation
+// runs under the writer mutex, accumulates in private buffers, and ends by
+// publishing a fresh immutable tableState through an epoch manager —
+// one atomic pointer swap. Readers pin an epoch and scan it without any
+// lock on the table: sealed pages are immutable, the open tail is
+// copy-on-seal (published epochs hold capacity-clamped views the writer
+// never writes into), tombstones are copy-on-write, and page reclamation
+// after TRUNCATE or an encoder rebuild is deferred until every epoch that
+// could reach the old pages has drained.
 package columnar
 
 import (
@@ -16,6 +27,7 @@ import (
 	"dashdb/internal/bufferpool"
 	"dashdb/internal/encoding"
 	"dashdb/internal/page"
+	"dashdb/internal/snapshot"
 	"dashdb/internal/synopsis"
 	"dashdb/internal/types"
 )
@@ -25,6 +37,11 @@ import (
 type PageStore interface {
 	WritePage(id page.ID, data []byte) error
 	ReadPage(id page.ID) ([]byte, error)
+	// DeletePage removes one page; deleting an absent page is not an
+	// error. Epoch cleanups use it to reclaim superseded page
+	// generations precisely, without touching pages the live epoch still
+	// references.
+	DeletePage(id page.ID) error
 	DeletePages(table uint32) error
 }
 
@@ -56,6 +73,13 @@ func (m *memStore) ReadPage(id page.ID) ([]byte, error) {
 	return data, nil
 }
 
+func (m *memStore) DeletePage(id page.ID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.pages, id)
+	return nil
+}
+
 func (m *memStore) DeletePages(table uint32) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -76,14 +100,21 @@ type Stats struct {
 	Rebuilds       uint64 // column re-encodes after domain overflow
 }
 
-// statCounters is the lock-free backing store: scans run under a read
-// lock concurrently, so counters must be atomic.
+// statCounters is the lock-free backing store: scans run concurrently
+// with writers, so counters must be atomic.
 type statCounters struct {
 	stridesVisited atomic.Uint64
 	stridesSkipped atomic.Uint64
 	pagesRead      atomic.Uint64
 	rowsScanned    atomic.Uint64
 	rebuilds       atomic.Uint64
+}
+
+// bulkCounters tracks BulkAppend flush activity for MON_SNAPSHOTS.
+type bulkCounters struct {
+	flushes atomic.Uint64
+	rows    atomic.Uint64
+	bytes   atomic.Uint64
 }
 
 // Config tunes a table's storage environment.
@@ -100,44 +131,62 @@ type Config struct {
 
 const defaultAnalyzeSample = 8192
 
-// column holds one column's encoder, synopsis and open-stride buffer.
+// genShift positions a column's page generation in the high bits of the
+// page ID's Stride field: a rebuild or TRUNCATE writes its pages under a
+// fresh generation, so new and old pages coexist under distinct IDs while
+// drained epochs still reference the old ones. 24 bits remain for the
+// stride ordinal (~17 billion rows per table).
+const genShift = 24
+
+// column holds one column's writer-side state: the encoder, synopsis,
+// current page generation and the open-stride buffers. The open buffers
+// are copy-on-seal: they always have exactly page.StrideSize capacity, the
+// writer appends in place (published epochs hold length-and-capacity
+// clamped views below every index the writer touches), and sealing
+// allocates fresh buffers so drained epochs keep the old backing arrays.
 type column struct {
 	enc      encoding.Encoder
 	syn      synopsis.Column
 	analyzed bool
+	gen      uint32 // current page generation (0 for never-rebuilt columns)
 	// open stride buffers (not yet packed):
 	openCodes []uint64
 	openNulls []bool
 	openVals  []types.Value // retained for reseal/re-analyze of open stride
 }
 
+// newOpenBuffers gives c fresh open-stride arrays so previously published
+// epochs keep the old backing.
+func (c *column) newOpenBuffers() {
+	c.openCodes = make([]uint64, 0, page.StrideSize)
+	c.openNulls = make([]bool, 0, page.StrideSize)
+	c.openVals = make([]types.Value, 0, page.StrideSize)
+}
+
 // Table is a column-organized table.
 type Table struct {
-	mu      sync.RWMutex
-	id      uint32
-	name    string
-	schema  types.Schema
-	cols    []*column
-	rows    int // total rows ever appended (including deleted)
-	live    int
-	deleted *bitpack.Bitmap // grows in stride units; bit set = tombstone
+	id     uint32
+	name   string
+	schema types.Schema
+
+	// mu serializes writers. Readers never take it: they pin an epoch.
+	mu       sync.Mutex
+	cols     []*column
+	rows     int // total rows ever appended (including deleted)
+	live     int
+	deleted  *bitpack.Bitmap // copy-on-write; shared with published epochs
+	rawBytes int             // naive row-format bytes, for compression accounting
+	genSeq   uint32          // allocator for page generations
+	pending  []func()        // cleanups to attach to the next publish
+
+	epochs *snapshot.Manager[*tableState]
 
 	pool  *bufferpool.Pool
 	store PageStore
 	stats statCounters
+	bulk  bulkCounters
 
 	analyzeSample int
-	rawBytes      int // naive row-format bytes, for compression accounting
-
-	// Planner-statistics cache. ColumnStats folds the open stride into a
-	// sketch copy, so planning every query against an unchanged table
-	// would re-hash the same buffered values; entries are stamped with
-	// statsVer (bumped under mu on any row mutation) and recomputed only
-	// after the table actually changes.
-	statsVer      uint64 // guarded by mu
-	statsMu       sync.Mutex
-	statsCache    map[int]ColumnStats // guarded by statsMu
-	statsCacheVer uint64              // guarded by statsMu
 }
 
 // NewTable creates an empty columnar table with the given unique id.
@@ -164,8 +213,11 @@ func NewTable(id uint32, name string, schema types.Schema, cfg Config) *Table {
 		analyzeSample: sample,
 	}
 	for range schema {
-		t.cols = append(t.cols, &column{})
+		c := &column{}
+		c.newOpenBuffers()
+		t.cols = append(t.cols, c)
 	}
+	t.epochs = snapshot.NewManager(t.buildState())
 	return t
 }
 
@@ -178,11 +230,11 @@ func (t *Table) ID() uint32 { return t.id }
 // Schema returns the table schema.
 func (t *Table) Schema() types.Schema { return t.schema }
 
-// Rows returns the number of live rows.
+// Rows returns the number of live rows in the current epoch. It takes no
+// lock: the epoch state is immutable, so a racing writer can only make
+// the answer momentarily stale, never torn.
 func (t *Table) Rows() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.live
+	return t.epochs.Current().State().live
 }
 
 // Stats returns a snapshot of scan counters.
@@ -205,13 +257,64 @@ func (t *Table) ResetStats() {
 	t.stats.rebuilds.Store(0)
 }
 
-// sealedStrides returns how many full strides have been sealed.
+// sealedStrides returns how many full strides the writer has sealed.
 func (t *Table) sealedStrides() int { return t.rows / page.StrideSize }
 
-// openLen returns how many rows sit in the open stride.
+// openLen returns how many rows sit in the writer's open stride.
 func (t *Table) openLen() int { return t.rows % page.StrideSize }
 
-// Insert validates and appends one row.
+// buildState snapshots the writer state into an immutable tableState.
+// Caller holds mu (or is the constructor, before the table is shared).
+func (t *Table) buildState() *tableState {
+	st := &tableState{
+		schema:   t.schema,
+		rows:     t.rows,
+		live:     t.live,
+		deleted:  t.deleted,
+		rawBytes: t.rawBytes,
+		cols:     make([]colView, len(t.cols)),
+	}
+	for ci, c := range t.cols {
+		entries := c.syn.Entries()
+		n := len(c.openCodes)
+		st.cols[ci] = colView{
+			enc:       c.enc,
+			gen:       c.gen,
+			syn:       entries[:len(entries):len(entries)],
+			sketch:    c.syn.SketchCopy(),
+			openCodes: c.openCodes[:n:n],
+			openNulls: c.openNulls[:n:n],
+			openVals:  c.openVals[:n:n],
+		}
+	}
+	return st
+}
+
+// publishLocked publishes the writer state as a new epoch, attaching any
+// pending resource cleanups to the epoch being superseded. Caller holds
+// mu.
+func (t *Table) publishLocked() {
+	cleanups := t.pending
+	t.pending = nil
+	t.epochs.Publish(t.buildState(), cleanups...)
+}
+
+// nextGenLocked allocates a fresh page generation. Generations occupy 8
+// bits of the page ID; the sequence wraps at 255, which collides only if
+// pages from 255 generations ago are still awaiting drain — in practice
+// rebuilds are rare (counted in Stats.Rebuilds) and epochs drain per
+// statement.
+func (t *Table) nextGenLocked() uint32 {
+	t.genSeq++
+	g := t.genSeq & 0xFF
+	if g == 0 {
+		t.genSeq++
+		g = t.genSeq & 0xFF
+	}
+	return g
+}
+
+// Insert validates and appends one row, publishing a new epoch.
 func (t *Table) Insert(row types.Row) error {
 	checked, err := t.schema.Validate(row)
 	if err != nil {
@@ -219,24 +322,68 @@ func (t *Table) Insert(row types.Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	defer t.publishLocked()
 	return t.insertLocked(checked)
 }
 
 // InsertBatch bulk-loads rows; the first batch triggers encoding analysis
 // over a leading sample (the LOAD-time "compression optimized globally per
-// column" of §II.B.1).
+// column" of §II.B.1). The whole batch becomes visible in one epoch:
+// concurrent readers observe either none of it or all of it.
 func (t *Table) InsertBatch(rows []types.Row) error {
+	checked, err := t.validateAll(rows)
+	if err != nil {
+		return err
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.rows == 0 && len(rows) > 0 {
-		t.analyzeLocked(rows)
+	defer t.publishLocked()
+	return t.appendRowsLocked(checked)
+}
+
+// BulkAppend is the bulk-load flush path: semantically InsertBatch, but
+// additionally counted in the table's bulk-flush statistics
+// (MON_SNAPSHOTS). It returns the number of rows appended.
+func (t *Table) BulkAppend(rows []types.Row) (int, error) {
+	checked, err := t.validateAll(rows)
+	if err != nil {
+		return 0, err
 	}
-	for _, r := range rows {
-		checked, err := t.schema.Validate(r)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	defer t.publishLocked()
+	before := t.rawBytes
+	if err := t.appendRowsLocked(checked); err != nil {
+		return 0, err
+	}
+	t.bulk.flushes.Add(1)
+	t.bulk.rows.Add(uint64(len(checked)))
+	t.bulk.bytes.Add(uint64(t.rawBytes - before))
+	return len(checked), nil
+}
+
+// validateAll schema-checks every row up front, so a batch that fails
+// validation mutates nothing.
+func (t *Table) validateAll(rows []types.Row) ([]types.Row, error) {
+	checked := make([]types.Row, len(rows))
+	for i, r := range rows {
+		c, err := t.schema.Validate(r)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if err := t.insertLocked(checked); err != nil {
+		checked[i] = c
+	}
+	return checked, nil
+}
+
+// appendRowsLocked appends pre-validated rows, running load-time encoding
+// analysis when the table is empty. Caller holds mu and publishes after.
+func (t *Table) appendRowsLocked(checked []types.Row) error {
+	if t.rows == 0 && len(checked) > 0 {
+		t.analyzeLocked(checked)
+	}
+	for _, r := range checked {
+		if err := t.insertLocked(r); err != nil {
 			return err
 		}
 	}
@@ -286,13 +433,15 @@ func (t *Table) insertLocked(checked types.Row) error {
 		if err != nil {
 			return err
 		}
+		// Appends land at indexes no published epoch's clamped view can
+		// reach; capacity is exactly StrideSize, so the backing array is
+		// never reallocated mid-stride.
 		c.openCodes = append(c.openCodes, code)
 		c.openNulls = append(c.openNulls, false)
 		c.openVals = append(c.openVals, v)
 	}
 	t.rows++
 	t.live++
-	t.statsVer++
 	t.growDeletedLocked()
 	if t.openLen() == 0 { // stride just filled
 		if err := t.sealStrideLocked(t.sealedStrides() - 1); err != nil {
@@ -331,7 +480,9 @@ func (t *Table) encodeValueLocked(ci int, v types.Value) (uint64, error) {
 	return t.cols[ci].enc.Encode(v), nil
 }
 
-// growDeletedLocked extends the tombstone bitmap to cover all rows.
+// growDeletedLocked extends the tombstone bitmap to cover all rows. The
+// grown bitmap is a fresh copy, so published epochs keep their shorter
+// view untouched.
 func (t *Table) growDeletedLocked() {
 	if t.deleted.Len() < t.rows {
 		nb := bitpack.NewBitmap(((t.rows / page.StrideSize) + 1) * page.StrideSize)
@@ -343,8 +494,9 @@ func (t *Table) growDeletedLocked() {
 // sealStrideLocked packs every column's open buffers for stride s into
 // pages at the narrowest width that fits the stride's codes (seal-time
 // repack: this is where frequency encoding pays — strides of hot values
-// pack at very narrow widths), writes them to the store and records the
-// synopsis entries.
+// pack at very narrow widths), writes them to the store, records the
+// synopsis entries, and hands each column fresh open buffers (published
+// epochs keep the sealed buffers' backing arrays).
 func (t *Table) sealStrideLocked(s int) error {
 	for ci, c := range t.cols {
 		maxCode := uint64(0)
@@ -368,20 +520,29 @@ func (t *Table) sealStrideLocked(s int) error {
 		if err := t.store.WritePage(pg.ID, pg.Marshal()); err != nil {
 			return fmt.Errorf("columnar: seal %v: %w", pg.ID, err)
 		}
-		c.openCodes = c.openCodes[:0]
-		c.openNulls = c.openNulls[:0]
-		c.openVals = c.openVals[:0]
+		c.newOpenBuffers()
 	}
 	return nil
 }
 
-func (t *Table) pageID(ci, stride int) page.ID {
-	return page.ID{Table: t.id, Column: uint16(ci), Stride: uint32(stride)}
+// pageIDFor composes a page ID from a column's generation and stride
+// ordinal.
+func pageIDFor(table uint32, ci int, gen uint32, stride int) page.ID {
+	return page.ID{Table: table, Column: uint16(ci), Stride: gen<<genShift | uint32(stride)}
 }
 
-// loadPage fetches a sealed page through the buffer pool.
-func (t *Table) loadPage(ci, stride int) (*page.Page, error) {
-	id := t.pageID(ci, stride)
+// pageID returns the ID for column ci's stride under its current
+// generation. Caller holds mu.
+func (t *Table) pageID(ci, stride int) page.ID {
+	return pageIDFor(t.id, ci, t.cols[ci].gen, stride)
+}
+
+// loadPageGen fetches a sealed page of a specific generation through the
+// buffer pool. Generation-qualified IDs are what let pinned epochs keep
+// reading superseded pages while the writer rebuilds under a new
+// generation.
+func (t *Table) loadPageGen(ci int, gen uint32, stride int) (*page.Page, error) {
+	id := pageIDFor(t.id, ci, gen, stride)
 	return t.pool.Get(id, func(id page.ID) (*page.Page, error) {
 		data, err := t.store.ReadPage(id)
 		if err != nil {
@@ -392,17 +553,20 @@ func (t *Table) loadPage(ci, stride int) (*page.Page, error) {
 }
 
 // rebuildColumnLocked re-encodes a whole column after a frame-of-reference
-// overflow, widening the domain to include extra. Pages are rewritten and
-// cached copies invalidated. This is rare and counted in Stats.Rebuilds.
+// overflow, widening the domain to include extra. New pages are written
+// under a fresh generation; the old generation's pages are reclaimed only
+// after every epoch that references them drains. This is rare and counted
+// in Stats.Rebuilds.
 func (t *Table) rebuildColumnLocked(ci int, extra types.Value) error {
 	t.stats.rebuilds.Add(1)
 	c := t.cols[ci]
+	oldGen := c.gen
 	// Gather every live value of the column (including tombstoned rows:
 	// codes must stay positionally aligned).
 	var vals []types.Value
 	sealed := t.sealedStrides()
 	for s := 0; s < sealed; s++ {
-		pg, err := t.loadPage(ci, s)
+		pg, err := t.loadPageGen(ci, oldGen, s)
 		if err != nil {
 			return err
 		}
@@ -430,9 +594,12 @@ func (t *Table) rebuildColumnLocked(ci int, extra types.Value) error {
 		}
 	}
 	c.enc = encoding.ChooseEncoder(t.schema[ci].Kind, sample)
-	c.syn.Reset()
+	// Fresh synopsis: resetting in place would tear the entry slices
+	// published epochs hold.
+	c.syn = synopsis.Column{}
+	c.gen = t.nextGenLocked()
 
-	// Re-encode sealed strides.
+	// Re-encode sealed strides under the new generation.
 	for s := 0; s < sealed; s++ {
 		lo, hi := s*page.StrideSize, (s+1)*page.StrideSize
 		codes := make([]uint64, 0, page.StrideSize)
@@ -467,79 +634,107 @@ func (t *Table) rebuildColumnLocked(ci int, extra types.Value) error {
 			return err
 		}
 	}
-	// Re-encode the open stride buffers.
-	c.openCodes = c.openCodes[:0]
-	openNulls := c.openNulls
-	c.openNulls = c.openNulls[:0]
-	open := vals[sealed*page.StrideSize:]
-	for i, v := range open {
-		if openNulls[i] {
-			c.openCodes = append(c.openCodes, 0)
-			c.openNulls = append(c.openNulls, true)
+	// Re-encode the open stride into fresh code buffers (values and null
+	// flags are unchanged by a re-encode, so those arrays stay shared
+	// with published epochs).
+	newCodes := make([]uint64, 0, page.StrideSize)
+	for i, v := range c.openVals {
+		if c.openNulls[i] {
+			newCodes = append(newCodes, 0)
 			continue
 		}
-		c.openCodes = append(c.openCodes, c.enc.Encode(v))
-		c.openNulls = append(c.openNulls, false)
+		newCodes = append(newCodes, c.enc.Encode(v))
 	}
-	t.pool.Invalidate(t.id)
+	c.openCodes = newCodes
+	// Reclaim the old generation's pages once every epoch that could
+	// reach them has drained.
+	t.deferPageDelete(ci, oldGen, sealed)
 	return nil
 }
 
-// Truncate removes all rows, pages and synopsis entries.
+// deferPageDelete queues deletion of one column generation's sealed pages
+// for the next publish; the cleanup runs after all older epochs drain.
+func (t *Table) deferPageDelete(ci int, gen uint32, strides int) {
+	if strides == 0 {
+		return
+	}
+	table, store, pool := t.id, t.store, t.pool
+	t.pending = append(t.pending, func() {
+		for s := 0; s < strides; s++ {
+			id := pageIDFor(table, ci, gen, s)
+			pool.Evict(id)
+			if err := store.DeletePage(id); err != nil {
+				return // best effort: orphaned pages cost space, not correctness
+			}
+		}
+	})
+}
+
+// Truncate removes all rows, publishing an emptied epoch. In-flight
+// readers drain on the prior epoch — its pages are deleted only after the
+// last of them releases its pin.
 func (t *Table) Truncate() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if err := t.store.DeletePages(t.id); err != nil {
-		return err
-	}
-	t.pool.Invalidate(t.id)
+	sealed := t.sealedStrides()
 	for ci, c := range t.cols {
-		c.openCodes = c.openCodes[:0]
-		c.openNulls = c.openNulls[:0]
-		c.openVals = c.openVals[:0]
-		c.syn.Reset()
+		t.deferPageDelete(ci, c.gen, sealed)
+		c.newOpenBuffers()
+		c.syn = synopsis.Column{}
 		c.enc = nil
 		c.analyzed = false
-		_ = ci
+		c.gen = t.nextGenLocked()
 	}
 	t.rows, t.live = 0, 0
 	t.rawBytes = 0
-	t.statsVer++
 	t.deleted = bitpack.NewBitmap(0)
+	t.publishLocked()
 	return nil
 }
 
-// Drop releases the table's storage.
-func (t *Table) Drop() error { return t.Truncate() }
+// Drop releases the table's storage. The table id is never reused, so the
+// deferred cleanup can wipe every page under the id wholesale.
+func (t *Table) Drop() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, c := range t.cols {
+		c.newOpenBuffers()
+		c.syn = synopsis.Column{}
+		c.enc = nil
+		c.analyzed = false
+	}
+	t.rows, t.live = 0, 0
+	t.rawBytes = 0
+	t.deleted = bitpack.NewBitmap(0)
+	table, store, pool := t.id, t.store, t.pool
+	t.pending = append(t.pending, func() {
+		pool.Invalidate(table)
+		_ = store.DeletePages(table) //dashdb:nolint droppederr epoch-drain cleanup has no caller to surface to; leaked pages are re-deleted on the next Drop
+	})
+	t.publishLocked()
+	return nil
+}
 
-// ColumnDict returns column ci's dictionary when the column is eligible
-// for compressed (code-space) execution, or nil. Eligibility requires an
-// analyzed frequency-dictionary encoder on a non-float column: float
-// dictionaries are excluded centrally here because NaN keys break the
-// value↔code bijection the executor's code-keyed joins and group-bys rely
-// on (NaN != NaN, so NaN rows can occupy several codes).
+// ColumnDict returns column ci's dictionary in the current epoch when the
+// column is eligible for compressed (code-space) execution, or nil.
+// Eligibility requires an analyzed frequency-dictionary encoder on a
+// non-float column: float dictionaries are excluded centrally here because
+// NaN keys break the value↔code bijection the executor's code-keyed joins
+// and group-bys rely on (NaN != NaN, so NaN rows can occupy several
+// codes). Compiled plans that must agree with their scan should prefer
+// Snapshot.ColumnDict on the pinned snapshot.
 func (t *Table) ColumnDict(ci int) *encoding.Dict {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if ci < 0 || ci >= len(t.cols) {
-		return nil
-	}
-	if t.schema[ci].Kind == types.KindFloat {
-		return nil
-	}
-	d, _ := t.cols[ci].enc.(*encoding.Dict)
-	return d
+	return t.epochs.Current().State().columnDict(ci)
 }
 
 // ColumnEncoding names column ci's encoder ("RAW", "MINUS", "FREQ-DICT",
 // or "" before analysis).
 func (t *Table) ColumnEncoding(ci int) string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if ci < 0 || ci >= len(t.cols) || t.cols[ci].enc == nil {
+	st := t.epochs.Current().State()
+	if ci < 0 || ci >= len(st.cols) || st.cols[ci].enc == nil {
 		return ""
 	}
-	return t.cols[ci].enc.Kind().String()
+	return st.cols[ci].enc.Kind().String()
 }
 
 // ColumnCompression is one column's entry in the compression report,
@@ -552,12 +747,13 @@ type ColumnCompression struct {
 	DictBytes   int    // encoder auxiliary storage
 }
 
-// ColumnCompressionReport returns per-column encoder statistics.
+// ColumnCompressionReport returns per-column encoder statistics for the
+// current epoch.
 func (t *Table) ColumnCompressionReport() []ColumnCompression {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]ColumnCompression, len(t.cols))
-	for ci, c := range t.cols {
+	st := t.epochs.Current().State()
+	out := make([]ColumnCompression, len(st.cols))
+	for ci := range st.cols {
+		c := &st.cols[ci]
 		cc := ColumnCompression{Name: t.schema[ci].Name}
 		if c.enc != nil {
 			cc.Encoding = c.enc.Kind().String()
@@ -585,16 +781,19 @@ type CompressionReport struct {
 	Ratio           float64
 }
 
-// Compression computes the table's compression report.
+// Compression computes the table's compression report over a pinned
+// snapshot.
 func (t *Table) Compression() CompressionReport {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	snap := t.Snapshot()
+	defer snap.Release()
+	st := snap.state()
 	var r CompressionReport
-	r.RawBytes = t.rawBytes
-	sealed := t.sealedStrides()
-	for ci, c := range t.cols {
+	r.RawBytes = st.rawBytes
+	sealed := st.sealedStrides()
+	for ci := range st.cols {
+		c := &st.cols[ci]
 		for s := 0; s < sealed; s++ {
-			if pg, err := t.loadPage(ci, s); err == nil {
+			if pg, err := t.loadPageGen(ci, c.gen, s); err == nil {
 				r.PageBytes += pg.MemSize()
 			}
 		}
@@ -602,7 +801,7 @@ func (t *Table) Compression() CompressionReport {
 		if c.enc != nil {
 			r.DictBytes += c.enc.MemSize()
 		}
-		r.SynopsisBytes += c.syn.MemSize()
+		r.SynopsisBytes += len(c.syn)*24 + 24 + 64 // entries + header + sketch
 	}
 	r.CompressedBytes = r.PageBytes + r.DictBytes + r.SynopsisBytes
 	if r.CompressedBytes > 0 {

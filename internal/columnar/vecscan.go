@@ -25,8 +25,9 @@ func (b *Batch) Vectors(projection []int) []*vec.Vector {
 // instead of materialized values — the paper's operate-on-compressed-data
 // hand-off (§II.B.2). encoded positions must correspond to columns for
 // which ColumnDict reports a dictionary; nil encoded means decode
-// everything. The scan's read lock guarantees the dictionary snapshot
-// captured inside each code vector covers every code in the batch.
+// everything. The scan's pinned epoch guarantees the dictionary captured
+// inside each code vector assigned every code in the batch (dictionaries
+// are append-only, so later epochs can only extend it).
 func (b *Batch) VectorsEnc(projection []int, encoded []bool) []*vec.Vector {
 	if projection == nil {
 		out := make([]*vec.Vector, len(b.t.schema))
@@ -46,7 +47,7 @@ func (b *Batch) VectorsEnc(projection []int, encoded []bool) []*vec.Vector {
 // its raw dictionary codes when wantCodes is set.
 func (b *Batch) vector(ci int, wantCodes bool) *vec.Vector {
 	kind := b.t.schema[ci].Kind
-	c := b.t.cols[ci]
+	c := &b.st.cols[ci]
 	if wantCodes {
 		if d, ok := c.enc.(*encoding.Dict); ok {
 			return b.codeVector(ci, kind, d)
@@ -122,7 +123,7 @@ func (b *Batch) vector(ci int, wantCodes bool) *vec.Vector {
 func (b *Batch) codeVector(ci int, kind types.Kind, dict *encoding.Dict) *vec.Vector {
 	v := vec.NewCodes(kind, len(b.sel), dict)
 	if b.stride < 0 {
-		c := b.t.cols[ci]
+		c := &b.st.cols[ci]
 		for k, off := range b.sel {
 			if c.openNulls[off] {
 				v.SetNull(k)
@@ -148,10 +149,11 @@ func (b *Batch) codeVector(ci int, kind types.Kind, dict *encoding.Dict) *vec.Ve
 func (b *Batch) page(ci int) *page.Page {
 	pg, ok := b.pages[ci]
 	if !ok {
+		gen := b.st.cols[ci].gen
 		var err error
-		pg, err = b.t.loadPage(ci, b.stride)
+		pg, err = b.t.loadPageGen(ci, gen, b.stride)
 		if err != nil {
-			panic(fmt.Sprintf("columnar: batch page load %v: %v", b.t.pageID(ci, b.stride), err))
+			panic(fmt.Sprintf("columnar: batch page load %v: %v", pageIDFor(b.t.id, ci, gen, b.stride), err))
 		}
 		b.pages[ci] = pg
 	}

@@ -227,6 +227,13 @@ type Session struct {
 	user    string
 	mu      sync.Mutex
 	params  []types.Value // positional bindings for the current statement
+	// snaps is the statement-scoped snapshot set: every scan the compiler
+	// builds for the current statement pins the same epoch per table, so
+	// the planner's statistics and all operators agree on what data is
+	// visible, regardless of concurrent trickle or bulk writers. execStmt
+	// installs a fresh set per statement and releases it on completion;
+	// nil between statements (library-built scans pin their own epoch).
+	snaps *columnar.SnapshotSet
 	// parallelism is the per-session override of the auto-configured
 	// intra-query parallelism degree (SET PARALLELISM n); 0 = use the
 	// engine default from deploy auto-configuration.
@@ -348,6 +355,7 @@ func (s *Session) compiler() *sql.Compiler {
 	}
 	s.mu.Lock()
 	c.Params = s.params
+	c.Snaps = s.snaps
 	s.mu.Unlock()
 	return c
 }

@@ -20,6 +20,23 @@ func (s *Session) execStmt(st sql.Statement, text string) (*Result, error) {
 		return nil, err
 	}
 	defer release()
+	// Statement-scoped snapshot isolation: every scan this statement
+	// compiles pins one epoch per table via the shared set, released when
+	// the statement finishes (results are fully materialized by then).
+	// BEGIN blocks recurse through execStmt, so the outer set is saved and
+	// restored — each inner statement gets its own epoch and observes the
+	// writes of the statements before it.
+	set := columnar.NewSnapshotSet()
+	s.mu.Lock()
+	saved := s.snaps
+	s.snaps = set
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.snaps = saved
+		s.mu.Unlock()
+		set.ReleaseAll()
+	}()
 	switch stmt := st.(type) {
 	case *sql.SelectStmt:
 		return s.executeSelect(stmt, text)

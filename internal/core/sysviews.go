@@ -22,6 +22,7 @@ import (
 //	SELECT * FROM MON_WLM
 //	SELECT * FROM MON_MEMORY
 //	SELECT * FROM MON_COMPRESSION
+//	SELECT * FROM MON_SNAPSHOTS
 
 // syscatTables lists base tables with row counts and storage.
 type syscatTables struct{ db *DB }
@@ -368,6 +369,52 @@ func (m *monCompression) ScanAll() ([]types.Row, error) {
 	return out, nil
 }
 
+// monSnapshots is the snapshot-isolation monitor: one row per table with
+// its current epoch sequence, the number of reader-pinned snapshots, how
+// many superseded epochs are still awaiting drain (sealed-behind), the
+// total epochs retired, and the bulk-load flush counters. A growing
+// sealed_behind under steady load means a long-running reader is holding
+// an old epoch alive; bulk counters separate the bulk path from trickle
+// INSERTs.
+type monSnapshots struct{ db *DB }
+
+func (m *monSnapshots) Origin() string { return "MON" }
+
+func (m *monSnapshots) Schema() types.Schema {
+	return types.Schema{
+		{Name: "table_name", Kind: types.KindString},
+		{Name: "epoch", Kind: types.KindInt},
+		{Name: "pinned_readers", Kind: types.KindInt},
+		{Name: "sealed_behind", Kind: types.KindInt},
+		{Name: "epochs_drained", Kind: types.KindInt},
+		{Name: "bulk_flushes", Kind: types.KindInt},
+		{Name: "bulk_rows", Kind: types.KindInt},
+		{Name: "bulk_bytes", Kind: types.KindInt},
+	}
+}
+
+func (m *monSnapshots) ScanAll() ([]types.Row, error) {
+	var out []types.Row
+	for _, name := range m.db.cat.TableNames() {
+		t, ok := m.db.cat.Table(name)
+		if !ok {
+			continue
+		}
+		si := t.SnapshotInfo()
+		out = append(out, types.Row{
+			types.NewString(name),
+			types.NewInt(int64(si.Epoch)),
+			types.NewInt(int64(si.PinnedReaders)),
+			types.NewInt(int64(si.Behind)),
+			types.NewInt(int64(si.Drained)),
+			types.NewInt(int64(si.BulkFlushes)),
+			types.NewInt(int64(si.BulkRows)),
+			types.NewInt(int64(si.BulkBytes)),
+		})
+	}
+	return out, nil
+}
+
 // registerSystemViews installs the SYSCAT nicknames; failures are
 // impossible on a fresh catalog and ignored defensively.
 func (db *DB) registerSystemViews() {
@@ -380,4 +427,5 @@ func (db *DB) registerSystemViews() {
 	db.cat.CreateNickname("mon_wlm", &monWLM{db: db})
 	db.cat.CreateNickname("mon_memory", &monMemory{db: db})
 	db.cat.CreateNickname("mon_compression", &monCompression{db: db})
+	db.cat.CreateNickname("mon_snapshots", &monSnapshots{db: db})
 }

@@ -360,4 +360,3 @@ func TestCompressedGroupByNaNFloatStaysDecoded(t *testing.T) {
 	}
 	requireEqualKeys(t, "nan-group", sortedKeys(t, mk(false)), got)
 }
-

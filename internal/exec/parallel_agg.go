@@ -46,6 +46,11 @@ type ParallelGroupByOp struct {
 	Dop        int // worker count; <=1 degenerates to a serial scan
 	Gov        *mem.Governor
 
+	// Snap, when set by the compiler, is the statement's pinned snapshot
+	// of Table (see ScanOp.Snap). Nil makes the fused scan pin its own
+	// epoch for the scan's duration.
+	Snap *columnar.Snapshot
+
 	// Compressed enables operate-on-compressed group keys: a GROUP BY
 	// column that is dictionary-encoded groups on its code (fixed-width
 	// INT cells in the hash tables and spill runs) and decodes once per
@@ -216,7 +221,12 @@ func (g *ParallelGroupByOp) Open() error {
 	}
 
 	// Build phase: dop scan workers, each feeding its own partials.
-	scanErr := g.Table.ParallelScanWithStats(g.Preds, dop, g.ScanStats, func(w int, b *columnar.Batch) bool {
+	snap := g.Snap
+	if snap == nil {
+		snap = g.Table.Snapshot()
+		defer snap.Release()
+	}
+	scanErr := snap.ParallelScanWithStats(g.Preds, dop, g.ScanStats, func(w int, b *columnar.Batch) bool {
 		g.adoptOnce.Do(func() { g.adopt(b) })
 		ws := workers[w]
 		for i := 0; i < b.Len(); i++ {

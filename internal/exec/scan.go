@@ -22,6 +22,13 @@ type ScanOp struct {
 	Projection []int
 	Dop        int // 0/1 = serial, in row-id order
 
+	// Snap, when set by the compiler, is the statement's pinned snapshot
+	// of Table: the scan reads exactly that epoch, so every operator (and
+	// the planner's statistics) of one statement agree on the data. Nil
+	// makes the scan pin its own epoch for the scan's duration (library
+	// callers).
+	Snap *columnar.Snapshot
+
 	// EstRows is the planner's output-cardinality estimate, surfaced by
 	// EXPLAIN next to actuals. 0 = unplanned (library-built scans).
 	EstRows float64
@@ -87,19 +94,36 @@ func (s *ScanOp) Open() error {
 	}
 	go func() {
 		defer close(s.chunks)
+		snap := s.Snap
+		if snap == nil {
+			snap = s.Table.Snapshot()
+			defer snap.Release()
+		}
 		var err error
 		if s.Dop > 1 {
-			err = s.Table.ParallelScanWithStats(s.Preds, s.Dop, s.ScanStats, func(_ int, b *columnar.Batch) bool {
+			err = snap.ParallelScanWithStats(s.Preds, s.Dop, s.ScanStats, func(_ int, b *columnar.Batch) bool {
 				return deliver(b)
 			})
 		} else {
-			err = s.Table.ScanWithStats(s.Preds, s.ScanStats, deliver)
+			err = snap.ScanWithStats(s.Preds, s.ScanStats, deliver)
 		}
 		if err != nil {
 			s.errc <- err
 		}
 	}()
 	return nil
+}
+
+// PlanSnapshot returns the scan's pinned snapshot when the compiler set
+// one, or the table's current epoch pinned transiently otherwise. The
+// release func must be called once the caller is done reading; for a
+// compiler-pinned snapshot it is a no-op (the statement owns the pin).
+func (s *ScanOp) PlanSnapshot() (*columnar.Snapshot, func()) {
+	if s.Snap != nil {
+		return s.Snap, func() {}
+	}
+	snap := s.Table.Snapshot()
+	return snap, snap.Release
 }
 
 // Next implements Operator.

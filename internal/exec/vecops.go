@@ -2,6 +2,7 @@ package exec
 
 import (
 	"dashdb/internal/columnar"
+	"dashdb/internal/encoding"
 	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
 	"dashdb/internal/vec"
@@ -29,6 +30,11 @@ type VecScanOp struct {
 	Preds      []columnar.Pred
 	Projection []int
 	Dop        int // 0/1 = serial, in row-id order
+
+	// Snap, when set by the compiler, is the statement's pinned snapshot
+	// of Table (see ScanOp.Snap). Nil makes the scan pin its own epoch
+	// for the scan's duration.
+	Snap *columnar.Snapshot
 
 	// Compressed, aligned to output positions, marks columns the scan
 	// emits as code-carrying vectors (dictionary codes + *Dict reference)
@@ -80,7 +86,7 @@ func (s *VecScanOp) EnableCompressed() bool {
 		if s.Projection != nil {
 			ci = s.Projection[j]
 		}
-		if s.Table.ColumnDict(ci) != nil {
+		if s.planDict(ci) != nil {
 			flags[j] = true
 			any = true
 		}
@@ -89,6 +95,20 @@ func (s *VecScanOp) EnableCompressed() bool {
 		s.Compressed = flags
 	}
 	return any
+}
+
+// planDict resolves column ci's dictionary against the pinned snapshot
+// when one is set (so compile-time eligibility matches what the scan will
+// read), or the current epoch otherwise.
+func (s *VecScanOp) planDict(ci int) *encoding.Dict {
+	if s.Snap != nil {
+		return s.Snap.ColumnDict(ci)
+	}
+	// Transient pin: dictionaries are shared append-only structures, so
+	// the returned Dict stays valid after the epoch is released.
+	snap := s.Table.Snapshot()
+	defer snap.Release()
+	return snap.ColumnDict(ci)
 }
 
 // Open implements VecOperator: like ScanOp, a producer goroutine runs the
@@ -113,13 +133,18 @@ func (s *VecScanOp) Open() error {
 	}
 	go func() {
 		defer close(s.chunks)
+		snap := s.Snap
+		if snap == nil {
+			snap = s.Table.Snapshot()
+			defer snap.Release()
+		}
 		var err error
 		if s.Dop > 1 {
-			err = s.Table.ParallelScanWithStats(s.Preds, s.Dop, s.ScanStats, func(_ int, b *columnar.Batch) bool {
+			err = snap.ParallelScanWithStats(s.Preds, s.Dop, s.ScanStats, func(_ int, b *columnar.Batch) bool {
 				return deliver(b)
 			})
 		} else {
-			err = s.Table.ScanWithStats(s.Preds, s.ScanStats, deliver)
+			err = snap.ScanWithStats(s.Preds, s.ScanStats, deliver)
 		}
 		if err != nil {
 			s.errc <- err
@@ -447,6 +472,7 @@ func VectorizeMode(op Operator, compressed bool) Operator {
 	case *ScanOp:
 		vs := NewVecScan(o.Table, o.Preds, o.Projection, o.Dop)
 		vs.EstRows = o.EstRows
+		vs.Snap = o.Snap
 		if compressed {
 			vs.EnableCompressed()
 		}

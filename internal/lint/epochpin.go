@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	gotypes "go/types"
+	"strings"
+)
+
+// AnalyzerEpochPin polices the snapshot-isolation reader discipline:
+// executor and planner code reads a columnar table only through a pinned
+// snapshot (columnar.Snapshot, obtained via Table.Snapshot, ScanOp.Snap
+// or ScanOp.PlanSnapshot), never through the Table convenience methods
+// that implicitly pin the *current* epoch per call. Two such calls in one
+// statement can straddle a concurrent writer's publish and observe
+// different epochs — the query still returns plausible rows, which is
+// exactly why only a linter catches it. Other packages (benchmarks,
+// monitoring, the write path itself) may use the Table methods freely.
+var AnalyzerEpochPin = &Analyzer{
+	Name:  "epochpin",
+	Doc:   "internal/exec and internal/plan read columnar tables only via a pinned Snapshot, not Table's current-epoch methods",
+	Match: matchPath("internal/exec", "internal/plan"),
+	Run:   runEpochPin,
+}
+
+// epochPinForbidden is the set of *columnar.Table methods that pin the
+// current epoch per call instead of reading a statement snapshot.
+var epochPinForbidden = map[string]bool{
+	"Scan":                  true,
+	"ScanWithStats":         true,
+	"ScanNaive":             true,
+	"ParallelScan":          true,
+	"ParallelScanWithStats": true,
+	"Rows":                  true,
+	"ColumnStats":           true,
+	"ColumnDict":            true,
+	"CountWhere":            true,
+	"SelectWhere":           true,
+}
+
+// isTableEpochCall reports whether the resolved callee is a forbidden
+// current-epoch method on a type named Table from the columnar package
+// (or a fixture's local stand-in), returning the method name.
+func isTableEpochCall(obj gotypes.Object) (string, bool) {
+	fn, ok := obj.(*gotypes.Func)
+	if !ok || !epochPinForbidden[fn.Name()] {
+		return "", false
+	}
+	sig, ok := fn.Type().(*gotypes.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*gotypes.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*gotypes.Named)
+	if !ok || named.Obj().Name() != "Table" {
+		return "", false
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if strings.HasSuffix(pkg.Path(), "internal/columnar") ||
+		strings.HasPrefix(pkg.Path(), "fixture/") {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+func runEpochPin(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil {
+				return true
+			}
+			name, bad := isTableEpochCall(obj)
+			if !bad {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"Table.%s pins the current epoch per call: pin once via Table.Snapshot / ScanOp.Snap / PlanSnapshot and read through the Snapshot so every access in the statement sees one epoch",
+				name)
+			return true
+		})
+	}
+}

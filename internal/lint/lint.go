@@ -127,6 +127,7 @@ func All() []*Analyzer {
 		AnalyzerSpillFile,
 		AnalyzerLateMat,
 		AnalyzerPlanLower,
+		AnalyzerEpochPin,
 	}
 }
 

@@ -46,6 +46,15 @@ func analyzeLeaf(op exec.Operator, est float64) *leafInfo {
 	switch o := op.(type) {
 	case *exec.ScanOp:
 		l.scan = o
+		// Statistics come from the scan's pinned snapshot when the
+		// compiler set one, so estimates describe exactly the epoch the
+		// scan will read; otherwise a transient pin of the current epoch.
+		// The l.stats closure may outlive the transient pin (join
+		// ordering consults it later) — that is safe because ColumnStats
+		// reads only the epoch's immutable in-memory state, never pages,
+		// so a drained epoch still answers correctly.
+		snap, release := o.PlanSnapshot()
+		defer release()
 		cache := map[int]columnar.ColumnStats{}
 		tableCol := func(c int) int {
 			if o.Projection == nil {
@@ -57,17 +66,17 @@ func analyzeLeaf(op exec.Operator, est float64) *leafInfo {
 			tc := tableCol(c)
 			s, ok := cache[tc]
 			if !ok {
-				s = o.Table.ColumnStats(tc)
+				s = snap.ColumnStats(tc)
 				cache[tc] = s
 			}
 			return s
 		}
-		rows := float64(o.Table.Rows())
+		rows := float64(snap.Rows())
 		sel := 1.0
 		for _, p := range o.Preds {
 			st, ok := cache[p.Col]
 			if !ok {
-				st = o.Table.ColumnStats(p.Col)
+				st = snap.ColumnStats(p.Col)
 				cache[p.Col] = st
 			}
 			sel *= predSelectivity(p, st)

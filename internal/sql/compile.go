@@ -47,6 +47,13 @@ type Compiler struct {
 	// session via SET JOIN_ORDER SYNTACTIC, and used by the
 	// join-order-invariance suite as the ablation baseline.
 	DisableJoinReorder bool
+	// Snaps is the statement's snapshot set: every columnar scan the
+	// compiler builds is pinned to one epoch per table through it, so a
+	// statement's operators and planner statistics all read one
+	// consistent view regardless of concurrent ingest. The session layer
+	// owns the set and releases it when the statement finishes. Nil
+	// leaves scans unpinned (each pins its own epoch at Open).
+	Snaps *columnar.SnapshotSet
 }
 
 // planOptions translates compiler knobs into lowering options.
@@ -495,7 +502,11 @@ func (c *Compiler) compileTableRef(f *TableRef, conjuncts *[]Expr) (*compiled, e
 				sc.add(alias, schema[ci].Name, schema[ci].Kind)
 			}
 		}
-		return &compiled{op: exec.NewScan(tbl, preds, projection), scope: sc}, nil
+		scanOp := exec.NewScan(tbl, preds, projection)
+		if c.Snaps != nil {
+			scanOp.Snap = c.Snaps.Get(tbl)
+		}
+		return &compiled{op: scanOp, scope: sc}, nil
 	}
 	// View: compile its stored query under its creation dialect.
 	if view, ok := c.Cat.View(f.Name); ok {

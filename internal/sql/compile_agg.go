@@ -249,6 +249,7 @@ func (c *Compiler) compileAggregate(sel *SelectStmt, items []SelectItem, cur *co
 		if scan, ok := cur.op.(*exec.ScanOp); ok {
 			op = &exec.ParallelGroupByOp{
 				Table:      scan.Table,
+				Snap:       scan.Snap,
 				Preds:      scan.Preds,
 				Projection: scan.Projection,
 				GroupBy:    g.GroupBy,
