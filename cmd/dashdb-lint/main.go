@@ -3,15 +3,25 @@
 //
 // Usage:
 //
-//	dashdb-lint [-json] [-tests] [-analyzers a,b,c] [-list] [packages...]
+//	dashdb-lint [-json] [-tests] [-analyzer name] [-analyzers a,b,c] [-list] [packages...]
 //
-// With no patterns it checks ./... from the module root. Exit status is 0
-// when clean, 1 when findings exist, 2 on a load/usage error. Diagnostics
-// can be suppressed at the offending line with
+// With no patterns it checks ./... from the module root. -analyzer runs a
+// single analyzer (fast iteration while fixing one class of finding);
+// -analyzers takes a comma-separated subset.
+//
+// Exit status:
+//
+//	0  clean — no findings
+//	1  findings exist (printed to stdout, count to stderr)
+//	2  load or usage error (bad analyzer name, packages failed to load)
+//
+// Diagnostics can be suppressed at the offending line with
 //
 //	//dashdb:nolint <analyzer> <justification>
 //
-// which is itself part of the diff a reviewer sees.
+// which is itself part of the diff a reviewer sees. A directive placed
+// above the package clause suppresses the named analyzers for the whole
+// file (for generated or fixture code).
 package main
 
 import (
@@ -35,9 +45,18 @@ func run() int {
 		jsonOut   = flag.Bool("json", false, "emit diagnostics as a JSON array")
 		withTests = flag.Bool("tests", false, "also analyze in-package _test.go files")
 		names     = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		name      = flag.String("analyzer", "", "run a single analyzer (shorthand for -analyzers with one name)")
 		list      = flag.Bool("list", false, "list analyzers and exit")
 	)
 	flag.Parse()
+
+	if *name != "" {
+		if *names != "" {
+			fmt.Fprintln(os.Stderr, "dashdb-lint: -analyzer and -analyzers are mutually exclusive")
+			return 2
+		}
+		*names = *name
+	}
 
 	if *list {
 		for _, a := range lint.All() {

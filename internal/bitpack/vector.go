@@ -25,6 +25,24 @@ import (
 // should be stored unpacked; the encoding layer never produces them.
 const MaxWidth = 32
 
+// The panic formatting below lives in dedicated helpers: a fmt.Sprintf
+// inline in Get/Set/Append pushes those per-element accessors past the
+// compiler's inlining budget, so every SWAR kernel pays an outlined call
+// per element for a message that is never built. The helpers panic as
+// their first statement, which hotpathcg recognizes as abort stubs.
+
+func panicIndexRange(i, n int) {
+	panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, n))
+}
+
+func panicCodeOverflow(code uint64, width uint) {
+	panic(fmt.Sprintf("bitpack: code %d overflows width %d", code, width))
+}
+
+func panicWidthRange(width uint) {
+	panic(fmt.Sprintf("bitpack: width %d out of range [1,%d]", width, MaxWidth))
+}
+
 // WidthFor returns the minimum code width (≥1) able to represent every
 // code in [0, maxCode].
 func WidthFor(maxCode uint64) uint {
@@ -48,7 +66,7 @@ type Vector struct {
 // Width must be in [1, MaxWidth].
 func NewVector(width uint) *Vector {
 	if width < 1 || width > MaxWidth {
-		panic(fmt.Sprintf("bitpack: width %d out of range [1,%d]", width, MaxWidth))
+		panicWidthRange(width)
 	}
 	cell := width + 1
 	return &Vector{
@@ -82,7 +100,7 @@ func (v *Vector) maxCode() uint64 { return (1 << v.width) - 1 }
 // always a programming error, not bad user data.
 func (v *Vector) Append(code uint64) {
 	if code > v.maxCode() {
-		panic(fmt.Sprintf("bitpack: code %d overflows width %d", code, v.width))
+		panicCodeOverflow(code, v.width)
 	}
 	slot := v.n % v.perWord
 	if slot == 0 {
@@ -102,7 +120,7 @@ func (v *Vector) AppendAll(codes []uint64) {
 // Get returns the i'th code. It panics when i is out of range.
 func (v *Vector) Get(i int) uint64 {
 	if i < 0 || i >= v.n {
-		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, v.n))
+		panicIndexRange(i, v.n)
 	}
 	word := v.words[i/v.perWord]
 	shift := uint(i%v.perWord) * v.cell
@@ -112,10 +130,10 @@ func (v *Vector) Get(i int) uint64 {
 // Set overwrites the i'th code in place.
 func (v *Vector) Set(i int, code uint64) {
 	if i < 0 || i >= v.n {
-		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, v.n))
+		panicIndexRange(i, v.n)
 	}
 	if code > v.maxCode() {
-		panic(fmt.Sprintf("bitpack: code %d overflows width %d", code, v.width))
+		panicCodeOverflow(code, v.width)
 	}
 	shift := uint(i%v.perWord) * v.cell
 	w := &v.words[i/v.perWord]

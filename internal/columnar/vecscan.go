@@ -153,9 +153,16 @@ func (b *Batch) page(ci int) *page.Page {
 		var err error
 		pg, err = b.t.loadPageGen(ci, gen, b.stride)
 		if err != nil {
-			panic(fmt.Sprintf("columnar: batch page load %v: %v", pageIDFor(b.t.id, ci, gen, b.stride), err))
+			panicPageLoad(b.t.id, ci, gen, b.stride, err)
 		}
 		b.pages[ci] = pg
 	}
 	return pg
+}
+
+// panicPageLoad keeps the formatted abort out of Batch.page: the page
+// lookup runs once per column per stride from the vector-scan kernels,
+// and an inline fmt.Sprintf would outline it from every caller.
+func panicPageLoad(tableID uint32, ci int, gen uint32, stride int, err error) {
+	panic(fmt.Sprintf("columnar: batch page load %v: %v", pageIDFor(tableID, ci, gen, stride), err))
 }

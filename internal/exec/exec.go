@@ -75,6 +75,13 @@ func (f FuncExpr) Eval(row types.Row) (types.Value, error) { return f(row) }
 // rows) — makes the result safe to hold after the operator is closed.
 func Drain(op Operator) ([]types.Row, error) {
 	if err := op.Open(); err != nil {
+		// A failed Open can already hold resources: governed operators
+		// acquire their heap reservation before streaming children, so a
+		// child error mid-Open would otherwise leak the grant (and any
+		// spill runs) against the broker forever, eventually stalling
+		// WLM admission. Every operator's Close is idempotent and
+		// nil-safe, so closing after a failed Open is always safe.
+		op.Close()
 		return nil, err
 	}
 	defer op.Close()
@@ -316,8 +323,14 @@ func (u *UnionAllOp) Schema() types.Schema { return u.Children[0].Schema() }
 // Open implements Operator.
 func (u *UnionAllOp) Open() error {
 	u.cur = 0
-	for _, c := range u.Children {
+	for i, c := range u.Children {
 		if err := c.Open(); err != nil {
+			// Close the siblings already opened so their resources
+			// (reservations, snapshot pins) are not stranded by one
+			// failing branch.
+			for _, prev := range u.Children[:i] {
+				prev.Close()
+			}
 			return err
 		}
 	}

@@ -19,6 +19,49 @@ var (
 	errUnsupportedArith = errors.New("sql: unsupported arithmetic")
 )
 
+// Formatted error constructors for the vector dispatch path. Each is
+// //dashdb:coldpath: helpers like evalVec, ArithValue, and checkArithOp
+// run per batch (or per element on the scalar fallback) from hotpath
+// kernels, and an inline fmt.Errorf would both allocate eagerly at the
+// call site and push the helper past the inlining budget. Moving the
+// formatting here keeps the helpers lean; the allocation happens only
+// when the query is already failing.
+
+// errBadArith reports an operator outside {+,-,*,/,%}.
+//
+//dashdb:coldpath error construction runs only on failing queries
+func errBadArith(op string) error {
+	return fmt.Errorf("sql: unsupported arithmetic %q", op)
+}
+
+// errNotVectorizable reports an expression without a vector kernel.
+//
+//dashdb:coldpath error construction runs only on failing queries
+func errNotVectorizable(e Expr) error {
+	return fmt.Errorf("exec: expression %T is not vectorizable", e)
+}
+
+// errColumnRange reports a column reference outside the batch.
+//
+//dashdb:coldpath error construction runs only on failing queries
+func errColumnRange(c int) error {
+	return fmt.Errorf("exec: column %d out of range", c)
+}
+
+// errArithApply reports operands an arithmetic operator cannot combine.
+//
+//dashdb:coldpath error construction runs only on failing queries
+func errArithApply(op string, a, b types.Value) error {
+	return fmt.Errorf("sql: cannot apply %s to %v and %v", op, a, b)
+}
+
+// errNegate reports a value that cannot be negated.
+//
+//dashdb:coldpath error construction runs only on failing queries
+func errNegate(v types.Value) error {
+	return fmt.Errorf("sql: cannot negate %v", v)
+}
+
 // checkArithOp validates an arithmetic operator before a kernel loop runs,
 // keeping the (allocating) formatted error outside the hotpath functions.
 func checkArithOp(op string) error {
@@ -26,7 +69,7 @@ func checkArithOp(op string) error {
 	case "+", "-", "*", "/", "%":
 		return nil
 	}
-	return fmt.Errorf("sql: unsupported arithmetic %q", op)
+	return errBadArith(op)
 }
 
 // VecExpr is an Expr that can also evaluate itself over a whole vector
@@ -42,7 +85,7 @@ type VecExpr interface {
 func evalVec(e Expr, b *vec.Batch) (*vec.Vector, error) {
 	ve, ok := e.(VecExpr)
 	if !ok {
-		return nil, fmt.Errorf("exec: expression %T is not vectorizable", e)
+		return nil, errNotVectorizable(e)
 	}
 	return ve.EvalVec(b)
 }
@@ -73,7 +116,7 @@ func Vectorizable(e Expr) bool {
 // EvalVec implements VecExpr: a column reference is just the batch vector.
 func (c ColRef) EvalVec(b *vec.Batch) (*vec.Vector, error) {
 	if int(c) < 0 || int(c) >= len(b.Cols) {
-		return nil, fmt.Errorf("exec: column %d out of range", int(c))
+		return nil, errColumnRange(int(c))
 	}
 	return b.Cols[c], nil
 }
@@ -317,7 +360,7 @@ func ArithValue(op string, a, b types.Value) (types.Value, error) {
 	x, ok1 := a.AsFloat()
 	y, ok2 := b.AsFloat()
 	if !ok1 || !ok2 {
-		return types.Null, fmt.Errorf("sql: cannot apply %s to %v and %v", op, a, b)
+		return types.Null, errArithApply(op, a, b)
 	}
 	switch op {
 	case "+":
@@ -338,7 +381,7 @@ func ArithValue(op string, a, b types.Value) (types.Value, error) {
 		}
 		return types.NewFloat(float64(int64(x) % int64(y))), nil
 	}
-	return types.Null, fmt.Errorf("sql: unsupported arithmetic %q", op)
+	return types.Null, errBadArith(op)
 }
 
 // EvalVec implements VecExpr.
@@ -664,7 +707,7 @@ func negValue(v types.Value) (types.Value, error) {
 	}
 	f, ok := v.AsFloat()
 	if !ok {
-		return types.Null, fmt.Errorf("sql: cannot negate %v", v)
+		return types.Null, errNegate(v)
 	}
 	return types.NewFloat(-f), nil
 }

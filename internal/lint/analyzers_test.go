@@ -149,6 +149,43 @@ func TestAnalyzerRoster(t *testing.T) {
 	}
 }
 
+// TestNolintScopes pins the two //dashdb:nolint scopes directly against
+// collectNolint: a directive above the package clause covers the whole
+// file (and only the analyzers it names), while a line directive covers
+// exactly its line. The nolint_ok fixture exercises both end-to-end;
+// this test makes the scope boundaries themselves explicit.
+func TestNolintScopes(t *testing.T) {
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "nolint_ok")
+	pkg, err := NewLoader(root).LoadFixtureDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := collectNolint([]*Package{pkg})
+
+	fileScoped := filepath.Join(dir, "filescope.go")
+	for _, name := range []string{"droppederr", "typeassert"} {
+		if !set.covers(Diagnostic{File: fileScoped, Line: 999, Analyzer: name}) {
+			t.Errorf("file-level directive does not suppress %s across the whole file", name)
+		}
+	}
+	if set.covers(Diagnostic{File: fileScoped, Line: 999, Analyzer: "goroutine"}) {
+		t.Error("file-level directive suppressed an analyzer it does not name")
+	}
+
+	lineScoped := filepath.Join(dir, "fixture.go")
+	// Line 12 carries a trailing droppederr directive; neighboring lines
+	// must stay unsuppressed.
+	if !set.covers(Diagnostic{File: lineScoped, Line: 12, Analyzer: "droppederr"}) {
+		t.Error("trailing directive does not suppress its own line")
+	}
+	for _, line := range []int{11, 15} {
+		if set.covers(Diagnostic{File: lineScoped, Line: line, Analyzer: "droppederr"}) {
+			t.Errorf("line directive leaked to line %d: line scope must stay line-sized", line)
+		}
+	}
+}
+
 // TestByName exercises the analyzer-subset flag plumbing.
 func TestByName(t *testing.T) {
 	got, err := ByName("droppederr, typeassert")

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// BenchmarkLintAll is the full-repo wall time of every analyzer — the
+// price a pre-commit loop pays. Loading (the `go list -export`
+// subprocess plus type import) is done once outside the timed region:
+// the interesting number is the analysis itself, which is what grows as
+// analyzers get smarter (CFGs, dataflow fixpoints, the whole-program
+// call graph).
+func BenchmarkLintAll(b *testing.B) {
+	pkgs, err := NewLoader(moduleRoot(b)).Load("./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(pkgs, All())
+	}
+}
+
+// lintBudget is deliberately generous: the point is not a perf target
+// but a tripwire against an accidentally super-linear dataflow or call
+// graph pass making the pre-commit loop painful. A full-repo analysis
+// run takes well under a second today; 30s of headroom survives slow CI
+// machines while still catching a fixpoint that stops converging.
+const lintBudget = 30 * time.Second
+
+// TestLintBudget gates verify.sh (DASHDB_LINT_BUDGET=1): one full-repo
+// analysis-only run of every analyzer must finish inside lintBudget.
+func TestLintBudget(t *testing.T) {
+	if os.Getenv("DASHDB_LINT_BUDGET") == "" {
+		t.Skip("set DASHDB_LINT_BUDGET=1 to enforce the lint wall-time budget")
+	}
+	pkgs, err := NewLoader(moduleRoot(t)).Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	Run(pkgs, All())
+	if elapsed := time.Since(start); elapsed > lintBudget {
+		t.Fatalf("full-repo analysis took %v, budget is %v: an analyzer has gone super-linear", elapsed, lintBudget)
+	}
+}

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody wraps a statement list in a function and builds its CFG.
+// The builder is purely syntactic, so no type information is needed.
+func parseBody(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return buildCFG(fd.Body)
+}
+
+// TestCFGShapes pins the block/edge structure the dataflow analyzers
+// depend on for the constructs most likely to harbor builder bugs:
+// short-circuit conditions, labeled breaks, select with default,
+// defer in loops, fallthrough, goto, and panic terminators. Expected
+// graphs are written in CFG.String's canonical "index kind -> succs"
+// form, so a failure shows exactly which edge went missing.
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			name: "short-circuit and",
+			body: `
+				if a && b {
+					x()
+				}
+				y()`,
+			want: `
+				0 entry -> 3 4
+				1 exit ->
+				2 if.then -> 3
+				3 if.done -> 1
+				4 cond.and -> 2 3`,
+		},
+		{
+			name: "short-circuit or with else",
+			body: `
+				if a || b {
+					x()
+				} else {
+					z()
+				}
+				y()`,
+			want: `
+				0 entry -> 2 5
+				1 exit ->
+				2 if.then -> 3
+				3 if.done -> 1
+				4 if.else -> 3
+				5 cond.or -> 2 4`,
+		},
+		{
+			name: "labeled break from nested loop",
+			body: `
+			outer:
+				for i := 0; i < n; i++ {
+					for {
+						break outer
+					}
+				}
+				done()`,
+			want: `
+				0 entry -> 2
+				1 exit ->
+				2 label.outer -> 3
+				3 for.head -> 4 5
+				4 for.body -> 7
+				5 for.done -> 1
+				6 for.post -> 3
+				7 for.head -> 8
+				8 for.body -> 5
+				9 for.done -> 6`,
+		},
+		{
+			name: "select with default",
+			body: `
+				select {
+				case <-ch:
+					a()
+				default:
+					b()
+				}
+				c()`,
+			want: `
+				0 entry -> 3 4
+				1 exit ->
+				2 select.done -> 1
+				3 select.case -> 2
+				4 select.default -> 2`,
+		},
+		{
+			name: "defer in range loop",
+			body: `
+				for _, x := range xs {
+					defer release(x)
+				}`,
+			want: `
+				0 entry -> 2
+				1 exit ->
+				2 range.head -> 3 4
+				3 range.body -> 2
+				4 range.done -> 1`,
+		},
+		{
+			name: "switch with fallthrough and default",
+			body: `
+				switch x {
+				case 1:
+					a()
+					fallthrough
+				case 2:
+					b()
+				default:
+					c()
+				}
+				d()`,
+			want: `
+				0 entry -> 3 4 5
+				1 exit ->
+				2 switch.done -> 1
+				3 switch.case -> 4
+				4 switch.case -> 2
+				5 switch.default -> 2`,
+		},
+		{
+			name: "switch without default falls through to done",
+			body: `
+				switch x {
+				case 1:
+					a()
+				}
+				d()`,
+			want: `
+				0 entry -> 2 3
+				1 exit ->
+				2 switch.done -> 1
+				3 switch.case -> 2`,
+		},
+		{
+			name: "continue inside switch targets the loop",
+			body: `
+				for i := 0; i < n; i++ {
+					switch {
+					case i == 0:
+						continue
+					}
+					body()
+				}`,
+			want: `
+				0 entry -> 2
+				1 exit ->
+				2 for.head -> 3 4
+				3 for.body -> 6 7
+				4 for.done -> 1
+				5 for.post -> 2
+				6 switch.done -> 5
+				7 switch.case -> 5`,
+		},
+		{
+			name: "forward goto",
+			body: `
+				if skip {
+					goto end
+				}
+				work()
+			end:
+				finish()`,
+			want: `
+				0 entry -> 2 3
+				1 exit ->
+				2 if.then -> 4
+				3 if.done -> 4
+				4 label.end -> 1`,
+		},
+		{
+			name: "panic terminates the path",
+			body: `
+				if bad {
+					panic("x")
+				}
+				ok()`,
+			want: `
+				0 entry -> 2 3
+				1 exit ->
+				2 if.then ->
+				3 if.done -> 1`,
+		},
+		{
+			name: "type switch",
+			body: `
+				switch v.(type) {
+				case int:
+					a()
+				case string:
+					b()
+				}
+				c()`,
+			want: `
+				0 entry -> 2 3 4
+				1 exit ->
+				2 typeswitch.done -> 1
+				3 typeswitch.case -> 2
+				4 typeswitch.case -> 2`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := parseBody(t, tc.body)
+			got := strings.TrimSpace(g.String())
+			want := normalizeGraph(tc.want)
+			if got != want {
+				t.Fatalf("CFG mismatch\nwant:\n%s\ngot:\n%s", want, got)
+			}
+		})
+	}
+}
+
+// normalizeGraph strips the indentation the test table uses for
+// readability.
+func normalizeGraph(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimSpace(l)
+	}
+	return strings.Join(lines, "\n")
+}

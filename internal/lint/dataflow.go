@@ -1,0 +1,89 @@
+package lint
+
+// Forward dataflow over the CFG in cfg.go. The lattice is deliberately
+// tiny: an analysis tracks a set of keys (a local variable holding a
+// pinned epoch, a mutex receiver path, ...) each carrying a small bitset
+// plus the position where the interesting state began. Join is union —
+// these are "may" analyses: mustrelease reports when an acquired value
+// MAY still be live at exit on some path, lockpair when a lock MAY still
+// be held. That is the right polarity for leak checking: one bad path is
+// a bug even if nine others clean up.
+
+import "go/token"
+
+// dfVal is the per-key lattice value: analyzer-defined state bits plus
+// the source position that introduced the state (used for reporting).
+type dfVal struct {
+	bits uint8
+	pos  token.Pos
+}
+
+// dfState maps analyzer-chosen keys (types.Object for locals, receiver
+// path strings for mutexes) to their lattice value. nil means "block not
+// yet reached"; an empty non-nil map means "reached, nothing tracked".
+type dfState map[any]dfVal
+
+func (s dfState) clone() dfState {
+	out := make(dfState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// joinInto merges src into dst (union of keys, OR of bits, earliest
+// position wins) and reports whether dst changed. A nil dst means the
+// block was unreached: the join then always registers as a change so the
+// solver visits it at least once, even with an empty incoming state.
+func joinInto(dst dfState, src dfState) (dfState, bool) {
+	changed := false
+	if dst == nil {
+		dst = dfState{}
+		changed = true
+	}
+	for k, sv := range src {
+		dv, ok := dst[k]
+		if !ok {
+			dst[k] = sv
+			changed = true
+			continue
+		}
+		merged := dfVal{bits: dv.bits | sv.bits, pos: dv.pos}
+		if sv.pos.IsValid() && (!dv.pos.IsValid() || sv.pos < dv.pos) {
+			merged.pos = sv.pos
+		}
+		if merged != dv {
+			dst[k] = merged
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+// solveForward runs the classic worklist algorithm: starting from Entry
+// with an empty state, it applies transfer to each reached block and
+// joins the result into every successor until nothing changes. transfer
+// must not mutate the state it is given; it receives a private clone.
+// The returned map holds the fixpoint IN-state of every reached block —
+// analyzers then replay transfer once more per block with reporting
+// enabled, knowing the in-states are final.
+func solveForward(g *CFG, transfer func(b *Block, in dfState) dfState) map[*Block]dfState {
+	in := map[*Block]dfState{g.Entry: {}}
+	work := []*Block{g.Entry}
+	queued := map[*Block]bool{g.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := transfer(b, in[b].clone())
+		for _, s := range b.Succs {
+			merged, changed := joinInto(in[s], out)
+			in[s] = merged
+			if changed && !queued[s] {
+				work = append(work, s)
+				queued[s] = true
+			}
+		}
+	}
+	return in
+}

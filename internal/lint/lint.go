@@ -94,8 +94,38 @@ type Analyzer struct {
 	// analyzer can publish cross-package Facts.
 	Collect func(pass *Pass)
 
-	// Run performs the per-package analysis.
+	// Run performs the per-package analysis. Nil for whole-program
+	// analyzers that only implement RunAll.
 	Run func(pass *Pass)
+
+	// RunAll, if set, runs once over the whole loaded program after every
+	// per-package Run. Analyzers that need cross-package reachability
+	// (the hotpath call graph) implement this instead of Run.
+	RunAll func(pass *ProgramPass)
+}
+
+// ProgramPass is the whole-program analogue of Pass: one invocation sees
+// every loaded package, so analyzers can build call graphs that cross
+// package boundaries.
+type ProgramPass struct {
+	Pkgs  []*Package
+	Facts *Facts
+
+	analyzer string
+	sink     *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos, resolved through pkg's FileSet.
+func (p *ProgramPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	position := pkg.Fset.Position(pos)
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // matchPath is the standard Match helper: true when any needle occurs in
@@ -128,6 +158,9 @@ func All() []*Analyzer {
 		AnalyzerLateMat,
 		AnalyzerPlanLower,
 		AnalyzerEpochPin,
+		AnalyzerMustRelease,
+		AnalyzerLockPair,
+		AnalyzerHotPathCG,
 	}
 }
 
@@ -171,12 +204,21 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		for _, pkg := range pkgs {
 			if a.Match != nil && !a.Match(pkg.Path) {
 				continue
 			}
 			a.Run(&Pass{Pkg: pkg, Facts: facts, analyzer: a.Name, sink: &diags})
 		}
+	}
+	for _, a := range analyzers {
+		if a.RunAll == nil {
+			continue
+		}
+		a.RunAll(&ProgramPass{Pkgs: pkgs, Facts: facts, analyzer: a.Name, sink: &diags})
 	}
 
 	suppress := collectNolint(pkgs)
@@ -208,12 +250,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
-// nolintSet maps file -> line -> set of suppressed analyzer names
-// ("*" suppresses everything on that line).
-type nolintSet map[string]map[int]map[string]bool
+// nolintSet records //dashdb:nolint suppression at two scopes: per line
+// (directive on or before the offending line) and per file (directive
+// above the package clause). "*" suppresses every analyzer.
+type nolintSet struct {
+	byLine map[string]map[int]map[string]bool
+	byFile map[string]map[string]bool
+}
 
 func (s nolintSet) covers(d Diagnostic) bool {
-	byLine, ok := s[d.File]
+	if names, ok := s.byFile[d.File]; ok && (names["*"] || names[d.Analyzer]) {
+		return true
+	}
+	byLine, ok := s.byLine[d.File]
 	if !ok {
 		return false
 	}
@@ -226,8 +275,9 @@ func (s nolintSet) covers(d Diagnostic) bool {
 
 // collectNolint gathers //dashdb:nolint directives. A directive trailing a
 // statement suppresses its own line; a directive on a line of its own
-// suppresses the next line. The directive takes a space-separated list of
-// analyzer names (empty list = all), e.g.
+// suppresses the next line; a directive above the package clause
+// suppresses the named analyzers for the entire file. The directive takes
+// a space-separated list of analyzer names (empty list = all), e.g.
 //
 //	_ = w.Close() //dashdb:nolint droppederr best-effort cleanup
 //
@@ -237,7 +287,10 @@ func collectNolint(pkgs []*Package) nolintSet {
 	for _, a := range All() {
 		known[a.Name] = true
 	}
-	set := nolintSet{}
+	set := nolintSet{
+		byLine: map[string]map[int]map[string]bool{},
+		byFile: map[string]map[string]bool{},
+	}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -257,10 +310,22 @@ func collectNolint(pkgs []*Package) nolintSet {
 						names["*"] = true
 					}
 					pos := pkg.Fset.Position(c.Slash)
-					byLine := set[pos.Filename]
+					if c.Slash < f.Package {
+						// Above the package clause: whole-file scope.
+						byFile := set.byFile[pos.Filename]
+						if byFile == nil {
+							byFile = map[string]bool{}
+							set.byFile[pos.Filename] = byFile
+						}
+						for n := range names {
+							byFile[n] = true
+						}
+						continue
+					}
+					byLine := set.byLine[pos.Filename]
 					if byLine == nil {
 						byLine = map[int]map[string]bool{}
-						set[pos.Filename] = byLine
+						set.byLine[pos.Filename] = byLine
 					}
 					line := pos.Line
 					if pos.Column == 1 || onOwnLine(pkg.Fset, f, c) {

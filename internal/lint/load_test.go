@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-func moduleRoot(t *testing.T) string {
+func moduleRoot(t testing.TB) string {
 	t.Helper()
 	dir, err := os.Getwd()
 	if err != nil {

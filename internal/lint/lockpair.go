@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AnalyzerLockPair is the dataflow lock checker: every sync.Mutex /
+// sync.RWMutex acquisition must reach a matching release on all paths to
+// return, the release flavor must match the acquisition (Unlock after
+// Lock, RUnlock after RLock — mixing them panics or silently corrupts
+// the reader count), and the same mutex must not be write-locked twice
+// along one path (self-deadlock, the classic "helper re-locks what the
+// caller holds" bug). `defer mu.Unlock()` discharges the obligation
+// immediately — it runs on every exit path — and paths ending in panic
+// are exempt, matching the CFG's treatment of abandoned frames.
+//
+// Mutexes are identified by their access path ("s.mu", "shard.pages.mu")
+// rendered from the lock call's receiver chain; helper methods that lock
+// on behalf of a caller are out of scope (one function, one obligation).
+var AnalyzerLockPair = &Analyzer{
+	Name: "lockpair",
+	Doc:  "every Mutex/RWMutex Lock reaches a matching Unlock on all paths, flavors match, and no path double-locks",
+	Run:  runLockPair,
+}
+
+const (
+	lpLocked  uint8 = 1 << iota // write lock held
+	lpRLocked                   // read lock held
+)
+
+// lockKey is the dfState key for one mutex access path.
+type lockKey string
+
+func runLockPair(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockPair(pass, fd)
+		}
+	}
+}
+
+// lockOp is one classified mutex operation found in a statement.
+type lockOp struct {
+	key     lockKey
+	method  string // Lock, Unlock, RLock, RUnlock
+	pos     token.Pos
+	defered bool
+}
+
+func checkLockPair(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Quick scan: most functions touch no mutex; skip the CFG for them.
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op := classifyLockOp(info, call, false); op != nil {
+				found = true
+			}
+		}
+		return true
+	})
+	if !found {
+		return
+	}
+
+	g := buildCFG(fd.Body)
+
+	// reporting is toggled for the final replay pass: the solver may
+	// visit a block many times before the fixpoint, and only the replay
+	// sees final in-states.
+	reporting := false
+	transfer := func(b *Block, in dfState) dfState {
+		for _, n := range b.Nodes {
+			for _, op := range lockOpsIn(info, n) {
+				applyLockOp(pass, op, in, reporting)
+			}
+		}
+		return in
+	}
+	in := solveForward(g, transfer)
+
+	reporting = true
+	blocks := make([]*Block, 0, len(in))
+	for b := range in {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Index < blocks[j].Index })
+	for _, b := range blocks {
+		transfer(b, in[b].clone())
+	}
+
+	exit := in[g.Exit]
+	type held struct {
+		key lockKey
+		val dfVal
+	}
+	var leaks []held
+	for k, v := range exit {
+		lk, ok := k.(lockKey)
+		if !ok || v.bits == 0 {
+			continue
+		}
+		leaks = append(leaks, held{key: lk, val: v})
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].val.pos < leaks[j].val.pos })
+	for _, l := range leaks {
+		pass.Reportf(l.val.pos,
+			"%s is locked here but may still be held on some path to return: unlock on every path or defer the unlock",
+			l.key)
+	}
+}
+
+// lockOpsIn extracts mutex operations from one CFG node in source order.
+func lockOpsIn(info *types.Info, n ast.Node) []lockOp {
+	var ops []lockOp
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			// A closure locking a mutex is its own scope (often a
+			// goroutine body); charging it to the enclosing function
+			// would misfire on every worker-pool pattern.
+			return false
+		case *ast.DeferStmt:
+			if op := classifyLockOp(info, x.Call, true); op != nil {
+				ops = append(ops, *op)
+			} else if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				// defer func() { ...; mu.Unlock() }() — the closure's
+				// unlocks run on every exit path, same as a direct defer.
+				ast.Inspect(lit.Body, func(y ast.Node) bool {
+					if call, ok := y.(*ast.CallExpr); ok {
+						if op := classifyLockOp(info, call, true); op != nil {
+							ops = append(ops, *op)
+						}
+					}
+					return true
+				})
+			}
+			return false // args of a deferred call can't lock here
+		case *ast.CallExpr:
+			if op := classifyLockOp(info, x, false); op != nil {
+				ops = append(ops, *op)
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// classifyLockOp matches a call against sync.Mutex/RWMutex lock methods
+// and renders the receiver path. Calls whose receiver is not a simple
+// ident/selector chain (map entries, function results) are skipped.
+func classifyLockOp(info *types.Info, call *ast.CallExpr, defered bool) *lockOp {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil // TryLock results are conditional; RLocker is aliasing
+	}
+	recv := deref(info.TypeOf(sel.X))
+	name := typeName(recv)
+	if name != "sync.Mutex" && name != "sync.RWMutex" {
+		return nil
+	}
+	path := renderPath(sel.X)
+	if path == "" {
+		return nil
+	}
+	return &lockOp{key: lockKey(path), method: fn.Name(), pos: call.Pos(), defered: defered}
+}
+
+// renderPath flattens an ident/selector chain ("s.mu", "t.pages.mu");
+// anything else yields "".
+func renderPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := renderPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return renderPath(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return renderPath(e.X)
+		}
+	}
+	return ""
+}
+
+// applyLockOp advances the lock state for one operation, reporting
+// flavor mismatches and double-locks when reporting is on.
+func applyLockOp(pass *Pass, op lockOp, s dfState, reporting bool) {
+	cur := s[op.key]
+	switch op.method {
+	case "Lock":
+		if cur.bits&lpLocked != 0 && reporting {
+			pass.Reportf(op.pos,
+				"%s may already be write-locked on this path (locked at %s): double Lock self-deadlocks",
+				op.key, pass.Pkg.Fset.Position(cur.pos))
+		}
+		if op.defered {
+			return // defer mu.Lock() is nonsense but not ours to model
+		}
+		s[op.key] = dfVal{bits: cur.bits | lpLocked, pos: op.pos}
+	case "RLock":
+		if op.defered {
+			return
+		}
+		s[op.key] = dfVal{bits: cur.bits | lpRLocked, pos: op.pos}
+	case "Unlock":
+		if cur.bits&lpRLocked != 0 && cur.bits&lpLocked == 0 && reporting {
+			pass.Reportf(op.pos,
+				"%s is read-locked (RLock at %s) but released with Unlock: flavor mismatch corrupts the reader count",
+				op.key, pass.Pkg.Fset.Position(cur.pos))
+		}
+		// Both immediate and deferred unlock discharge the obligation:
+		// a deferred unlock runs on every path out of the function.
+		delete(s, op.key)
+	case "RUnlock":
+		if cur.bits&lpLocked != 0 && cur.bits&lpRLocked == 0 && reporting {
+			pass.Reportf(op.pos,
+				"%s is write-locked (Lock at %s) but released with RUnlock: flavor mismatch panics at runtime",
+				op.key, pass.Pkg.Fset.Position(cur.pos))
+		}
+		delete(s, op.key)
+	}
+}

@@ -1,7 +1,10 @@
 #!/bin/sh
 # Static analysis gate: go vet plus the project's own invariant checkers
-# (cmd/dashdb-lint) in machine-readable form. Exits non-zero on any
-# finding so CI can fail the build.
+# (cmd/dashdb-lint, all fourteen analyzers — AST matchers, the CFG
+# dataflow checkers mustrelease/lockpair, and the whole-program hotpathcg
+# call graph) in machine-readable form. Exits non-zero on any finding so
+# CI can fail the build. Use `go run ./cmd/dashdb-lint -analyzer <name>`
+# for fast single-analyzer iteration while fixing findings.
 set -eu
 
 cd "$(dirname "$0")/.."

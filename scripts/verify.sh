@@ -10,7 +10,14 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+# The full fourteen-analyzer suite, including the dataflow checkers
+# (mustrelease, lockpair) and the whole-program hotpath call graph
+# (hotpathcg).
 go run ./cmd/dashdb-lint ./...
+# Budget gate: one full-repo analysis-only run must stay inside the
+# (generous) wall-time budget, so CFG/dataflow never makes this loop
+# painful.
+DASHDB_LINT_BUDGET=1 go test -run TestLintBudget -count=1 ./internal/lint/
 go test ./...
 go test -race ./...
 
