@@ -147,3 +147,70 @@ func Restore(nodes []NodeSpec, fs *clusterfs.FS) (*Cluster, error) {
 	}
 	return &Cluster{inner: inner}, nil
 }
+
+// --- distributed (multi-process) runtime -------------------------------------
+
+// NetNode describes one shard-server process of a distributed cluster.
+type NetNode = mpp.NetNode
+
+// NetCluster is the multi-process MPP coordinator: shards live behind
+// shard servers (dashdb-local -shard-listen) on a shared clustered
+// filesystem; queries scatter over RPC, distributed joins run through
+// the partitioned-hash shuffle, and node deaths fail over onto the
+// survivors (§II.E, Figure 9).
+type NetCluster struct {
+	inner *mpp.NetCluster
+}
+
+// ConnectCluster forms a coordinator over running shard servers. When
+// the clustered filesystem already holds a manifest the existing tables
+// (and shard count) are restored; otherwise a fresh cluster with
+// nShards shards is bootstrapped.
+func ConnectCluster(nodes []NetNode, nShards int, fs *clusterfs.FS) (*NetCluster, error) {
+	inner, err := mpp.OpenNetCluster(nodes, fs)
+	if err != nil {
+		inner, err = mpp.NewNetCluster(nodes, nShards, fs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &NetCluster{inner: inner}, nil
+}
+
+// Exec runs one SQL statement cluster-wide (ANSI dialect).
+func (c *NetCluster) Exec(sqlText string) (*Result, error) { return c.inner.Query(sqlText) }
+
+// ExecDialect runs one SQL statement under an explicit dialect.
+func (c *NetCluster) ExecDialect(sqlText string, d Dialect) (*Result, error) {
+	return c.inner.QueryDialect(sqlText, d)
+}
+
+// CreateTable registers a distributed table.
+func (c *NetCluster) CreateTable(name string, schema Schema, opts TableOptions) error {
+	return c.inner.CreateTable(name, schema, opts)
+}
+
+// Insert routes rows to shard servers by distribution-key hash.
+func (c *NetCluster) Insert(table string, rows []Row) error { return c.inner.Insert(table, rows) }
+
+// Rows returns a table's cluster-wide live row count.
+func (c *NetCluster) Rows(table string) (int, error) { return c.inner.Rows(table) }
+
+// Assignment renders the shard→node association.
+func (c *NetCluster) Assignment() string { return c.inner.Assignment() }
+
+// FailNode declares a node dead; survivors adopt its shards with
+// reduced per-shard memory and parallelism.
+func (c *NetCluster) FailNode(name string) error { return c.inner.FailNode(name) }
+
+// AddNode grows the cluster onto a running shard server.
+func (c *NetCluster) AddNode(spec NetNode) error { return c.inner.AddNode(spec) }
+
+// RemoveNode shrinks the cluster gracefully.
+func (c *NetCluster) RemoveNode(name string) error { return c.inner.RemoveNode(name) }
+
+// Close releases the coordinator's connections (servers keep running).
+func (c *NetCluster) Close() { c.inner.Close() }
+
+// Internal exposes the underlying coordinator for advanced callers.
+func (c *NetCluster) Internal() *mpp.NetCluster { return c.inner }

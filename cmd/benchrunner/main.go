@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|test1|test2|test3|test4|colvsrow|deploy|compression|skipping|bufferpool|simd|parallel|vector|compressed|telemetry|spill|ingest|planner|ha|spark")
+	exp := flag.String("exp", "all", "experiment: all|test1|test2|test3|test4|colvsrow|deploy|compression|skipping|bufferpool|simd|parallel|vector|compressed|telemetry|spill|ingest|planner|ha|mpp|spark")
 	scale := flag.Int("scale", 400_000, "fact-table rows for Tests 1-4")
 	queries := flag.Int("queries", 30, "analytic queries for Test 1 / F-C")
 	flag.Parse()
@@ -38,9 +38,9 @@ func main() {
 		fmt.Printf("  paper: avg 27.1x, median 6.3x (25TB on real FPGA appliance)\n")
 	}
 	if run("test2") {
-		rep, err := bench.Test2(*scale/2, 400, 8)
+		rep, err := bench.Test2(*scale/2, 400, 100)
 		fail(err)
-		fmt.Printf("\nTable 1 / Test 2 — concurrent mixed workload, whole-workload time\n")
+		fmt.Printf("\nTable 1 / Test 2 — concurrent mixed workload incl. load streams, whole-workload time\n")
 		fmt.Print(rep)
 		fmt.Printf("  paper: 2.1x (100 streams)\n")
 	}
@@ -135,6 +135,12 @@ func main() {
 	}
 	if run("ha") {
 		s, err := bench.FigureG()
+		fail(err)
+		fmt.Println()
+		fmt.Print(s)
+	}
+	if run("mpp") {
+		s, err := bench.FigureMPP(*scale / 20)
 		fail(err)
 		fmt.Println()
 		fmt.Print(s)

@@ -10,6 +10,15 @@
 //	dashdb-local -listen :8050        # serve TCP
 //	dashdb-local -i                   # interactive console
 //	echo "SELECT 1+1" | dashdb-local  # one-shot
+//
+// With -shard-listen the process instead joins a distributed cluster as
+// a shard server: it hosts engine shards over a shared clustered
+// filesystem directory and speaks the binary shard RPC protocol to the
+// coordinator (dashdbctl -connect). Which shards it hosts — and their
+// memory/parallelism budgets — is pushed by the coordinator at
+// bootstrap, failover and grow/shrink.
+//
+//	dashdb-local -shard-listen :8060 -clusterfs /mnt/cfs -node nodeA
 package main
 
 import (
@@ -20,17 +29,29 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"dashdb"
+	"dashdb/internal/clusterfs"
 	"dashdb/internal/deploy"
+	"dashdb/internal/shardrpc"
 )
 
 func main() {
 	listen := flag.String("listen", "", "TCP address to serve (e.g. :8050); empty = stdin/stdout")
 	interactive := flag.Bool("i", false, "interactive console with prompt")
 	dialect := flag.String("dialect", "ANSI", "initial SQL dialect (ANSI|ORACLE|NETEZZA|DB2)")
+	shardListen := flag.String("shard-listen", "", "shard-server mode: address for the shard RPC protocol")
+	cfsDir := flag.String("clusterfs", "", "shard-server mode: clustered filesystem directory (shared across nodes)")
+	nodeName := flag.String("node", "", "shard-server mode: this node's name (default: hostname)")
 	flag.Parse()
+
+	if *shardListen != "" {
+		runShardServer(*shardListen, *cfsDir, *nodeName)
+		return
+	}
 
 	hw := deploy.DetectHardware()
 	fmt.Fprintf(os.Stderr, "dashDB Local: detected %d cores, %d GB RAM\n", hw.Cores, hw.RAMBytes>>30)
@@ -57,6 +78,34 @@ func main() {
 	sess := db.NewSession()
 	setDialect(sess, *dialect)
 	serveStream(sess, os.Stdin, os.Stdout, *interactive)
+}
+
+// runShardServer hosts engine shards over a shared clusterfs directory
+// until SIGINT/SIGTERM. Shard assignment arrives from the coordinator.
+func runShardServer(addr, dir, node string) {
+	if node == "" {
+		node, _ = os.Hostname() //dashdb:nolint droppederr — fallback name below covers failure
+		if node == "" {
+			node = "shard-server"
+		}
+	}
+	if dir == "" {
+		log.Fatal("shard-server mode requires -clusterfs <dir> (must be shared across nodes)")
+	}
+	fs, err := clusterfs.OpenDir(dir)
+	if err != nil {
+		log.Fatalf("clusterfs %s: %v", dir, err)
+	}
+	srv := shardrpc.NewServer(node, fs)
+	if err := srv.Start(addr); err != nil {
+		log.Fatalf("shard server: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "shard server %s listening on %s (clusterfs %s)\n", node, srv.Addr(), dir)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down: persisting hosted shards")
+	srv.Close()
 }
 
 func maxI64(a, b int64) int64 {

@@ -5,12 +5,20 @@
 //
 //	dashdbctl -nodes 4 -cores 24
 //
+// With -connect it instead coordinates a real multi-process cluster of
+// shard servers (dashdb-local -shard-listen) sharing one clustered
+// filesystem directory:
+//
+//	dashdbctl -connect 127.0.0.1:8060,127.0.0.1:8061 -clusterfs /mnt/cfs -shards 4
+//
 // Commands at the prompt:
 //
 //	status                      shard→node association
-//	fail <node>                 simulate a host failure
+//	fail <node>                 declare a node dead (HA failover)
 //	remove <node>               elastic contraction
 //	add <node>                  elastic growth / reinstatement
+//	grow <node> <addr>          net mode: adopt a running shard server
+//	shrink <node>               net mode: release a node's shards
 //	sql <statement>             run SQL cluster-wide
 //	load <table> <rows>         generate and load synthetic rows
 //	quit
@@ -26,13 +34,22 @@ import (
 	"strings"
 
 	"dashdb"
+	"dashdb/internal/clusterfs"
 )
 
 func main() {
 	nodes := flag.Int("nodes", 4, "cluster size")
 	cores := flag.Int("cores", 24, "cores per node")
 	ramGB := flag.Int64("ram", 256, "GB RAM per node")
+	connect := flag.String("connect", "", "comma-separated shard-server addresses (net mode)")
+	cfsDir := flag.String("clusterfs", "", "net mode: shared clustered filesystem directory")
+	shards := flag.Int("shards", 0, "net mode: shard count for a fresh cluster (default: one per node)")
 	flag.Parse()
+
+	if *connect != "" {
+		runNetMode(*connect, *cfsDir, *shards, *cores, *ramGB)
+		return
+	}
 
 	var hosts []dashdb.HostSpec
 	for i := 0; i < *nodes; i++ {
@@ -136,4 +153,131 @@ func main() {
 			fmt.Println("commands: status | fail <n> | remove <n> | add <n> | sql <stmt> | load <t> <rows> | quit")
 		}
 	}
+}
+
+// runNetMode coordinates running shard-server processes over the wire.
+func runNetMode(connect, cfsDir string, shards, cores int, ramGB int64) {
+	if cfsDir == "" {
+		log.Fatal("net mode requires -clusterfs <dir> (the directory the shard servers share)")
+	}
+	fs, err := clusterfs.OpenDir(cfsDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addrs := strings.Split(connect, ",")
+	var nn []dashdb.NetNode
+	for i, a := range addrs {
+		nn = append(nn, dashdb.NetNode{
+			Name:     fmt.Sprintf("node%c", 'A'+i%26),
+			Addr:     strings.TrimSpace(a),
+			Cores:    cores,
+			MemBytes: ramGB << 30,
+		})
+	}
+	if shards <= 0 {
+		shards = len(nn)
+	}
+	cl, err := dashdb.ConnectCluster(nn, shards, fs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+	fmt.Printf("connected to %d shard servers\n", len(nn))
+	fmt.Printf("association: %s\n", cl.Assignment())
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("dashdbctl> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch cmd := strings.ToLower(fields[0]); cmd {
+		case "quit", "exit":
+			return
+		case "status":
+			fmt.Println(cl.Assignment())
+		case "fail", "remove", "shrink":
+			if len(fields) != 2 {
+				fmt.Printf("usage: %s <node>\n", cmd)
+				continue
+			}
+			var err error
+			if cmd == "fail" {
+				err = cl.FailNode(fields[1])
+			} else {
+				err = cl.RemoveNode(fields[1])
+			}
+			if err != nil {
+				fmt.Println("ERR", err)
+				continue
+			}
+			fmt.Println(cl.Assignment())
+		case "add", "grow":
+			if len(fields) != 3 {
+				fmt.Printf("usage: %s <node> <addr>\n", cmd)
+				continue
+			}
+			if err := cl.AddNode(dashdb.NetNode{
+				Name: fields[1], Addr: fields[2], Cores: cores, MemBytes: ramGB << 30,
+			}); err != nil {
+				fmt.Println("ERR", err)
+				continue
+			}
+			fmt.Println(cl.Assignment())
+		case "sql":
+			stmt := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+			r, err := cl.Exec(stmt)
+			if err != nil {
+				fmt.Println("ERR", err)
+				continue
+			}
+			printResult(r)
+		case "load":
+			if len(fields) != 3 {
+				fmt.Println("usage: load <table> <rows>")
+				continue
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				fmt.Println("ERR", err)
+				continue
+			}
+			if _, err := cl.Exec(fmt.Sprintf(
+				`CREATE TABLE IF NOT EXISTS %s (id BIGINT NOT NULL, v DOUBLE)`, fields[1])); err != nil {
+				fmt.Println("ERR", err)
+				continue
+			}
+			var rows []dashdb.Row
+			for i := 0; i < n; i++ {
+				rows = append(rows, dashdb.Row{dashdb.NewInt(int64(i)), dashdb.NewFloat(float64(i % 997))})
+			}
+			if err := cl.Insert(fields[1], rows); err != nil {
+				fmt.Println("ERR", err)
+				continue
+			}
+			fmt.Printf("OK loaded %d rows\n", n)
+		default:
+			fmt.Println("commands: status | fail <n> | shrink <n> | grow <n> <addr> | sql <stmt> | load <t> <rows> | quit")
+		}
+	}
+}
+
+func printResult(r *dashdb.Result) {
+	if r.Columns != nil {
+		fmt.Println(strings.Join(r.Columns, "\t"))
+		for _, row := range r.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, "\t"))
+		}
+	}
+	fmt.Printf("OK (%d rows)\n", len(r.Rows))
 }

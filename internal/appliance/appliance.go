@@ -113,7 +113,9 @@ func (a *Appliance) Execute(st *workload.Statement) (int, error) {
 	case workload.KindSelect, workload.KindWith, workload.KindExplain:
 		rows, err := a.Query(st.Query)
 		return len(rows), err
-	case workload.KindInsert:
+	case workload.KindInsert, workload.KindBulkLoad:
+		// The appliance has no separate bulk path; load batches go
+		// through the same insert machinery.
 		if err := a.Load(st.Table, st.Rows); err != nil {
 			return 0, err
 		}

@@ -1,17 +1,21 @@
 package bench
 
 import (
+	stdsql "database/sql"
 	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
 
+	"dashdb/driver"
 	"dashdb/internal/columnar"
+	"dashdb/internal/core"
 	"dashdb/internal/encoding"
 	"dashdb/internal/exec"
 	"dashdb/internal/mem"
 	"dashdb/internal/telemetry"
 	"dashdb/internal/types"
+	"dashdb/internal/workload"
 )
 
 // The experiment smoke tests run at small scale: they verify correctness
@@ -345,4 +349,56 @@ func BenchmarkCompressedGroupBy(b *testing.B) {
 			}
 		})
 	}
+}
+
+// TestDriverEngineMixedWorkloadWithLoad runs the Test 2 statement mix —
+// including its bulk-load flushes — through the database/sql driver, the
+// path an application would take: trickle DML as one-shot Execs, load
+// via driver.BulkInserter. Verifies every statement executes and the
+// loaded rows are queryable afterwards.
+func TestDriverEngineMixedWorkloadWithLoad(t *testing.T) {
+	driver.Attach("bench-mixed", core.Open(core.Config{BufferPoolBytes: 16 << 20}))
+	db, err := stdsql.Open("dashdb", "mem://bench-mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	eng := &DriverEngine{DB: db}
+
+	fin := workload.NewFinancial(5_000, 1)
+	if err := eng.Setup(fin.Tables()); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load("accounts", fin.Accounts()); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Load("transactions", fin.Transactions()); err != nil {
+		t.Fatal(err)
+	}
+	stmts := fin.MixedStatements(200)
+	bulk, loaded := 0, 0
+	for i := range stmts {
+		n, err := eng.Execute(&stmts[i])
+		if err != nil {
+			t.Fatalf("statement %d (%s): %v", i, stmts[i].Kind, err)
+		}
+		if stmts[i].Kind == workload.KindBulkLoad {
+			bulk++
+			loaded += n
+			if n != len(stmts[i].Rows) {
+				t.Fatalf("bulk flush reported %d rows, want %d", n, len(stmts[i].Rows))
+			}
+		}
+	}
+	if bulk == 0 {
+		t.Fatal("mix carried no bulk-load statements")
+	}
+	var total int
+	if err := db.QueryRow("SELECT COUNT(*) FROM transactions").Scan(&total); err != nil {
+		t.Fatal(err)
+	}
+	if total < 5_000+loaded {
+		t.Fatalf("transactions %d, want at least %d (base) + %d (bulk-loaded)", total, 5_000, loaded)
+	}
+	t.Logf("driver path: %d bulk flushes, %d rows loaded mid-workload", bulk, loaded)
 }

@@ -6,8 +6,10 @@
 package bench
 
 import (
+	stdsql "database/sql"
 	"fmt"
 
+	"dashdb/driver"
 	"dashdb/internal/appliance"
 	"dashdb/internal/cloudstore"
 	"dashdb/internal/core"
@@ -76,7 +78,15 @@ func (e *ClusterEngine) Query(q *workload.QuerySpec) (int, error) {
 
 // Execute implements Engine. Scratch tables created mid-workload are not
 // registered with placement metadata, so DDL goes through the SQL path.
+// Bulk-load flushes take the cluster's batched insert path (hash-routed,
+// one atomic batch per shard) rather than SQL text.
 func (e *ClusterEngine) Execute(st *workload.Statement) (int, error) {
+	if st.Kind == workload.KindBulkLoad {
+		if err := e.Cluster.Insert(st.Table, st.Rows); err != nil {
+			return 0, err
+		}
+		return len(st.Rows), nil
+	}
 	r, err := e.Cluster.Query(st.SQL())
 	if err != nil {
 		return 0, err
@@ -132,8 +142,16 @@ func (e *CoreEngine) Query(q *workload.QuerySpec) (int, error) {
 	return len(r.Rows), nil
 }
 
-// Execute implements Engine.
+// Execute implements Engine. Bulk-load flushes take the engine's
+// BulkAppend path: one snapshot epoch per batch.
 func (e *CoreEngine) Execute(st *workload.Statement) (int, error) {
+	if st.Kind == workload.KindBulkLoad {
+		t, ok := e.DB.Table(st.Table)
+		if !ok {
+			return 0, fmt.Errorf("bench: table %s missing", st.Table)
+		}
+		return t.BulkAppend(st.Rows)
+	}
 	r, err := e.DB.NewSession().Exec(st.SQL())
 	if err != nil {
 		return 0, err
@@ -142,6 +160,120 @@ func (e *CoreEngine) Execute(st *workload.Statement) (int, error) {
 		return len(r.Rows), nil
 	}
 	return int(r.RowsAffected), nil
+}
+
+// --- database/sql driver adapter ---------------------------------------------
+
+// DriverEngine drives the embedded engine through database/sql — the
+// application-interface path of §II.C.3. Bulk-load statements stream
+// through driver.BulkInserter, so the measured workload includes load
+// exactly as an application would run it.
+type DriverEngine struct {
+	DB    *stdsql.DB
+	Label string
+}
+
+// Name implements Engine.
+func (e *DriverEngine) Name() string {
+	if e.Label != "" {
+		return e.Label
+	}
+	return "dashdb-driver"
+}
+
+// Setup implements Engine.
+func (e *DriverEngine) Setup(defs []workload.TableDef) error {
+	for i := range defs {
+		st := workload.Statement{Kind: workload.KindCreate, Def: &defs[i]}
+		if _, err := e.DB.Exec(st.SQL()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// driverArgs converts one engine row to database/sql arguments.
+func driverArgs(r types.Row) []any {
+	args := make([]any, len(r))
+	for i, v := range r {
+		if v.IsNull() {
+			continue
+		}
+		switch v.Kind() {
+		case types.KindInt:
+			args[i] = v.Int()
+		case types.KindFloat:
+			args[i] = v.Float()
+		case types.KindBool:
+			args[i] = v.Bool()
+		case types.KindDate, types.KindTimestamp:
+			args[i] = v.Time()
+		default:
+			args[i] = v.Str()
+		}
+	}
+	return args
+}
+
+// Load implements Engine via driver.BulkInserter.
+func (e *DriverEngine) Load(table string, rows []types.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	ins := driver.NewBulkInserter(e.DB, table, len(rows[0]), 0)
+	for _, r := range rows {
+		if err := ins.Add(driverArgs(r)...); err != nil {
+			return err
+		}
+	}
+	_, err := ins.Finish()
+	return err
+}
+
+// Query implements Engine.
+func (e *DriverEngine) Query(q *workload.QuerySpec) (int, error) {
+	rows, err := e.DB.Query(q.SQL())
+	if err != nil {
+		return 0, err
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	return n, rows.Err()
+}
+
+// Execute implements Engine. Bulk-load flushes stream through
+// driver.BulkInserter; everything else is a one-shot Exec.
+func (e *DriverEngine) Execute(st *workload.Statement) (int, error) {
+	if st.Kind == workload.KindBulkLoad {
+		if err := e.Load(st.Table, st.Rows); err != nil {
+			return 0, err
+		}
+		return len(st.Rows), nil
+	}
+	if st.Kind == workload.KindSelect || st.Kind == workload.KindWith || st.Kind == workload.KindExplain {
+		rows, err := e.DB.Query(st.SQL())
+		if err != nil {
+			return 0, err
+		}
+		defer rows.Close()
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		return n, rows.Err()
+	}
+	res, err := e.DB.Exec(st.SQL())
+	if err != nil {
+		return 0, err
+	}
+	n, err := res.RowsAffected()
+	if err != nil {
+		return 0, err
+	}
+	return int(n), nil
 }
 
 // --- appliance adapter --------------------------------------------------------

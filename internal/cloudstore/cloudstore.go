@@ -155,7 +155,7 @@ func (s *Store) Execute(st *workload.Statement) (int, error) {
 	case workload.KindSelect, workload.KindWith, workload.KindExplain:
 		rows, err := s.Query(st.Query)
 		return len(rows), err
-	case workload.KindInsert:
+	case workload.KindInsert, workload.KindBulkLoad:
 		if err := s.Load(st.Table, st.Rows); err != nil {
 			return 0, err
 		}

@@ -27,10 +27,14 @@ type Stats struct {
 	BytesWritten uint64
 }
 
-// FS is the shared filesystem: a flat namespace of files.
+// FS is the shared filesystem: a flat namespace of files. The default
+// backend is an in-memory map (simulation and tests); dir-backed
+// instances from OpenDir store files on disk so several processes can
+// share one namespace (see dirfs.go).
 type FS struct {
 	mu    sync.RWMutex
 	files map[string][]byte
+	dir   string // non-empty selects the disk backend
 
 	reads        atomic.Uint64
 	writes       atomic.Uint64
@@ -38,23 +42,36 @@ type FS struct {
 	bytesWritten atomic.Uint64
 }
 
-// New returns an empty filesystem.
+// New returns an empty in-memory filesystem.
 func New() *FS {
 	return &FS{files: make(map[string][]byte)}
 }
 
 // WriteFile stores data under path (full replace, like O_TRUNC).
 func (fs *FS) WriteFile(path string, data []byte) {
+	fs.writes.Add(1)
+	fs.bytesWritten.Add(uint64(len(data)))
+	if fs.dir != "" {
+		fs.dirWrite(path, data)
+		return
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	cp := append([]byte(nil), data...)
 	fs.files[path] = cp
-	fs.writes.Add(1)
-	fs.bytesWritten.Add(uint64(len(data)))
 }
 
 // ReadFile returns the file's contents.
 func (fs *FS) ReadFile(path string) ([]byte, error) {
+	if fs.dir != "" {
+		data, err := fs.dirRead(path)
+		if err != nil {
+			return nil, err
+		}
+		fs.reads.Add(1)
+		fs.bytesRead.Add(uint64(len(data)))
+		return data, nil
+	}
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	data, ok := fs.files[path]
@@ -69,6 +86,10 @@ func (fs *FS) ReadFile(path string) ([]byte, error) {
 // Remove deletes a file; removing a missing file is not an error (like
 // rm -f).
 func (fs *FS) Remove(path string) {
+	if fs.dir != "" {
+		fs.dirRemove(path)
+		return
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	delete(fs.files, path)
@@ -76,6 +97,10 @@ func (fs *FS) Remove(path string) {
 
 // RemovePrefix deletes every file under the prefix (like rm -rf dir/).
 func (fs *FS) RemovePrefix(prefix string) {
+	if fs.dir != "" {
+		fs.dirRemovePrefix(prefix)
+		return
+	}
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	for p := range fs.files {
@@ -87,6 +112,9 @@ func (fs *FS) RemovePrefix(prefix string) {
 
 // List returns the sorted paths under a prefix.
 func (fs *FS) List(prefix string) []string {
+	if fs.dir != "" {
+		return fs.dirList(prefix)
+	}
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	var out []string
@@ -101,6 +129,9 @@ func (fs *FS) List(prefix string) []string {
 
 // TotalBytes returns the filesystem occupancy.
 func (fs *FS) TotalBytes() int {
+	if fs.dir != "" {
+		return fs.dirTotalBytes()
+	}
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	total := 0
@@ -125,6 +156,17 @@ func (fs *FS) Stats() Stats {
 // docker run and deploy quick and easily against an entirely new set of
 // hardware").
 func (fs *FS) Snapshot() *FS {
+	if fs.dir != "" {
+		// Disk-backed namespaces snapshot into memory: the portable unit
+		// is the file contents, not the directory.
+		clone := New()
+		for _, p := range fs.dirList("") {
+			if data, err := fs.dirRead(p); err == nil {
+				clone.files[p] = data
+			}
+		}
+		return clone
+	}
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
 	clone := New()

@@ -53,6 +53,7 @@ var protocols = []protoEntry{
 	{"internal/mem", "Governor", "Acquire", "Close", "heap reservation"},
 	{"internal/mem", "Broker", "Reserve", "Close", "heap reservation"},
 	{"internal/mem", "Reservation", "NewSpillFile", "Close", "spill file"},
+	{"internal/shardrpc", "Pool", "Get", "Release", "pooled shard connection"},
 }
 
 // protoFor resolves a method call to its protocol entry, matching the

@@ -92,3 +92,33 @@ func leakInLoop(r *Reservation, rows [][]byte) error {
 	}
 	return f.Close()
 }
+
+// Conn is the pooled-connection stand-in (shardrpc.Pool.Get/Conn.Release).
+type Conn struct{}
+
+// Release returns the connection to the pool.
+func (c *Conn) Release() {}
+
+// Fail marks it broken without returning it.
+func (c *Conn) Fail() {}
+
+// Pool hands out connections.
+type Pool struct{}
+
+// Get acquires a connection.
+func (p *Pool) Get(addr string) (*Conn, error) { return &Conn{}, nil }
+
+// leakConnOnError marks the connection broken on the failure path but
+// never releases it — the socket leaks until process exit.
+func leakConnOnError(p *Pool, fail bool) error {
+	c, err := p.Get("addr") //lint:expect mustrelease
+	if err != nil {
+		return err
+	}
+	if fail {
+		c.Fail()
+		return errBoom
+	}
+	c.Release()
+	return nil
+}

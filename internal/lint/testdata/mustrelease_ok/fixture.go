@@ -113,3 +113,44 @@ func panicPathExempt(m *Manager, ok bool) {
 	}
 	e.Release()
 }
+
+// Conn is the pooled-connection stand-in (shardrpc.Pool.Get/Conn.Release).
+type Conn struct{}
+
+// Release returns the connection to the pool.
+func (c *Conn) Release() {}
+
+// Fail marks it broken (an allowed receiver use; Release still closes).
+func (c *Conn) Fail() {}
+
+// Pool hands out connections.
+type Pool struct{}
+
+// Get acquires a connection.
+func (p *Pool) Get(addr string) (*Conn, error) { return &Conn{}, nil }
+
+// connDoIdiom is the Pool.Do shape: release after the callback on every
+// path, including the failure mark.
+func connDoIdiom(p *Pool, fn func(*Conn) error) error {
+	c, err := p.Get("addr")
+	if err != nil {
+		return err
+	}
+	if err := fn(c); err != nil {
+		c.Fail()
+		c.Release()
+		return err
+	}
+	c.Release()
+	return nil
+}
+
+// connDeferred is the simple shape: defer right after acquiring.
+func connDeferred(p *Pool) error {
+	c, err := p.Get("addr")
+	if err != nil {
+		return err
+	}
+	defer c.Release()
+	return nil
+}

@@ -54,6 +54,7 @@ type tableMeta struct {
 	schema  types.Schema
 	distCol int
 	repl    bool
+	id      uint32 // storage id; set by coordinators that assign ids themselves
 }
 
 // Stats counts coordinator activity.

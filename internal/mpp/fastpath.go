@@ -13,39 +13,27 @@ import (
 	"dashdb/internal/types"
 )
 
-// runFastPath executes the decomposed plan: the (possibly rewritten)
-// query runs on every shard in parallel — each shard evaluating
-// predicates over its own compressed data — and the coordinator merges
-// partial results. This is the scatter/gather model of Figure 2.
-func (c *Cluster) runFastPath(sel *sql.SelectStmt, plan *fastPlan, d sql.Dialect, text string) (*core.Result, error) {
+// The scatter fast path is shared by the in-process Cluster and the
+// multi-process NetCluster: buildShardSel rewrites the statement the
+// shards run, mergeFastResults folds their partial results back into
+// the user-visible answer. Only the transport differs (direct engine
+// calls vs shardrpc), so both live here as package functions.
+
+// buildShardSel derives the per-shard statement for a decomposed query:
+// plain queries push ORDER BY+LIMIT down (each shard returns its top
+// offset+limit rows); aggregate queries rewrite the select list into
+// partial aggregates (_P%d columns, AVG split into sum/count pairs).
+func buildShardSel(sel *sql.SelectStmt, plan *fastPlan) (*sql.SelectStmt, error) {
 	shardSel := *sel // shallow copy; fields overridden below
 	if plan.plain {
-		// Each shard may return only its top offset+limit rows, but only
-		// if it applies the same ORDER BY; the coordinator re-sorts the
-		// union and applies the final offset/limit.
 		shardSel.Offset = 0
 		if sel.Limit >= 0 {
 			shardSel.Limit = sel.Offset + sel.Limit
 		} else {
 			shardSel.OrderBy = nil // no limit: per-shard ordering is wasted work
 		}
-		results, err := c.scatter(&shardSel, d, plan.singleShard)
-		if err != nil {
-			return nil, err
-		}
-		merged := &core.Result{Columns: results[0].Columns}
-		for _, r := range results {
-			merged.Rows = append(merged.Rows, r.Rows...)
-		}
-		final, err := c.finalizeOrderLimit(merged, sel)
-		if err != nil {
-			return nil, err
-		}
-		c.mergeShardStats(final, results, text)
-		return final, nil
+		return &shardSel, nil
 	}
-
-	// Aggregate decomposition: rewrite the select list into partials.
 	var items []sql.SelectItem
 	groupSeen := 0
 	for _, it := range sel.Items {
@@ -80,10 +68,25 @@ func (c *Cluster) runFastPath(sel *sql.SelectStmt, plan *fastPlan, d sql.Dialect
 	shardSel.Limit = -1
 	shardSel.Offset = 0
 	shardSel.Having = nil
+	return &shardSel, nil
+}
 
-	results, err := c.scatter(&shardSel, d, plan.singleShard)
-	if err != nil {
-		return nil, err
+// mergeFastResults folds per-shard partial results into the final
+// answer: plain queries concatenate and re-apply ORDER BY/LIMIT;
+// aggregate queries run the merge aggregation (SUM of partial counts,
+// MIN of partial mins, AVG = partial sums / partial counts) at the
+// coordinator. Correct for any disjoint partitioning of the input rows
+// — hash shards and shuffle-join partitions alike.
+func mergeFastResults(sel *sql.SelectStmt, plan *fastPlan, results []*core.Result) (*core.Result, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("mpp: no shard results")
+	}
+	if plan.plain {
+		merged := &core.Result{Columns: results[0].Columns}
+		for _, r := range results {
+			merged.Rows = append(merged.Rows, r.Rows...)
+		}
+		return finalizeOrderLimit(merged, sel)
 	}
 	var partials []types.Row
 	for _, r := range results {
@@ -166,7 +169,23 @@ func (c *Cluster) runFastPath(sel *sql.SelectStmt, plan *fastPlan, d sql.Dialect
 	if err != nil {
 		return nil, err
 	}
-	final, err := c.finalizeOrderLimit(&core.Result{Columns: finalCols, Rows: rows}, sel)
+	return finalizeOrderLimit(&core.Result{Columns: finalCols, Rows: rows}, sel)
+}
+
+// runFastPath executes the decomposed plan: the (possibly rewritten)
+// query runs on every shard in parallel — each shard evaluating
+// predicates over its own compressed data — and the coordinator merges
+// partial results. This is the scatter/gather model of Figure 2.
+func (c *Cluster) runFastPath(sel *sql.SelectStmt, plan *fastPlan, d sql.Dialect, text string) (*core.Result, error) {
+	shardSel, err := buildShardSel(sel, plan)
+	if err != nil {
+		return nil, err
+	}
+	results, err := c.scatter(shardSel, d, plan.singleShard)
+	if err != nil {
+		return nil, err
+	}
+	final, err := mergeFastResults(sel, plan, results)
 	if err != nil {
 		return nil, err
 	}
@@ -179,6 +198,17 @@ func (c *Cluster) runFastPath(sel *sql.SelectStmt, plan *fastPlan, d sql.Dialect
 // slowest shard), appends it to the cluster history, and attaches it to
 // the coordinator result.
 func (c *Cluster) mergeShardStats(res *core.Result, shardResults []*core.Result, text string) {
+	rec, ok := foldShardStats(c.reg, res, shardResults, text)
+	if ok {
+		res.Stats = rec
+	}
+}
+
+// foldShardStats is the registry-level half of mergeShardStats, shared
+// with NetCluster. expected = scatter width: a shard whose result came
+// back without instrumentation surfaces as a degraded merge, not an
+// under-count.
+func foldShardStats(reg *telemetry.Registry, res *core.Result, shardResults []*core.Result, text string) (*telemetry.QueryRecord, bool) {
 	var recs []telemetry.QueryRecord
 	for _, r := range shardResults {
 		if r != nil && r.Stats != nil {
@@ -186,15 +216,15 @@ func (c *Cluster) mergeShardStats(res *core.Result, shardResults []*core.Result,
 		}
 	}
 	if len(recs) == 0 {
-		return
+		return nil, false
 	}
-	merged := telemetry.MergeShardRecords(recs)
-	merged.ID = c.reg.NextID()
+	merged := telemetry.MergeShardRecords(recs, len(shardResults))
+	merged.ID = reg.NextID()
 	merged.SQL = text
 	// Shard rows are partials; the user-visible count is the final merge.
 	merged.Rows = int64(len(res.Rows))
-	c.reg.Record(merged)
-	res.Stats = &merged
+	reg.Record(merged)
+	return &merged, true
 }
 
 // scatter runs the statement on every shard in parallel; singleShard
@@ -233,7 +263,7 @@ func (c *Cluster) scatter(sel *sql.SelectStmt, d sql.Dialect, singleShard bool) 
 // finalizeOrderLimit applies the original ORDER BY / LIMIT / OFFSET at
 // the coordinator. ORDER BY terms must be ordinals or output column
 // names; anything else errors (caller falls back to the gather path).
-func (c *Cluster) finalizeOrderLimit(res *core.Result, sel *sql.SelectStmt) (*core.Result, error) {
+func finalizeOrderLimit(res *core.Result, sel *sql.SelectStmt) (*core.Result, error) {
 	if len(sel.OrderBy) > 0 {
 		type key struct {
 			idx  int

@@ -74,24 +74,42 @@ func (c *Cluster) Checkpoint() error {
 			}
 		}
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+	if err := writeManifest(c.fs, m); err != nil {
 		return fmt.Errorf("mpp: checkpoint: %w", err)
 	}
-	c.fs.WriteFile(manifestPath, buf.Bytes())
 	return nil
+}
+
+// writeManifest gob-encodes the cluster manifest onto the clustered
+// filesystem.
+func writeManifest(fs *clusterfs.FS, m manifest) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return err
+	}
+	fs.WriteFile(manifestPath, buf.Bytes())
+	return nil
+}
+
+// readManifest loads the persisted cluster manifest.
+func readManifest(fs *clusterfs.FS) (manifest, error) {
+	var m manifest
+	data, err := fs.ReadFile(manifestPath)
+	if err != nil {
+		return m, fmt.Errorf("mpp: no manifest: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return m, fmt.Errorf("mpp: manifest: %w", err)
+	}
+	return m, nil
 }
 
 // Restore builds a cluster over nodes from a checkpointed clustered
 // filesystem (typically a Snapshot of the original): the manifest fixes
 // the shard count; the node list — the physical topology — is free.
 func Restore(nodes []NodeSpec, fs *clusterfs.FS) (*Cluster, error) {
-	data, err := fs.ReadFile(manifestPath)
+	m, err := readManifest(fs)
 	if err != nil {
-		return nil, fmt.Errorf("mpp: restore: no manifest: %w", err)
-	}
-	var m manifest
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
 		return nil, fmt.Errorf("mpp: restore: %w", err)
 	}
 	if len(nodes) == 0 {

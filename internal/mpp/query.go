@@ -96,8 +96,22 @@ func (c *Cluster) insertStmt(stmt *sql.InsertStmt, d sql.Dialect) (*core.Result,
 		}
 		return &core.Result{RowsAffected: int64(len(res.Rows))}, nil
 	}
-	// Evaluate literal rows with a scratch compiler.
+	rows, err := evalInsertRows(stmt, meta.schema, d)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Insert(stmt.Table, rows); err != nil {
+		return nil, err
+	}
+	return &core.Result{RowsAffected: int64(len(rows))}, nil
+}
+
+// evalInsertRows evaluates an INSERT's literal rows with a scratch
+// compiler and maps any column list onto the table schema. Shared by
+// the in-process and network coordinators.
+func evalInsertRows(stmt *sql.InsertStmt, schema types.Schema, d sql.Dialect) ([]types.Row, error) {
 	scratch := core.Open(core.Config{BufferPoolBytes: 1 << 20})
+	defer scratch.Close()
 	comp := sql.NewCompiler(scratch.Catalog(), d, &sql.EvalEnv{Dialect: d})
 	var rows []types.Row
 	for _, exprRow := range stmt.Rows {
@@ -113,14 +127,13 @@ func (c *Cluster) insertStmt(stmt *sql.InsertStmt, d sql.Dialect) (*core.Result,
 			}
 			row[i] = v
 		}
-		// Column-list mapping.
 		if len(stmt.Columns) > 0 {
-			full := make(types.Row, len(meta.schema))
+			full := make(types.Row, len(schema))
 			for i := range full {
-				full[i] = types.NullOf(meta.schema[i].Kind)
+				full[i] = types.NullOf(schema[i].Kind)
 			}
 			for i, name := range stmt.Columns {
-				ci := meta.schema.ColumnIndex(name)
+				ci := schema.ColumnIndex(name)
 				if ci < 0 {
 					return nil, fmt.Errorf("mpp: column %s not in table %s", name, stmt.Table)
 				}
@@ -130,10 +143,7 @@ func (c *Cluster) insertStmt(stmt *sql.InsertStmt, d sql.Dialect) (*core.Result,
 		}
 		rows = append(rows, row)
 	}
-	if err := c.Insert(stmt.Table, rows); err != nil {
-		return nil, err
-	}
-	return &core.Result{RowsAffected: int64(len(rows))}, nil
+	return rows, nil
 }
 
 func (c *Cluster) createTableStmt(stmt *sql.CreateTableStmt) (*core.Result, error) {
@@ -329,25 +339,43 @@ func hasSubquery(e sql.Expr) bool {
 // COUNT/SUM/MIN/MAX/AVG, and select items that are either group-by
 // columns or aggregate calls.
 func (c *Cluster) decompose(sel *sql.SelectStmt) (*fastPlan, bool) {
-	if len(sel.With) > 0 || sel.Union != nil || sel.Distinct || sel.Having != nil {
+	lookup := func(name string) (replicated, known bool) {
+		c.mu.RLock()
+		meta, ok := c.tables[strings.ToLower(name)]
+		c.mu.RUnlock()
+		if !ok {
+			return false, false
+		}
+		return meta.repl, true
+	}
+	nonRepl, ok := countFromTables(sel, lookup)
+	if !ok || nonRepl > 1 {
 		return nil, false
 	}
-	if sel.Where != nil && hasSubquery(sel.Where) {
+	plan, ok := classifySelect(sel)
+	if !ok {
 		return nil, false
 	}
-	// FROM analysis: count non-replicated cluster tables.
+	// singleShard: every FROM table is replicated, so the query must run
+	// on exactly one shard (scattering would multiply results).
+	plan.singleShard = nonRepl == 0
+	return plan, true
+}
+
+// countFromTables walks the FROM clause counting non-replicated cluster
+// tables; ok=false when any table is unknown or the join shape is
+// outside the fast path.
+func countFromTables(sel *sql.SelectStmt, lookup func(string) (replicated, known bool)) (int, bool) {
 	nonRepl := 0
 	var checkFrom func(fi sql.FromItem) bool
 	checkFrom = func(fi sql.FromItem) bool {
 		switch f := fi.(type) {
 		case *sql.TableRef:
-			c.mu.RLock()
-			meta, ok := c.tables[strings.ToLower(f.Name)]
-			c.mu.RUnlock()
-			if !ok {
+			repl, known := lookup(f.Name)
+			if !known {
 				return false
 			}
-			if !meta.repl {
+			if !repl {
 				nonRepl++
 			}
 			return true
@@ -361,19 +389,30 @@ func (c *Cluster) decompose(sel *sql.SelectStmt) (*fastPlan, bool) {
 		}
 	}
 	if len(sel.From) == 0 {
-		return nil, false
+		return 0, false
 	}
 	for _, fi := range sel.From {
 		if !checkFrom(fi) {
-			return nil, false
+			return 0, false
 		}
 	}
-	if nonRepl > 1 {
+	return nonRepl, true
+}
+
+// classifySelect decides whether the statement's shape (everything but
+// the FROM placement) decomposes into partial aggregation: no
+// CTEs/UNION/DISTINCT/HAVING or subqueries, aggregates limited to
+// COUNT/SUM/MIN/MAX/AVG, select items either group-by columns or
+// aggregate calls. Shared by the scatter fast path and the shuffle-join
+// path (partial aggregation is correct over ANY disjoint partitioning
+// of the input rows).
+func classifySelect(sel *sql.SelectStmt) (*fastPlan, bool) {
+	if len(sel.With) > 0 || sel.Union != nil || sel.Distinct || sel.Having != nil {
 		return nil, false
 	}
-	plan0singleShard := nonRepl == 0
-
-	// Classify select items.
+	if sel.Where != nil && hasSubquery(sel.Where) {
+		return nil, false
+	}
 	groupKeys := make(map[string]bool)
 	for _, g := range sel.GroupBy {
 		if ref, ok := g.(*sql.ColumnRef); ok {
@@ -382,7 +421,7 @@ func (c *Cluster) decompose(sel *sql.SelectStmt) (*fastPlan, bool) {
 			return nil, false // complex group expressions: gather path
 		}
 	}
-	plan := &fastPlan{singleShard: plan0singleShard}
+	plan := &fastPlan{}
 	hasAgg := false
 	for _, it := range sel.Items {
 		switch e := it.Expr.(type) {

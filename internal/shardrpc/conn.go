@@ -1,0 +1,37 @@
+package shardrpc
+
+import (
+	"bufio"
+	"net"
+	"time"
+)
+
+// serverConn is the server side of one protocol connection: buffered
+// framing with a write deadline (a dead client must not wedge a handler
+// goroutine mid-response). Reads carry no deadline — idle coordinator
+// connections are normal.
+type serverConn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+const serverWriteTimeout = 30 * time.Second
+
+func (c *serverConn) init() {
+	c.br = bufio.NewReaderSize(c.nc, 64<<10)
+	c.bw = bufio.NewWriterSize(c.nc, 64<<10)
+}
+
+func (c *serverConn) read() (FrameType, []byte, error) {
+	c.nc.SetReadDeadline(time.Time{})
+	return ReadFrame(c.br)
+}
+
+func (c *serverConn) write(t FrameType, payload []byte) error {
+	c.nc.SetWriteDeadline(time.Now().Add(serverWriteTimeout))
+	if err := WriteFrame(c.bw, t, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}

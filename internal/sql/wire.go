@@ -1,0 +1,32 @@
+package sql
+
+import (
+	"encoding/gob"
+	"sync"
+)
+
+// RegisterWire registers every AST node with encoding/gob so parsed
+// statements can travel between the MPP coordinator and shard servers
+// as-is: the coordinator rewrites the AST (partial-aggregate select
+// lists, shuffle-table substitution) and ships the tree instead of
+// rendering it back to SQL text. Literal values ride on
+// types.Value.GobEncode. Safe to call from multiple packages; the
+// registrations happen once.
+var RegisterWire = sync.OnceFunc(func() {
+	for _, t := range []any{
+		// Expressions.
+		&Literal{}, &ColumnRef{}, &Star{}, &BinaryOp{}, &UnaryOp{},
+		&FuncCall{}, &CaseExpr{}, &CastExpr{}, &IsNullExpr{}, &IsBoolExpr{},
+		&BetweenExpr{}, &InExpr{}, &ExistsExpr{}, &SubqueryExpr{},
+		&SeqValExpr{}, &RownumExpr{}, &ParamExpr{}, &OverlapsExpr{},
+		// FROM items.
+		&TableRef{}, &SubqueryRef{}, &JoinRef{},
+		// Statements the coordinator scatters or broadcasts.
+		&SelectStmt{}, &InsertStmt{}, &UpdateStmt{}, &DeleteStmt{},
+		&CreateTableStmt{}, &DropStmt{}, &TruncateStmt{}, &CreateViewStmt{},
+		&CreateSequenceStmt{}, &CreateAliasStmt{}, &CreateIndexStmt{},
+		&SetStmt{}, &ExplainStmt{}, &ValuesStmt{}, &CallStmt{}, &BeginBlockStmt{},
+	} {
+		gob.Register(t)
+	}
+})

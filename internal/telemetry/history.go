@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -162,7 +163,14 @@ func (r *Registry) Totals() Counters {
 // ran concurrently), row/stride counters are summed, and per-operator stats
 // merge positionally when the shard plans line up (same shape, which holds
 // for scatter: every shard runs the identical plan).
-func MergeShardRecords(recs []QueryRecord) QueryRecord {
+//
+// expected is the number of shards the query was scattered to. When
+// fewer records arrive — a shard died mid-query, or its result carried
+// no instrumentation — the merged record surfaces as "degraded" instead
+// of silently under-counting: a cluster-level aggregate built from a
+// subset of shards is NOT the query's true cost, and monitoring must be
+// able to tell.
+func MergeShardRecords(recs []QueryRecord, expected int) QueryRecord {
 	var out QueryRecord
 	first := true
 	for _, q := range recs {
@@ -204,6 +212,16 @@ func MergeShardRecords(recs []QueryRecord) QueryRecord {
 			out.Ops[i].StridesSkipped += q.Ops[i].StridesSkipped
 			out.Ops[i].SpillRuns += q.Ops[i].SpillRuns
 			out.Ops[i].SpillBytes += q.Ops[i].SpillBytes
+		}
+	}
+	if len(recs) < expected {
+		// A shard-reported error is more specific than the gap it caused;
+		// otherwise the record degrades so dashboards see the subset.
+		if out.Status == "" || out.Status == "ok" {
+			out.Status = "degraded"
+		}
+		if out.Err == "" {
+			out.Err = fmt.Sprintf("%d of %d shard records missing", expected-len(recs), expected)
 		}
 	}
 	return out

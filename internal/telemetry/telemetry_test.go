@@ -138,7 +138,7 @@ func TestMergeShardRecords(t *testing.T) {
 			},
 		},
 	}
-	m := MergeShardRecords(recs)
+	m := MergeShardRecords(recs, len(recs))
 	if m.Shards != 2 {
 		t.Fatalf("shards %d", m.Shards)
 	}
@@ -166,9 +166,71 @@ func TestMergeShardRecordsErrorPropagates(t *testing.T) {
 	m := MergeShardRecords([]QueryRecord{
 		{ID: 1, Status: "ok"},
 		{ID: 2, Status: "error", Err: "shard 1 died"},
-	})
+	}, 2)
 	if m.Status != "error" || m.Err != "shard 1 died" {
 		t.Fatalf("%+v", m)
+	}
+}
+
+func TestMergeShardRecordsMissingShardDegrades(t *testing.T) {
+	// A 4-shard scatter where only 3 records arrived: the merge must say
+	// so, not present the 3-shard sum as the query's cost.
+	recs := []QueryRecord{
+		{ID: 1, Status: "ok", Rows: 10, Elapsed: 5 * time.Millisecond},
+		{ID: 2, Status: "ok", Rows: 20, Elapsed: 9 * time.Millisecond},
+		{ID: 3, Status: "ok", Rows: 30, Elapsed: 2 * time.Millisecond},
+	}
+	m := MergeShardRecords(recs, 4)
+	if m.Status != "degraded" {
+		t.Fatalf("status %q, want degraded", m.Status)
+	}
+	if m.Err != "1 of 4 shard records missing" {
+		t.Fatalf("err %q", m.Err)
+	}
+	if m.Shards != 3 || m.Rows != 60 {
+		t.Fatalf("shards=%d rows=%d", m.Shards, m.Rows)
+	}
+	// A shard-reported error outranks the degradation marker.
+	recs[1].Status, recs[1].Err = "error", "conn reset"
+	m = MergeShardRecords(recs, 4)
+	if m.Status != "error" || m.Err != "conn reset" {
+		t.Fatalf("%+v", m)
+	}
+	// All records missing still degrades instead of returning a zero
+	// "ok" record.
+	m = MergeShardRecords(nil, 4)
+	if m.Status != "degraded" || m.Err != "4 of 4 shard records missing" {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestMergeShardRecordsSkewedElapsed(t *testing.T) {
+	// Gather-path timing: shards run concurrently, so one straggler
+	// defines the query's elapsed time; summing would overstate it, and
+	// taking the first record's value would understate it.
+	recs := []QueryRecord{
+		{ID: 1, Status: "ok", Elapsed: 2 * time.Millisecond, Dop: 8,
+			Ops: []OpRecord{{Name: "SCAN", Wall: 2 * time.Millisecond, Rows: 100}}},
+		{ID: 2, Status: "ok", Elapsed: 900 * time.Millisecond, Dop: 2,
+			Ops: []OpRecord{{Name: "SCAN", Wall: 880 * time.Millisecond, Rows: 90000}}},
+		{ID: 3, Status: "ok", Elapsed: 3 * time.Millisecond, Dop: 8,
+			Ops: []OpRecord{{Name: "SCAN", Wall: 3 * time.Millisecond, Rows: 140}}},
+	}
+	m := MergeShardRecords(recs, 3)
+	if m.Status != "ok" && m.Status != "" {
+		t.Fatalf("status %q", m.Status)
+	}
+	if m.Elapsed != 900*time.Millisecond {
+		t.Fatalf("elapsed %v, want the straggler's 900ms", m.Elapsed)
+	}
+	if m.Ops[0].Wall != 880*time.Millisecond {
+		t.Fatalf("op wall %v, want straggler max", m.Ops[0].Wall)
+	}
+	if m.Ops[0].Rows != 90240 {
+		t.Fatalf("op rows %d, want sum across shards", m.Ops[0].Rows)
+	}
+	if m.Dop != 8 {
+		t.Fatalf("dop %d", m.Dop)
 	}
 }
 

@@ -221,9 +221,21 @@ var paperMix = []struct {
 	{KindTruncate, 5},
 }
 
+// bulkLoadEvery folds concurrent load into the mix: every Nth draw from
+// the INSERT share becomes a KindBulkLoad batch of bulkLoadRows rows —
+// the flush unit a bulk loader (driver.BulkInserter) emits — so the
+// statement stream carries both trickle INSERTs and load streams, as
+// the paper's Test 2 environment did.
+const (
+	bulkLoadEvery = 8
+	bulkLoadRows  = 120
+)
+
 // MixedStatements generates n statements in the paper's ratio, shuffled
 // deterministically. CREATE/DROP pairs operate on scratch tables; DML
-// targets the fact table; SELECT/WITH/EXPLAIN draw from the analytic set.
+// targets the fact table; SELECT/WITH/EXPLAIN draw from the analytic
+// set; a slice of the INSERT share arrives as bulk-load flushes so the
+// workload measures concurrent load, not just trickle DML.
 func (f *Financial) MixedStatements(n int) []Statement {
 	rng := rand.New(rand.NewSource(99))
 	total := 0
@@ -239,6 +251,20 @@ func (f *Financial) MixedStatements(n int) []Statement {
 	scratchSeq := 0
 	liveScratch := []string{}
 	nextTxnID := int64(f.Scale)
+	insertSeq := 0
+
+	newTxnRow := func() types.Row {
+		r := types.Row{
+			types.NewInt(nextTxnID),
+			types.NewInt(int64(rng.Intn(nAcc))),
+			recentDate(rng.Intn(30)),
+			types.NewFloat(float64(rng.Intn(100_000)) / 100),
+			types.NewString(finTxnTypes[rng.Intn(len(finTxnTypes))]),
+			types.NewString("PENDING"),
+		}
+		nextTxnID++
+		return r
+	}
 
 	var add func(kind StatementKind)
 	add = func(kind StatementKind) {
@@ -253,17 +279,18 @@ func (f *Financial) MixedStatements(n int) []Statement {
 			q := analytic[rng.Intn(len(analytic))]
 			stmts = append(stmts, Statement{Kind: KindExplain, Query: &q})
 		case KindInsert:
+			insertSeq++
+			if insertSeq%bulkLoadEvery == 0 {
+				rows := make([]types.Row, bulkLoadRows)
+				for k := range rows {
+					rows[k] = newTxnRow()
+				}
+				stmts = append(stmts, Statement{Kind: KindBulkLoad, Table: "transactions", Rows: rows})
+				return
+			}
 			var rows []types.Row
 			for k := 0; k < 10; k++ {
-				rows = append(rows, types.Row{
-					types.NewInt(nextTxnID),
-					types.NewInt(int64(rng.Intn(nAcc))),
-					recentDate(rng.Intn(30)),
-					types.NewFloat(float64(rng.Intn(100_000)) / 100),
-					types.NewString(finTxnTypes[rng.Intn(len(finTxnTypes))]),
-					types.NewString("PENDING"),
-				})
-				nextTxnID++
+				rows = append(rows, newTxnRow())
 			}
 			stmts = append(stmts, Statement{Kind: KindInsert, Table: "transactions", Rows: rows})
 		case KindUpdate:

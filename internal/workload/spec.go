@@ -79,11 +79,17 @@ const (
 	KindTruncate
 	KindWith
 	KindExplain
+	// KindBulkLoad is a batched load flush — the unit a bulk loader
+	// (dashdb.DB.Bulk / driver.BulkInserter) emits. It carries the same
+	// Rows payload as KindInsert but engines route it through their bulk
+	// path, so Test 2 measures the workload *including load* as the
+	// paper ran it.
+	KindBulkLoad
 )
 
 // String names the kind.
 func (k StatementKind) String() string {
-	return [...]string{"SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "TRUNCATE", "WITH", "EXPLAIN"}[k]
+	return [...]string{"SELECT", "INSERT", "UPDATE", "DELETE", "CREATE", "DROP", "TRUNCATE", "WITH", "EXPLAIN", "BULKLOAD"}[k]
 }
 
 // mustDateInt resolves a compile-time-constant date literal to its day
@@ -217,7 +223,7 @@ func (s *Statement) SQL() string {
 		return "WITH w AS (" + inner + ") SELECT COUNT(*) FROM w"
 	case KindExplain:
 		return "EXPLAIN " + s.Query.SQL()
-	case KindInsert:
+	case KindInsert, KindBulkLoad:
 		var b strings.Builder
 		fmt.Fprintf(&b, "INSERT INTO %s VALUES ", s.Table)
 		for i, r := range s.Rows {

@@ -68,6 +68,23 @@ func TestMixedStatementsRespectPaperRatios(t *testing.T) {
 	if counts[KindCreate] == 0 || counts[KindDrop] == 0 {
 		t.Error("DDL missing from mix")
 	}
+	// Load rides along: a slice of the INSERT share arrives as bulk-load
+	// flushes with loader-sized batches, so Test 2 measures load too.
+	if counts[KindBulkLoad] == 0 {
+		t.Error("bulk-load statements missing from mix")
+	}
+	for _, s := range stmts {
+		switch s.Kind {
+		case KindBulkLoad:
+			if len(s.Rows) <= 10 {
+				t.Fatalf("bulk-load batch of %d rows is trickle-sized", len(s.Rows))
+			}
+		case KindInsert:
+			if len(s.Rows) > 10 {
+				t.Fatalf("trickle INSERT of %d rows is bulk-sized", len(s.Rows))
+			}
+		}
+	}
 	// Every statement renders to SQL.
 	for _, s := range stmts[:100] {
 		if s.SQL() == "" {
