@@ -1,6 +1,8 @@
 package mpp
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -58,8 +60,12 @@ type NetCluster struct {
 	nextID  uint32
 	reg     *telemetry.Registry
 	stats   NetStats
-	qid     atomic.Uint64
+	qid     atomic.Uint64 // randomly seeded; see NewNetCluster
 }
+
+// mintID mints a cluster-unique 64-bit ID (shuffle query IDs, DML
+// idempotency tokens) off the randomly seeded counter.
+func (c *NetCluster) mintID() uint64 { return c.qid.Add(1) }
 
 // NetStats counts coordinator path selections.
 type NetStats struct {
@@ -89,6 +95,15 @@ func NewNetCluster(nodes []NetNode, nShards int, fs *clusterfs.FS) (*NetCluster,
 		tables:  make(map[string]*tableMeta),
 		nextID:  1,
 		reg:     telemetry.NewRegistry(telemetry.DefaultHistorySize),
+	}
+	// Seed the ID counter with 64 random bits. The IDs key shuffle
+	// inboxes and the DML applied log on shard servers that outlive this
+	// process and may serve several coordinators at once, so a counter
+	// from zero would collide across coordinator processes and restarts,
+	// mixing one query's shuffle batches into another's join input.
+	var seed [8]byte
+	if _, err := crand.Read(seed[:]); err == nil {
+		c.qid.Store(binary.LittleEndian.Uint64(seed[:]))
 	}
 	for _, n := range nodes {
 		c.nodes = append(c.nodes, &netNode{spec: n, alive: true})
@@ -542,29 +557,18 @@ func (c *NetCluster) writeManifestLocked() error {
 
 // Insert routes rows to shards by distribution-key hash; replicated
 // tables receive every row on every shard. A node death mid-insert
-// triggers failover and one retry against the new owners.
+// triggers failover and a retry that re-sends ONLY the buckets whose
+// shard failed — shards that acknowledged the first attempt have their
+// rows durably applied and must not see them again. For the failed
+// shard itself, the per-statement token lets its adopter (which may
+// have recovered state the dead node persisted just before losing the
+// reply) acknowledge the resend without duplicating the bucket.
 func (c *NetCluster) Insert(table string, rows []types.Row) error {
 	c.mu.RLock()
 	meta, ok := c.tables[strings.ToLower(table)]
 	c.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("mpp: table %s does not exist", table)
-	}
-	for attempt := 0; ; attempt++ {
-		addr, err := c.insertOnce(table, meta, rows)
-		if err == nil {
-			return nil
-		}
-		if attempt > 0 || !c.handleNodeDeath(addr, err) {
-			return err
-		}
-	}
-}
-
-func (c *NetCluster) insertOnce(table string, meta *tableMeta, rows []types.Row) (string, error) {
-	addrs, err := c.shardAddrs()
-	if err != nil {
-		return "", err
 	}
 	buckets := make([][]types.Row, c.nShards)
 	if meta.repl {
@@ -577,25 +581,41 @@ func (c *NetCluster) insertOnce(table string, meta *tableMeta, rows []types.Row)
 			buckets[h%uint64(c.nShards)] = append(buckets[h%uint64(c.nShards)], r)
 		}
 	}
-	var wg sync.WaitGroup
-	errs := make([]error, c.nShards)
-	for s := 0; s < c.nShards; s++ {
-		if len(buckets[s]) == 0 {
-			continue
+	token := c.mintID()
+	var pending []int
+	for s := range buckets {
+		if len(buckets[s]) > 0 {
+			pending = append(pending, s)
 		}
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			errs[s] = c.pool.Insert(addrs[s], s, table, buckets[s])
-		}(s)
 	}
-	wg.Wait()
-	for s, err := range errs {
+	for attempt := 0; len(pending) > 0; attempt++ {
+		addrs, err := c.shardAddrs()
 		if err != nil {
-			return addrs[s], err
+			return err
 		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(pending))
+		for i, s := range pending {
+			wg.Add(1)
+			go func(i, s int) {
+				defer wg.Done()
+				errs[i] = c.pool.Insert(addrs[s], s, table, token, buckets[s])
+			}(i, s)
+		}
+		wg.Wait()
+		var retry []int
+		for i, s := range pending {
+			switch {
+			case errs[i] == nil:
+			case attempt == 0 && c.handleNodeDeath(addrs[s], errs[i]):
+				retry = append(retry, s)
+			default:
+				return errs[i]
+			}
+		}
+		pending = retry
 	}
-	return "", nil
+	return nil
 }
 
 // Rows returns a table's cluster-wide live row count.

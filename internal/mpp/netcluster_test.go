@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"dashdb/internal/clusterfs"
 	"dashdb/internal/shardrpc"
@@ -324,6 +325,103 @@ func TestNetClusterFailover(t *testing.T) {
 	}
 	if n, err := c.Rows("sales"); err != nil || n != 601 {
 		t.Fatalf("rows=%d err=%v", n, err)
+	}
+}
+
+// TestNetClusterInsertFailoverNoDuplicates kills a node WITHOUT telling
+// the coordinator, then inserts: the first attempt lands on the live
+// nodes and fails against the dead one, and the failover retry must
+// re-send only the failed shards' buckets. Re-sending everything (the
+// reviewed bug) duplicated rows on every shard that had already
+// durably applied its bucket.
+func TestNetClusterInsertFailoverNoDuplicates(t *testing.T) {
+	c, servers, _ := startNetCluster(t, 3, 6)
+	seedNetSales(t, c, 300)
+
+	servers[2].Close()
+
+	var batch []types.Row
+	for i := 300; i < 500; i++ {
+		batch = append(batch, types.Row{
+			types.NewInt(int64(i)),
+			types.NewString("north"),
+			types.NewFloat(1),
+		})
+	}
+	if err := c.Insert("sales", batch); err != nil {
+		t.Fatalf("insert across node death: %v", err)
+	}
+	if st := c.Stats(); st.Failovers != 1 {
+		t.Fatalf("failovers %d, want 1", st.Failovers)
+	}
+	if n, err := c.Rows("sales"); err != nil || n != 500 {
+		t.Fatalf("rows=%d err=%v, want exactly 500 (no duplicates, no losses)", n, err)
+	}
+	res, err := c.Query("SELECT COUNT(*) AS n FROM sales WHERE id >= 300")
+	if err != nil || res.Rows[0][0].Int() != 200 {
+		t.Fatalf("interrupted batch count %v err %v, want 200", res, err)
+	}
+}
+
+// TestNetClusterIDsSeededRandomly: distributed query IDs key shuffle
+// inboxes and DML tokens on shared long-lived servers, so two
+// coordinator processes (or one restarted) must not mint the same IDs.
+func TestNetClusterIDsSeededRandomly(t *testing.T) {
+	a, _, _ := startNetCluster(t, 1, 1)
+	b, _, _ := startNetCluster(t, 1, 1)
+	if x, y := a.mintID(), b.mintID(); x == y {
+		t.Fatalf("two coordinators minted the same ID %d", x)
+	}
+}
+
+// TestNetClusterShuffleJoinFailoverDrops kills a node, runs a shuffle
+// join (the statement completes on survivors via retry or gather
+// fallback), and checks no shuffle inboxes linger on the surviving
+// servers afterwards: the abandoned attempt's qid must be dropped
+// cluster-wide, not accumulate for the process lifetime.
+func TestNetClusterShuffleJoinFailoverDrops(t *testing.T) {
+	c, servers, _ := startNetCluster(t, 3, 3)
+	seedNetSales(t, c, 200)
+	if err := c.CreateTable("regions", types.Schema{
+		{Name: "name", Kind: types.KindString},
+		{Name: "manager", Kind: types.KindString, Nullable: true},
+	}, TableOptions{DistributeBy: "name"}); err != nil {
+		t.Fatalf("create regions: %v", err)
+	}
+	if err := c.Insert("regions", []types.Row{
+		{types.NewString("north"), types.NewString("ada")},
+		{types.NewString("south"), types.NewString("bob")},
+		{types.NewString("east"), types.NewString("cho")},
+		{types.NewString("west"), types.NewString("dee")},
+	}); err != nil {
+		t.Fatalf("insert regions: %v", err)
+	}
+
+	servers[1].Close()
+
+	res, err := c.Query("SELECT s.region, COUNT(*) AS n FROM sales s INNER JOIN regions r ON s.region = r.name GROUP BY s.region ORDER BY s.region")
+	if err != nil {
+		t.Fatalf("join after node death: %v", err)
+	}
+	total := int64(0)
+	for _, r := range res.Rows {
+		total += r[1].Int()
+	}
+	if total != 200 {
+		t.Fatalf("post-failover join count %d, want 200", total)
+	}
+	// Both surviving routers must drain to zero inboxes: the failed
+	// attempt's qid via the coordinator's drop broadcast, the successful
+	// attempt's via per-partition drops (deferred past the reply, hence
+	// the grace loop).
+	for _, i := range []int{0, 2} {
+		deadline := time.Now().Add(2 * time.Second)
+		for servers[i].Router().InboxCount() > 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("server %d still holds %d shuffle inboxes", i, servers[i].Router().InboxCount())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
 	}
 }
 

@@ -64,9 +64,13 @@ func resultToCore(r *shardrpc.Result) *core.Result {
 }
 
 // netBroadcast runs a statement on every shard, summing affected rows.
-// Shards that die mid-statement recover to their last persisted state,
-// so after a failover only the failed shards re-execute.
+// After a failover only the failed shards re-execute, and the statement
+// token makes that re-execution idempotent: a shard that persisted the
+// statement but lost the reply (the connection broke between persist
+// and reply read) acknowledges the retry from its applied log instead
+// of applying twice — e.g. UPDATE balance = balance + x must not add 2x.
 func (c *NetCluster) netBroadcast(st sql.Statement, d sql.Dialect) (*core.Result, error) {
+	token := c.mintID()
 	pending := make([]int, 0, c.nShards)
 	for s := 0; s < c.nShards; s++ {
 		pending = append(pending, s)
@@ -84,7 +88,7 @@ func (c *NetCluster) netBroadcast(st sql.Statement, d sql.Dialect) (*core.Result
 			wg.Add(1)
 			go func(i, s int) {
 				defer wg.Done()
-				res, err := c.pool.Exec(addrs[s], shardrpc.ExecReq{ShardID: s, Dialect: d, Stmt: st})
+				res, err := c.pool.Exec(addrs[s], shardrpc.ExecReq{ShardID: s, Dialect: d, Stmt: st, Token: token})
 				if err != nil {
 					errs[i] = err
 					return
@@ -394,18 +398,39 @@ func resolveJoinRef(ref *sql.ColumnRef, lt *sql.TableRef, lm *tableMeta, rt *sql
 // partial results exactly as for a scatter.
 func (c *NetCluster) netShuffleJoin(sel *sql.SelectStmt, sj *shuffleJoin, d sql.Dialect, text string) (*core.Result, error) {
 	for attempt := 0; ; attempt++ {
-		res, failAddr, err := c.shuffleJoinOnce(sel, sj, d, text)
+		qid := c.mintID()
+		res, failAddr, err := c.shuffleJoinOnce(qid, sel, sj, d, text)
 		if err == nil {
 			return res, nil
 		}
+		// Abandon the attempt's shuffle state everywhere: join fragments
+		// that never started would otherwise leave this qid's delivered
+		// batches in surviving servers' inboxes for the process lifetime
+		// (DropPart only runs inside fragments that actually execute).
+		c.dropShuffle(qid)
 		if attempt > 0 || !c.handleNodeDeath(failAddr, err) {
 			return nil, err
 		}
 	}
 }
 
-func (c *NetCluster) shuffleJoinOnce(sel *sql.SelectStmt, sj *shuffleJoin, d sql.Dialect, text string) (*core.Result, string, error) {
-	qid := c.qid.Add(1)
+// dropShuffle best-effort discards a distributed query's shuffle
+// inboxes on every alive server.
+func (c *NetCluster) dropShuffle(qid uint64) {
+	c.mu.RLock()
+	var addrs []string
+	for _, n := range c.nodes {
+		if n.alive {
+			addrs = append(addrs, n.spec.Addr)
+		}
+	}
+	c.mu.RUnlock()
+	for _, addr := range addrs {
+		c.pool.DropShuffle(addr, qid) //nolint:errcheck — best effort; a dead node has no inboxes to free
+	}
+}
+
+func (c *NetCluster) shuffleJoinOnce(qid uint64, sel *sql.SelectStmt, sj *shuffleJoin, d sql.Dialect, text string) (*core.Result, string, error) {
 	addrs, err := c.shardAddrs()
 	if err != nil {
 		return nil, "", err

@@ -2,6 +2,7 @@ package shardrpc
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -350,9 +351,12 @@ func (p *Pool) Exec(addr string, req ExecReq) (*Result, error) {
 	return res, err
 }
 
-// Insert ships pre-routed rows to a shard's table.
-func (p *Pool) Insert(addr string, shardID int, table string, rows []types.Row) error {
-	hdr, err := encodeGob(&InsertHdr{ShardID: shardID, Table: table, NRows: len(rows)})
+// Insert ships pre-routed rows to a shard's table. The token (nonzero)
+// lets a shard that already durably applied this bucket — but whose
+// reply was lost to a node death — acknowledge a coordinator retry
+// without inserting the rows twice.
+func (p *Pool) Insert(addr string, shardID int, table string, token uint64, rows []types.Row) error {
+	hdr, err := encodeGob(&InsertHdr{ShardID: shardID, Table: table, NRows: len(rows), Token: token})
 	if err != nil {
 		return err
 	}
@@ -470,6 +474,25 @@ func (p *Pool) JoinFrag(addr string, req JoinFragReq) (*Result, error) {
 		return err
 	})
 	return res, err
+}
+
+// DropShuffle asks a server to discard every shuffle inbox of a
+// distributed query: the coordinator broadcasts it after abandoning a
+// failed attempt, so partially delivered batches don't sit in server
+// memory for the process lifetime.
+func (p *Pool) DropShuffle(addr string, query uint64) error {
+	payload := binary.AppendUvarint(nil, query)
+	return p.Do(addr, 1, func(c *Conn) error {
+		t, _, err := c.call(FrameShuffleDrop, payload)
+		if err != nil {
+			return err
+		}
+		if t != FrameOK {
+			c.Fail()
+			return fmt.Errorf("shardrpc: %s: unexpected shuffle drop reply %d", addr, t)
+		}
+		return nil
+	})
 }
 
 // SendShuffle ships one shuffle batch (or EOF when rows is nil) to the

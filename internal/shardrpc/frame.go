@@ -65,6 +65,7 @@ const (
 	FrameAdopt             // gob AdoptReq: host these shards
 	FrameRelease           // gob ReleaseReq: stop hosting these shards
 	FrameRowCount          // gob RowCountReq
+	FrameShuffleDrop       // uvarint query id: discard that query's shuffle inboxes
 	frameTypeMax
 )
 

@@ -37,6 +37,11 @@ type ExecReq struct {
 	Stmt      sql.Statement
 	SQL       string // original text, for telemetry/history on the shard
 	WithStats bool   // collect ANALYZE records for coordinator merge
+	// Token is the statement's idempotency token for DML (0 = none): a
+	// shard that already applied and logged this token acknowledges the
+	// request without re-executing, so a failover retry after a lost
+	// reply cannot double-apply (see the Server applied log).
+	Token uint64
 }
 
 // ResultHdr carries the non-row part of a core.Result.
@@ -52,6 +57,9 @@ type InsertHdr struct {
 	ShardID int
 	Table   string
 	NRows   int
+	// Token is the idempotency token shared by every shard bucket of one
+	// logical insert (0 = none); same replay protection as ExecReq.Token.
+	Token uint64
 }
 
 // TableSpec is the catalog entry shipped with AdoptReq so an adopting

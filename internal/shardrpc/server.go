@@ -1,6 +1,7 @@
 package shardrpc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sort"
@@ -30,6 +31,8 @@ type Server struct {
 
 	mu      sync.RWMutex
 	engines map[int]*engineSlot
+
+	appliedMu sync.Mutex // serializes applied-log read-modify-write cycles
 
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -217,6 +220,85 @@ func persistEngine(db *core.DB) {
 	}
 }
 
+// --- DML idempotency ---------------------------------------------------------
+
+// A DML reply can be lost after the shard durably applied the statement:
+// the connection breaks between persist and reply read, or the node dies
+// right after persisting and a survivor adopts the already-updated state.
+// The coordinator's failover retry would then re-apply the statement. To
+// close that window each shard keeps a small log of recently applied
+// statement tokens on the clustered filesystem, written immediately
+// after the engine persists: a retry whose token is already logged is
+// acknowledged (with the recorded affected count) without re-executing.
+// The log lives in the shard's file-set, so it follows the shard to
+// whichever node adopts it after a death. Residual at-least-once window:
+// a crash between the engine persist and the token write re-applies one
+// statement — two back-to-back clusterfs writes apart, versus the whole
+// persist→reply round trip without the log. Concurrent coordinators
+// racing distinct DML on one shard can also evict each other's tokens
+// once the log wraps (appliedKeep entries), so retries are deduplicated
+// best-effort, not transactionally.
+
+// appliedKeep bounds the per-shard applied-token log.
+const appliedKeep = 32
+
+type appliedEntry struct {
+	Token        uint64
+	RowsAffected int64
+}
+
+type appliedLog struct {
+	Recent []appliedEntry // newest last, at most appliedKeep
+}
+
+func appliedPath(shardID int) string {
+	return fmt.Sprintf("shards/%04d/applied", shardID)
+}
+
+// lookupApplied reports whether this shard already applied the token,
+// and the affected count recorded for it.
+func (s *Server) lookupApplied(shardID int, token uint64) (int64, bool) {
+	if token == 0 {
+		return 0, false
+	}
+	s.appliedMu.Lock()
+	defer s.appliedMu.Unlock()
+	lg := s.readAppliedLocked(shardID)
+	for _, e := range lg.Recent {
+		if e.Token == token {
+			return e.RowsAffected, true
+		}
+	}
+	return 0, false
+}
+
+func (s *Server) readAppliedLocked(shardID int) appliedLog {
+	var lg appliedLog
+	data, err := s.fs.ReadFile(appliedPath(shardID))
+	if err != nil {
+		return lg
+	}
+	decodeGob(data, &lg) //nolint:errcheck — a corrupt log reads as empty
+	return lg
+}
+
+// markApplied logs a token after the shard state it covers is persisted.
+func (s *Server) markApplied(shardID int, token uint64, affected int64) {
+	if token == 0 {
+		return
+	}
+	s.appliedMu.Lock()
+	defer s.appliedMu.Unlock()
+	lg := s.readAppliedLocked(shardID)
+	lg.Recent = append(lg.Recent, appliedEntry{Token: token, RowsAffected: affected})
+	if len(lg.Recent) > appliedKeep {
+		lg.Recent = lg.Recent[len(lg.Recent)-appliedKeep:]
+	}
+	if data, err := encodeGob(&lg); err == nil {
+		s.fs.WriteFile(appliedPath(shardID), data)
+	}
+}
+
 func (s *Server) engine(shardID int) (*engineSlot, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -300,6 +382,13 @@ func (s *Server) dispatch(c *serverConn, t FrameType, payload []byte) error {
 		return s.handleJoinFrag(c, payload)
 	case FrameShuffleData, FrameShuffleEOF:
 		return reply(s.handleShuffle(t, payload))
+	case FrameShuffleDrop:
+		q, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return reply(fmt.Errorf("shuffle drop: truncated query id"))
+		}
+		s.router.Drop(q)
+		return reply(nil)
 	case FrameAdopt:
 		var req AdoptReq
 		if _, err := decodeGob(payload, &req); err != nil {
@@ -372,14 +461,23 @@ func (s *Server) handleExec(c *serverConn, payload []byte) error {
 	if err != nil {
 		return c.write(FrameErr, []byte(err.Error()))
 	}
+	write := !isReadOnly(req.Stmt)
+	if write {
+		if affected, ok := s.lookupApplied(req.ShardID, req.Token); ok {
+			// Lost-reply retry of a statement this shard already durably
+			// applied: acknowledge without re-executing it.
+			return writeResultStream(c, &core.Result{RowsAffected: affected, Message: "OK"}, false)
+		}
+	}
 	sess := slot.db.NewSession()
 	sess.SetDialect(req.Dialect)
 	res, err := sess.ExecParsed(req.Stmt)
 	if err != nil {
 		return c.write(FrameErr, []byte(err.Error()))
 	}
-	if !isReadOnly(req.Stmt) {
+	if write {
 		persistEngine(slot.db)
+		s.markApplied(req.ShardID, req.Token, res.RowsAffected)
 	}
 	return writeResultStream(c, res, req.WithStats)
 }
@@ -398,6 +496,9 @@ func (s *Server) handleInsert(payload []byte) error {
 	if err != nil {
 		return err
 	}
+	if _, ok := s.lookupApplied(hdr.ShardID, hdr.Token); ok {
+		return nil // this bucket already landed durably; retry after a lost reply
+	}
 	tbl, ok := slot.db.Table(hdr.Table)
 	if !ok {
 		return fmt.Errorf("shard %d missing table %s", hdr.ShardID, hdr.Table)
@@ -405,7 +506,11 @@ func (s *Server) handleInsert(payload []byte) error {
 	if err := tbl.InsertBatch(rows); err != nil {
 		return err
 	}
-	return tbl.SaveMeta()
+	if err := tbl.SaveMeta(); err != nil {
+		return err
+	}
+	s.markApplied(hdr.ShardID, hdr.Token, int64(len(rows)))
+	return nil
 }
 
 func (s *Server) handleFragment(payload []byte) error {

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"dashdb/internal/clusterfs"
 	"dashdb/internal/sql"
@@ -231,7 +232,7 @@ func TestServerExecInsertRoundTrip(t *testing.T) {
 		{types.NewInt(1), types.NewString("north"), types.NewFloat(10)},
 		{types.NewInt(2), types.NewString("south"), types.NewFloat(20)},
 	}
-	if err := p.Insert(s.Addr(), 0, "sales", rows); err != nil {
+	if err := p.Insert(s.Addr(), 0, "sales", 1, rows); err != nil {
 		t.Fatal(err)
 	}
 	n, err := p.RowCount(s.Addr(), 0, "sales")
@@ -282,7 +283,7 @@ func TestAdoptAcrossServers(t *testing.T) {
 		{types.NewInt(1), types.NewString("north"), types.NewFloat(10)},
 		{types.NewInt(2), types.NewString("south"), types.NewFloat(20)},
 	}
-	if err := p.Insert(s1.Addr(), 1, "sales", rows); err != nil {
+	if err := p.Insert(s1.Addr(), 1, "sales", 2, rows); err != nil {
 		t.Fatal(err)
 	}
 	// "Kill" server 1; a second server over the SAME filesystem adopts
@@ -340,6 +341,159 @@ func TestPoolReusesConnections(t *testing.T) {
 	defer c3.Release()
 	if c3 == c2 {
 		t.Fatal("broken connection was recycled")
+	}
+}
+
+// TestInsertTokenReplay: a re-sent insert with the same token must not
+// duplicate rows — the lost-reply failover retry case. The applied log
+// lives on clusterfs, so the dedup must also hold when another server
+// adopts the shard after a node death.
+func TestInsertTokenReplay(t *testing.T) {
+	fs := clusterfs.New()
+	s := startTestServer(t, fs)
+	p := NewPool("coord")
+	defer p.Close()
+	rows := []types.Row{
+		{types.NewInt(1), types.NewString("north"), types.NewFloat(10)},
+		{types.NewInt(2), types.NewString("south"), types.NewFloat(20)},
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.Insert(s.Addr(), 0, "sales", 77, rows); err != nil {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+	}
+	if n, err := p.RowCount(s.Addr(), 0, "sales"); err != nil || n != 2 {
+		t.Fatalf("replayed insert duplicated rows: n=%d err=%v", n, err)
+	}
+	// Token 0 opts out of dedup.
+	if err := p.Insert(s.Addr(), 0, "sales", 0, rows); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := p.RowCount(s.Addr(), 0, "sales"); n != 4 {
+		t.Fatalf("token-0 insert should append: n=%d", n)
+	}
+	// Kill the server; an adopter over the same filesystem must still
+	// recognize the token.
+	s.Close()
+	s2 := NewServer("survivor", fs)
+	if err := s2.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Adopt(AdoptReq{
+		Shards: []ShardAssign{{ID: 0, MemBytes: 4 << 20, SortHeap: 512 << 10, HashHeap: 512 << 10, Parallelism: 1}},
+		Tables: []TableSpec{{
+			Name: "sales", ID: 1,
+			Schema: types.Schema{
+				{Name: "id", Kind: types.KindInt},
+				{Name: "region", Kind: types.KindString, Nullable: true},
+				{Name: "amount", Kind: types.KindFloat, Nullable: true},
+			},
+		}},
+		Reason: "failover",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Insert(s2.Addr(), 0, "sales", 77, rows); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := p.RowCount(s2.Addr(), 0, "sales"); err != nil || n != 4 {
+		t.Fatalf("adopter re-applied a logged token: n=%d err=%v", n, err)
+	}
+}
+
+// TestExecTokenReplay: non-idempotent DML retried with the same token
+// must acknowledge with the recorded affected count instead of applying
+// twice (UPDATE amount = amount + 1 must not add 2).
+func TestExecTokenReplay(t *testing.T) {
+	fs := clusterfs.New()
+	s := startTestServer(t, fs)
+	p := NewPool("coord")
+	defer p.Close()
+	if err := p.Insert(s.Addr(), 0, "sales", 5, []types.Row{
+		{types.NewInt(1), types.NewString("north"), types.NewFloat(10)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	upd, err := sql.Parse("UPDATE sales SET amount = amount + 1 WHERE id = 1", sql.DialectANSI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := p.Exec(s.Addr(), ExecReq{ShardID: 0, Stmt: upd, Token: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := p.Exec(s.Addr(), ExecReq{ShardID: 0, Stmt: upd, Token: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.RowsAffected != first.RowsAffected {
+		t.Fatalf("replay affected %d, first %d", replay.RowsAffected, first.RowsAffected)
+	}
+	check := func(want float64) {
+		t.Helper()
+		q, _ := sql.Parse("SELECT amount FROM sales WHERE id = 1", sql.DialectANSI)
+		res, err := p.Exec(s.Addr(), ExecReq{ShardID: 0, Stmt: q})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Rows[0][0].Float(); got != want {
+			t.Fatalf("amount %v, want %v", got, want)
+		}
+	}
+	check(11) // applied once, not twice
+	// A fresh token applies again.
+	if _, err := p.Exec(s.Addr(), ExecReq{ShardID: 0, Stmt: upd, Token: 10}); err != nil {
+		t.Fatal(err)
+	}
+	check(12)
+}
+
+// TestShuffleDropFrame: FrameShuffleDrop discards every inbox of one
+// query and leaves other queries' inboxes alone.
+func TestShuffleDropFrame(t *testing.T) {
+	fs := clusterfs.New()
+	s := startTestServer(t, fs)
+	p := NewPool("coord")
+	defer p.Close()
+	rows := []types.Row{{types.NewInt(1)}}
+	if err := p.SendShuffle(s.Addr(), shuffleHdr{Query: 7, Stage: 0, Part: 1, Sender: 0}, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SendShuffle(s.Addr(), shuffleHdr{Query: 8, Stage: 0, Part: 0, Sender: 0}, rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Router().InboxCount(); got != 2 {
+		t.Fatalf("inboxes %d, want 2", got)
+	}
+	if err := p.DropShuffle(s.Addr(), 7); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Router().InboxCount(); got != 1 {
+		t.Fatalf("inboxes after drop %d, want 1 (query 8 untouched)", got)
+	}
+}
+
+// TestShuffleRecvTimeout: with a dead peer (no EOF ever arrives), Recv
+// must return the timeout error rather than blocking forever — the
+// timer broadcast must not be lost between the deadline check and
+// cond.Wait.
+func TestShuffleRecvTimeout(t *testing.T) {
+	r := NewShuffleRouter()
+	r.Wait = 50 * time.Millisecond
+	src := r.Source(1, 0, 0, 2) // two senders, neither will ever EOF
+	done := make(chan error, 1)
+	go func() {
+		_, err := src.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv returned success with senders outstanding")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv blocked far past its timeout (lost wakeup)")
 	}
 }
 

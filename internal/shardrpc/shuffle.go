@@ -134,6 +134,14 @@ func (r *ShuffleRouter) Drop(query uint64) {
 	}
 }
 
+// InboxCount reports how many inboxes the router currently holds
+// (leak checks: abandoned queries must not accumulate state).
+func (r *ShuffleRouter) InboxCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.inboxes)
+}
+
 // DropPart discards one partition's inboxes (all stages) once its
 // consuming fragment finished; other partitions of the same query may
 // still be draining on this server.
@@ -156,7 +164,15 @@ type inboxSource struct {
 func (s *inboxSource) Recv() ([]types.Row, error) {
 	in := s.in
 	deadline := time.Now().Add(s.wait)
-	timer := time.AfterFunc(s.wait, in.cond.Broadcast)
+	// The timer callback must hold in.mu before broadcasting: a bare
+	// Broadcast can fire between the reader's deadline check and its
+	// cond.Wait, and with a dead peer (the very case the timeout exists
+	// for) no later Deliver/EOF would ever wake the reader again.
+	timer := time.AfterFunc(s.wait, func() {
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		in.cond.Broadcast()
+	})
 	defer timer.Stop()
 	in.mu.Lock()
 	defer in.mu.Unlock()
